@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures.
+
+The corpus evaluation (functional analysis + all engines per app) runs
+once per session and is shared by every figure/table benchmark through
+:func:`repro.bench.harness.evaluate_corpus`'s process cache.
+
+Environment knobs:
+
+* ``REPRO_BENCH_APPS``  -- corpus slice (default 60; paper used 1000).
+* ``REPRO_BENCH_SCALE`` -- generator scale (default 1.0).
+
+Each benchmark also writes its paper-vs-measured table to
+``benchmarks/results/<name>.txt`` so results survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile
+from repro.bench.harness import evaluate_corpus
+from repro.core.engine import AppWorkload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default corpus slice for a benchmark session.
+DEFAULT_APPS = 60
+
+
+def bench_corpus() -> AppCorpus:
+    size = int(os.environ.get("REPRO_BENCH_APPS", DEFAULT_APPS))
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return AppCorpus(size=size, profile=GeneratorProfile(scale=scale))
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return bench_corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_rows(corpus):
+    """Every app evaluated under every engine (cached per process)."""
+    return evaluate_corpus(corpus)
+
+
+@pytest.fixture(scope="session")
+def sample_workload(corpus):
+    """One representative workload for per-configuration timing."""
+    return AppWorkload.build(corpus.app(0))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

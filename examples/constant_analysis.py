@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""IDE copy-constant propagation over a generated app.
+
+Demonstrates the second member of the IFDS/IDE pair the paper's
+related work cites: environment transformers computing a *value* per
+fact.  Prints, for a corpus app, how many primitive assignments were
+proven constant and which branch conditions are decidable at analysis
+time (dead-branch candidates).
+
+Run:  python examples/constant_analysis.py [seed]
+"""
+
+import sys
+
+from repro.apk.generator import GeneratorProfile, generate_app
+from repro.cfg.environment import app_with_environments
+from repro.dataflow.ide import BOTTOM, TOP, IdeConstantSolver
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    app = generate_app(seed, GeneratorProfile(scale=0.3))
+    analyzed = app_with_environments(app)
+
+    solver = IdeConstantSolver(analyzed)
+    solver.solve()
+
+    constant = top = 0
+    for environment in solver.environments.values():
+        for value in environment.values():
+            if value == TOP:
+                top += 1
+            elif value != BOTTOM:
+                constant += 1
+    total = constant + top
+    print(f"app {app.package}: {len(solver.environments)} analyzed points")
+    if total:
+        print(
+            f"primitive bindings: {constant} constant / {top} non-constant "
+            f"({100 * constant / total:.1f}% provably constant)"
+        )
+
+    conditions = solver.constant_conditions()
+    print(f"branch conditions proven constant: {len(conditions)}")
+    for method, label, value in conditions[:8]:
+        direction = "always taken" if value else "never taken"
+        print(f"  {method.split('(')[0]} @ {label}: condition == {value} ({direction})")
+
+
+if __name__ == "__main__":
+    main()

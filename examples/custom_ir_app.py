@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Analyzing a hand-written app through the textual IR frontend.
+
+Shows the other input path: instead of the synthetic generator, write
+Jawa-like IR directly (the format round-trips with the binary ``.gdx``
+container), run the sequential oracle and the GPU engine on it, and
+inspect per-node points-to facts and the method summary.
+
+Run:  python examples/custom_ir_app.py
+"""
+
+from repro import GDroid, GDroidConfig
+from repro.core.engine import AppWorkload
+from repro.ir.parser import parse_app
+
+SOURCE = """
+app com.example.notes category productivity
+global com.example.notes.G.gSession: Ljava/lang/Object;
+component com.example.notes.Editor activity exported
+  filter android.intent.action.MAIN
+  callback onCreate com.example.notes.Editor.onCreate(Landroid/content/Intent;)V
+  callback onPause com.example.notes.Editor.onPause()V
+end
+method com.example.notes.Editor.onCreate(Landroid/content/Intent;)V
+  param intent: Landroid/content/Intent;
+  local note: Ljava/lang/Object;
+  local cache: Ljava/lang/Object;
+  local i: I
+  L0: note := new java.lang.StringBuilder
+  L1: note.fData := intent
+  L2: @@com.example.notes.G.gSession := note
+  L3: call cache := com.example.notes.Editor.lookup(Ljava/lang/Object;)Ljava/lang/Object;(note)
+  L4: if i then goto L1
+  L5: return
+end
+method com.example.notes.Editor.onPause()V
+  local s: Ljava/lang/Object;
+  L0: s := @@com.example.notes.G.gSession
+  L1: return
+end
+method com.example.notes.Editor.lookup(Ljava/lang/Object;)Ljava/lang/Object;
+  param key: Ljava/lang/Object;
+  local hit: Ljava/lang/Object;
+  L0: hit := key.fData
+  L1: return hit
+end
+"""
+
+
+def main() -> None:
+    app = parse_app(SOURCE)
+    workload = AppWorkload.build(app)
+
+    lookup = "com.example.notes.Editor.lookup(Ljava/lang/Object;)Ljava/lang/Object;"
+    summary = workload.idfg.summaries[lookup]
+    print(f"summary of {lookup}:")
+    print(f"  may return caller's arg0.fData: {(0, 'fData') in summary.return_pfields}")
+
+    on_create = "com.example.notes.Editor.onCreate(Landroid/content/Intent;)V"
+    facts = workload.idfg.facts_of(on_create)
+    print(f"\npoints-to facts entering each statement of onCreate:")
+    for index in range(len(facts.node_facts)):
+        decoded = sorted(str(fact) for fact in facts.decoded(index))
+        print(f"  L{index}: {len(decoded)} facts")
+        for fact in decoded:
+            print(f"       {fact}")
+
+    result = GDroid(GDroidConfig.all_optimizations()).price(workload)
+    print(
+        f"\nGDroid modeled IDFG construction: {result.modeled_time_s * 1e6:.1f} us "
+        f"({result.iterations} worklist iterations, {result.visits} node visits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Security vetting: the end-to-end use case the paper motivates.
+
+Screens a small corpus of apps: each one is packed into the binary
+``.gdx`` container (the repo's classes.dex stand-in), loaded back
+through the frontend, analyzed with full GDroid, and run through the
+taint plugin.  Apps that leak sensitive data to an exfiltration sink
+are reported with their dependence-chain witness.
+
+Run:  python examples/vet_app.py [n_apps]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.apk.generator import GeneratorProfile, generate_app
+from repro.apk.loader import load_gdx, save_gdx
+from repro.vetting.report import vet_app
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    profile = GeneratorProfile(scale=0.25, leaky_fraction=0.4)
+
+    flagged = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for seed in range(n_apps):
+            app = generate_app(seed, profile)
+
+            # Round-trip through the on-disk container, like a real
+            # vetting queue consuming uploaded APKs.
+            path = Path(tmp) / f"{app.package}.gdx"
+            save_gdx(app, path)
+            loaded = load_gdx(path)
+
+            report = vet_app(loaded)
+            marker = "!!" if report.is_suspicious else "ok"
+            print(
+                f"[{marker}] {report.package:28s} verdict={report.verdict:16s} "
+                f"risk={report.risk_score}/10 flows={len(report.flows)} "
+                f"idfg={report.analysis_time_s * 1e3:6.2f} ms"
+            )
+            if report.flows:
+                flagged += 1
+                for flow in report.flows:
+                    print(f"      {flow}")
+                    witness = report.witnesses.get(flow.sink_label)
+                    if witness:
+                        print(f"      dependence chain: {' -> '.join(witness)}")
+                if report.implied_permissions:
+                    print(f"      implied permissions: "
+                          f"{', '.join(report.implied_permissions)}")
+
+    print(f"\n{flagged}/{n_apps} apps flagged with sensitive data flows")
+
+
+if __name__ == "__main__":
+    main()

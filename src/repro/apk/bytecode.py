@@ -1,0 +1,782 @@
+"""Dalvik-style register bytecode: the GDX v2 code representation.
+
+GDX v1 (:mod:`repro.apk.dex`) serializes statements as concrete-syntax
+strings.  This module provides the representation real dex files use:
+**register-based bytecode** over **per-app constant pools** (strings,
+types, fields, methods, globals), with jump targets as instruction
+indices.  ``assemble_method`` lowers IR statements to code units;
+``disassemble_method`` lifts them back -- an exact round-trip, which is
+what lets :mod:`repro.apk.dex2` build the pooled container format.
+
+Instruction encoding: one opcode byte followed by fixed operands per
+opcode (u16 register/pool indices; i64/f64 immediates for constants);
+variable-length operand lists (tuple elements, call arguments, switch
+cases) carry a u16 count.  The sentinel ``0xFFFF`` encodes "no
+register" (result-less invokes, default-less switches).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from io import BytesIO
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.expressions import (
+    AccessExpr,
+    BinaryExpr,
+    CallRhs,
+    CastExpr,
+    CmpExpr,
+    ConstClassExpr,
+    ExceptionExpr,
+    IndexingExpr,
+    InstanceOfExpr,
+    LengthExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    UnaryExpr,
+    VariableNameExpr,
+)
+from repro.ir.method import ExceptionHandler, Method, MethodSignature, Parameter
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    GotoStatement,
+    IfStatement,
+    MonitorStatement,
+    ReturnStatement,
+    Statement,
+    SwitchStatement,
+    ThrowStatement,
+)
+from repro.ir.types import JawaType, ObjectType, parse_descriptor
+
+#: "no register / no target" sentinel.
+NONE_IDX = 0xFFFF
+
+# Opcode space (mirrors Dalvik's instruction families).
+OP_NOP = 0x00
+OP_MOVE = 0x01
+OP_NEW_INSTANCE = 0x02
+OP_CONST_STRING = 0x03
+OP_CONST_NULL = 0x04
+OP_CONST_CLASS = 0x05
+OP_MOVE_EXCEPTION = 0x06
+OP_IGET = 0x07
+OP_IPUT = 0x08
+OP_SGET = 0x09
+OP_SPUT = 0x0A
+OP_AGET = 0x0B
+OP_APUT = 0x0C
+OP_BINOP = 0x0D
+OP_UNOP = 0x0E
+OP_CMP = 0x0F
+OP_INSTANCE_OF = 0x10
+OP_ARRAY_LENGTH = 0x11
+OP_CHECK_CAST = 0x12
+OP_TUPLE = 0x13
+OP_INVOKE = 0x14
+OP_GOTO = 0x15
+OP_IF = 0x16
+OP_SWITCH = 0x17
+OP_RETURN_VOID = 0x18
+OP_RETURN = 0x19
+OP_THROW = 0x1A
+OP_MONITOR_ENTER = 0x1B
+OP_MONITOR_EXIT = 0x1C
+OP_CONST_INT = 0x1D
+OP_CONST_FLOAT = 0x1E
+OP_CONST_BOOL = 0x1F
+OP_IPUT_LITERAL = 0x20  # heap store of a string literal
+
+_BINOPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>")
+_UNOPS = ("-", "!", "~")
+_CMPS = ("cmp", "cmpl", "cmpg")
+
+
+class BytecodeError(ValueError):
+    """Malformed bytecode or unencodable IR."""
+
+
+class ConstantPools:
+    """Per-app interning tables (dex-style string/type/field/... pools)."""
+
+    def __init__(self) -> None:
+        self.strings: List[str] = []
+        self._string_index: Dict[str, int] = {}
+
+    def intern(self, text: str) -> int:
+        """Pool a string, returning its stable index."""
+        index = self._string_index.get(text)
+        if index is None:
+            index = len(self.strings)
+            self.strings.append(text)
+            self._string_index[text] = index
+        return index
+
+    def lookup(self, index: int) -> str:
+        """Resolve a pool index back to its string."""
+        try:
+            return self.strings[index]
+        except IndexError:
+            raise BytecodeError(f"string pool index {index} out of range")
+
+    # -- serialization ---------------------------------------------------------
+
+    def write(self, out: BinaryIO) -> None:
+        """Serialize to the binary stream."""
+        out.write(struct.pack("<I", len(self.strings)))
+        for text in self.strings:
+            blob = text.encode("utf-8")
+            out.write(struct.pack("<I", len(blob)))
+            out.write(blob)
+
+    @classmethod
+    def read(cls, src: BinaryIO) -> "ConstantPools":
+        """Deserialize from the binary stream."""
+        def exact(count: int) -> bytes:
+            blob = src.read(count)
+            if len(blob) != count:
+                raise BytecodeError("truncated constant pool")
+            return blob
+
+        pools = cls()
+        (count,) = struct.unpack("<I", exact(4))
+        for _ in range(count):
+            (length,) = struct.unpack("<I", exact(4))
+            try:
+                pools.intern(exact(length).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise BytecodeError(f"malformed pool string: {exc}") from exc
+        return pools
+
+
+@dataclass
+class _Registers:
+    """Variable-name <-> register-index mapping of one method."""
+
+    names: List[str] = field(default_factory=list)
+    index: Dict[str, int] = field(default_factory=dict)
+
+    def reg(self, name: str) -> int:
+        """Register index for ``name`` (allocating if new)."""
+        if name not in self.index:
+            self.index[name] = len(self.names)
+            self.names.append(name)
+        return self.index[name]
+
+    def name(self, register: int) -> str:
+        """Variable name of a register index."""
+        try:
+            return self.names[register]
+        except IndexError:
+            raise BytecodeError(f"register v{register} out of range")
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.buffer = BytesIO()
+
+    def u8(self, value: int) -> None:
+        """One unsigned byte."""
+        self.buffer.write(struct.pack("<B", value))
+
+    def u16(self, value: int) -> None:
+        """One little-endian u16."""
+        self.buffer.write(struct.pack("<H", value))
+
+    def i64(self, value: int) -> None:
+        """One little-endian signed 64-bit integer."""
+        self.buffer.write(struct.pack("<q", value))
+
+    def f64(self, value: float) -> None:
+        """One little-endian float64."""
+        self.buffer.write(struct.pack("<d", value))
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far."""
+        return self.buffer.getvalue()
+
+
+class _Reader:
+    def __init__(self, blob: bytes) -> None:
+        self.buffer = BytesIO(blob)
+
+    def _read(self, fmt: str):
+        size = struct.calcsize(fmt)
+        data = self.buffer.read(size)
+        if len(data) != size:
+            raise BytecodeError("truncated code item")
+        return struct.unpack(fmt, data)[0]
+
+    def u8(self) -> int:
+        """One unsigned byte."""
+        return self._read("<B")
+
+    def u16(self) -> int:
+        """One little-endian u16."""
+        return self._read("<H")
+
+    def i64(self) -> int:
+        """One little-endian signed 64-bit integer."""
+        return self._read("<q")
+
+    def f64(self) -> float:
+        """One little-endian float64."""
+        return self._read("<d")
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no bytes remain."""
+        position = self.buffer.tell()
+        ahead = self.buffer.read(1)
+        self.buffer.seek(position)
+        return not ahead
+
+
+# -- assembly ----------------------------------------------------------------------
+
+
+def _encode_statement(
+    writer: _Writer,
+    statement: Statement,
+    registers: _Registers,
+    pools: ConstantPools,
+    label_index: Dict[str, int],
+) -> None:
+    reg = registers.reg
+    intern = pools.intern
+
+    if isinstance(statement, EmptyStatement):
+        writer.u8(OP_NOP)
+        return
+    if isinstance(statement, GotoStatement):
+        writer.u8(OP_GOTO)
+        writer.u16(label_index[statement.target])
+        return
+    if isinstance(statement, IfStatement):
+        writer.u8(OP_IF)
+        writer.u16(reg(statement.condition))
+        writer.u16(label_index[statement.target])
+        return
+    if isinstance(statement, SwitchStatement):
+        writer.u8(OP_SWITCH)
+        writer.u16(reg(statement.operand))
+        writer.u16(len(statement.cases))
+        for value, label in statement.cases:
+            writer.i64(value)
+            writer.u16(label_index[label])
+        writer.u16(label_index[statement.default] if statement.default else NONE_IDX)
+        return
+    if isinstance(statement, ReturnStatement):
+        if statement.operand is None:
+            writer.u8(OP_RETURN_VOID)
+        else:
+            writer.u8(OP_RETURN)
+            writer.u16(reg(statement.operand))
+        return
+    if isinstance(statement, ThrowStatement):
+        writer.u8(OP_THROW)
+        writer.u16(reg(statement.operand))
+        return
+    if isinstance(statement, MonitorStatement):
+        writer.u8(OP_MONITOR_ENTER if statement.enter else OP_MONITOR_EXIT)
+        writer.u16(reg(statement.operand))
+        return
+    if isinstance(statement, CallStatement):
+        writer.u8(OP_INVOKE)
+        writer.u16(intern(statement.callee))
+        writer.u16(len(statement.args))
+        for argument in statement.args:
+            writer.u16(reg(argument))
+        writer.u16(reg(statement.result) if statement.result else NONE_IDX)
+        return
+    if not isinstance(statement, AssignmentStatement):
+        raise BytecodeError(f"unencodable statement: {statement!r}")
+
+    access = statement.lhs_access
+    rhs = statement.rhs
+    if access is not None:
+        # Heap / static stores.  Dalvik requires register payloads;
+        # compound payloads (a store of a fresh allocation or of a
+        # field read, which dexers lower through a scratch register)
+        # take the textual escape hatch to keep the lifting exact.
+        if isinstance(access, AccessExpr) and isinstance(
+            rhs, LiteralExpr
+        ) and isinstance(rhs.value, str):
+            writer.u8(OP_IPUT_LITERAL)
+            writer.u16(reg(access.base))
+            writer.u16(intern(access.field_name))
+            writer.u16(intern(rhs.value))
+            return
+        if not isinstance(rhs, VariableNameExpr):
+            raise _NeedsEscapeHatch()
+        source = reg(rhs.name)
+        if isinstance(access, StaticFieldAccessExpr):
+            writer.u8(OP_SPUT)
+            writer.u16(intern(access.global_slot))
+            writer.u16(source)
+            return
+        if isinstance(access, AccessExpr):
+            writer.u8(OP_IPUT)
+            writer.u16(reg(access.base))
+            writer.u16(intern(access.field_name))
+            writer.u16(source)
+            return
+        if isinstance(access, IndexingExpr):
+            writer.u8(OP_APUT)
+            writer.u16(reg(access.base))
+            writer.u16(reg(access.index))
+            writer.u16(source)
+            return
+        raise BytecodeError(f"unencodable store target: {access!r}")
+
+    destination = reg(statement.lhs)
+    if isinstance(rhs, VariableNameExpr):
+        writer.u8(OP_MOVE)
+        writer.u16(destination)
+        writer.u16(reg(rhs.name))
+    elif isinstance(rhs, NewExpr):
+        writer.u8(OP_NEW_INSTANCE)
+        writer.u16(destination)
+        writer.u16(intern(rhs.allocated.class_name))
+    elif isinstance(rhs, NullExpr):
+        writer.u8(OP_CONST_NULL)
+        writer.u16(destination)
+    elif isinstance(rhs, LiteralExpr):
+        if isinstance(rhs.value, str):
+            writer.u8(OP_CONST_STRING)
+            writer.u16(destination)
+            writer.u16(intern(rhs.value))
+        elif isinstance(rhs.value, bool):
+            writer.u8(OP_CONST_BOOL)
+            writer.u16(destination)
+            writer.u16(1 if rhs.value else 0)
+        elif isinstance(rhs.value, int):
+            writer.u8(OP_CONST_INT)
+            writer.u16(destination)
+            writer.i64(rhs.value)
+        elif isinstance(rhs.value, float):
+            writer.u8(OP_CONST_FLOAT)
+            writer.u16(destination)
+            writer.f64(rhs.value)
+        else:
+            raise BytecodeError(f"unencodable literal: {rhs.value!r}")
+    elif isinstance(rhs, ConstClassExpr):
+        writer.u8(OP_CONST_CLASS)
+        writer.u16(destination)
+        writer.u16(intern(rhs.referenced.class_name))
+    elif isinstance(rhs, ExceptionExpr):
+        writer.u8(OP_MOVE_EXCEPTION)
+        writer.u16(destination)
+    elif isinstance(rhs, AccessExpr):
+        writer.u8(OP_IGET)
+        writer.u16(destination)
+        writer.u16(reg(rhs.base))
+        writer.u16(intern(rhs.field_name))
+    elif isinstance(rhs, StaticFieldAccessExpr):
+        writer.u8(OP_SGET)
+        writer.u16(destination)
+        writer.u16(intern(rhs.global_slot))
+    elif isinstance(rhs, IndexingExpr):
+        writer.u8(OP_AGET)
+        writer.u16(destination)
+        writer.u16(reg(rhs.base))
+        writer.u16(reg(rhs.index))
+    elif isinstance(rhs, BinaryExpr):
+        writer.u8(OP_BINOP)
+        writer.u16(_BINOPS.index(rhs.op))
+        writer.u16(destination)
+        writer.u16(reg(rhs.left))
+        writer.u16(reg(rhs.right))
+    elif isinstance(rhs, UnaryExpr):
+        writer.u8(OP_UNOP)
+        writer.u16(_UNOPS.index(rhs.op))
+        writer.u16(destination)
+        writer.u16(reg(rhs.operand))
+    elif isinstance(rhs, CmpExpr):
+        writer.u8(OP_CMP)
+        writer.u16(_CMPS.index(rhs.op))
+        writer.u16(destination)
+        writer.u16(reg(rhs.left))
+        writer.u16(reg(rhs.right))
+    elif isinstance(rhs, InstanceOfExpr):
+        writer.u8(OP_INSTANCE_OF)
+        writer.u16(destination)
+        writer.u16(reg(rhs.operand))
+        writer.u16(intern(rhs.tested.descriptor()))
+    elif isinstance(rhs, LengthExpr):
+        writer.u8(OP_ARRAY_LENGTH)
+        writer.u16(destination)
+        writer.u16(reg(rhs.operand))
+    elif isinstance(rhs, CastExpr):
+        writer.u8(OP_CHECK_CAST)
+        writer.u16(destination)
+        writer.u16(reg(rhs.operand))
+        writer.u16(intern(rhs.target.descriptor()))
+    elif isinstance(rhs, TupleExpr):
+        writer.u8(OP_TUPLE)
+        writer.u16(destination)
+        writer.u16(len(rhs.elements))
+        for element in rhs.elements:
+            writer.u16(reg(element))
+    elif isinstance(rhs, CallRhs):
+        writer.u8(OP_INVOKE)
+        writer.u16(intern(rhs.callee))
+        writer.u16(len(rhs.args))
+        for argument in rhs.args:
+            writer.u16(reg(argument))
+        writer.u16(destination)
+    else:
+        raise BytecodeError(f"unencodable expression: {rhs!r}")
+
+
+class _NeedsEscapeHatch(Exception):
+    """Store shapes with compound payloads fall back to text form."""
+
+
+#: Escape-hatch opcode: a statement in concrete syntax (string pool).
+OP_TEXT = 0x7F
+
+
+def assemble_method(
+    method: Method, pools: ConstantPools
+) -> Tuple[bytes, List[str], List[str]]:
+    """Lower a method body to bytecode.
+
+    Returns ``(code, register_names, labels)``; parameters and locals
+    are declared separately by the container.
+    """
+    registers = _Registers()
+    # Parameters/locals claim the low registers, dex-style.
+    for parameter in method.parameters:
+        registers.reg(parameter.name)
+    for local in method.locals:
+        registers.reg(local.name)
+
+    labels = [statement.label for statement in method.statements]
+    label_index = {label: position for position, label in enumerate(labels)}
+
+    writer = _Writer()
+    for statement in method.statements:
+        try:
+            _encode_statement(writer, statement, registers, pools, label_index)
+        except _NeedsEscapeHatch:
+            writer.u8(OP_TEXT)
+            writer.u16(pools.intern(statement.text()))
+    return writer.getvalue(), list(registers.names), labels
+
+
+# -- disassembly ----------------------------------------------------------------------
+
+
+def disassemble_method(
+    code: bytes,
+    register_names: Sequence[str],
+    labels: Sequence[str],
+    pools: ConstantPools,
+) -> List[Statement]:
+    """Lift bytecode back to IR statements (inverse of assemble)."""
+    from repro.ir.parser import parse_statement
+
+    registers = _Registers(
+        names=list(register_names),
+        index={name: i for i, name in enumerate(register_names)},
+    )
+    reader = _Reader(code)
+    statements: List[Statement] = []
+
+    def name(register: int) -> str:
+        """Variable name of a register index."""
+        return registers.name(register)
+
+    try:
+        return _disassemble_loop(reader, registers, labels, pools, name)
+    except IndexError as exc:
+        # Corrupted operand indices (labels, ops) surface as the
+        # documented container error, never a bare IndexError.
+        raise BytecodeError(f"corrupted code item: {exc}") from exc
+
+
+def _disassemble_loop(reader, registers, labels, pools, name):
+    from repro.ir.parser import parse_statement  # noqa: F811 (local use)
+
+    statements: List[Statement] = []
+    position = 0
+    while not reader.exhausted:
+        label = labels[position]
+        opcode = reader.u8()
+        if opcode == OP_NOP:
+            statements.append(EmptyStatement(label=label))
+        elif opcode == OP_GOTO:
+            statements.append(
+                GotoStatement(label=label, target=labels[reader.u16()])
+            )
+        elif opcode == OP_IF:
+            condition = name(reader.u16())
+            statements.append(
+                IfStatement(
+                    label=label, condition=condition, target=labels[reader.u16()]
+                )
+            )
+        elif opcode == OP_SWITCH:
+            operand = name(reader.u16())
+            cases = tuple(
+                (reader.i64(), labels[reader.u16()])
+                for _ in range(reader.u16())
+            )
+            default_index = reader.u16()
+            statements.append(
+                SwitchStatement(
+                    label=label,
+                    operand=operand,
+                    cases=cases,
+                    default="" if default_index == NONE_IDX else labels[default_index],
+                )
+            )
+        elif opcode == OP_RETURN_VOID:
+            statements.append(ReturnStatement(label=label))
+        elif opcode == OP_RETURN:
+            statements.append(
+                ReturnStatement(label=label, operand=name(reader.u16()))
+            )
+        elif opcode == OP_THROW:
+            statements.append(
+                ThrowStatement(label=label, operand=name(reader.u16()))
+            )
+        elif opcode in (OP_MONITOR_ENTER, OP_MONITOR_EXIT):
+            statements.append(
+                MonitorStatement(
+                    label=label,
+                    enter=opcode == OP_MONITOR_ENTER,
+                    operand=name(reader.u16()),
+                )
+            )
+        elif opcode == OP_INVOKE:
+            callee = pools.lookup(reader.u16())
+            args = tuple(name(reader.u16()) for _ in range(reader.u16()))
+            result_index = reader.u16()
+            statements.append(
+                CallStatement(
+                    label=label,
+                    callee=callee,
+                    args=args,
+                    result=None if result_index == NONE_IDX else name(result_index),
+                )
+            )
+        elif opcode == OP_SPUT:
+            slot = pools.lookup(reader.u16())
+            source = name(reader.u16())
+            owner, _, field_name = slot.rpartition(".")
+            statements.append(
+                AssignmentStatement(
+                    label=label,
+                    lhs=slot,
+                    rhs=VariableNameExpr(name=source),
+                    lhs_access=StaticFieldAccessExpr(
+                        owner=owner, field_name=field_name
+                    ),
+                )
+            )
+        elif opcode == OP_IPUT:
+            base = name(reader.u16())
+            field_name = pools.lookup(reader.u16())
+            source = name(reader.u16())
+            statements.append(
+                AssignmentStatement(
+                    label=label,
+                    lhs=base,
+                    rhs=VariableNameExpr(name=source),
+                    lhs_access=AccessExpr(base=base, field_name=field_name),
+                )
+            )
+        elif opcode == OP_IPUT_LITERAL:
+            base = name(reader.u16())
+            field_name = pools.lookup(reader.u16())
+            literal = pools.lookup(reader.u16())
+            statements.append(
+                AssignmentStatement(
+                    label=label,
+                    lhs=base,
+                    rhs=LiteralExpr(value=literal),
+                    lhs_access=AccessExpr(base=base, field_name=field_name),
+                )
+            )
+        elif opcode == OP_APUT:
+            base = name(reader.u16())
+            index_register = name(reader.u16())
+            source = name(reader.u16())
+            statements.append(
+                AssignmentStatement(
+                    label=label,
+                    lhs=base,
+                    rhs=VariableNameExpr(name=source),
+                    lhs_access=IndexingExpr(base=base, index=index_register),
+                )
+            )
+        elif opcode == OP_TEXT:
+            text = pools.lookup(reader.u16())
+            statements.append(parse_statement(label, text))
+        else:
+            statements.append(
+                _decode_assignment(opcode, label, reader, registers, pools)
+            )
+        position += 1
+    if position != len(labels):
+        raise BytecodeError(
+            f"code item has {position} instructions but {len(labels)} labels"
+        )
+    return statements
+
+
+def _decode_assignment(
+    opcode: int,
+    label: str,
+    reader: _Reader,
+    registers: _Registers,
+    pools: ConstantPools,
+) -> Statement:
+    name = registers.name
+    if opcode == OP_MOVE:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=VariableNameExpr(name=name(reader.u16())),
+        )
+    if opcode == OP_NEW_INSTANCE:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=NewExpr(allocated=ObjectType(pools.lookup(reader.u16()))),
+        )
+    if opcode == OP_CONST_NULL:
+        return AssignmentStatement(
+            label=label, lhs=name(reader.u16()), rhs=NullExpr()
+        )
+    if opcode == OP_CONST_STRING:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=LiteralExpr(value=pools.lookup(reader.u16())),
+        )
+    if opcode == OP_CONST_BOOL:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=LiteralExpr(value=bool(reader.u16())),
+        )
+    if opcode == OP_CONST_INT:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label, lhs=destination, rhs=LiteralExpr(value=reader.i64())
+        )
+    if opcode == OP_CONST_FLOAT:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label, lhs=destination, rhs=LiteralExpr(value=reader.f64())
+        )
+    if opcode == OP_CONST_CLASS:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=ConstClassExpr(referenced=ObjectType(pools.lookup(reader.u16()))),
+        )
+    if opcode == OP_MOVE_EXCEPTION:
+        return AssignmentStatement(
+            label=label, lhs=name(reader.u16()), rhs=ExceptionExpr()
+        )
+    if opcode == OP_IGET:
+        destination = name(reader.u16())
+        base = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=AccessExpr(base=base, field_name=pools.lookup(reader.u16())),
+        )
+    if opcode == OP_SGET:
+        destination = name(reader.u16())
+        slot = pools.lookup(reader.u16())
+        owner, _, field_name = slot.rpartition(".")
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=StaticFieldAccessExpr(owner=owner, field_name=field_name),
+        )
+    if opcode == OP_AGET:
+        destination = name(reader.u16())
+        base = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=IndexingExpr(base=base, index=name(reader.u16())),
+        )
+    if opcode == OP_BINOP:
+        op = _BINOPS[reader.u16()]
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=BinaryExpr(op=op, left=name(reader.u16()), right=name(reader.u16())),
+        )
+    if opcode == OP_UNOP:
+        op = _UNOPS[reader.u16()]
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=UnaryExpr(op=op, operand=name(reader.u16())),
+        )
+    if opcode == OP_CMP:
+        op = _CMPS[reader.u16()]
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=CmpExpr(op=op, left=name(reader.u16()), right=name(reader.u16())),
+        )
+    if opcode == OP_INSTANCE_OF:
+        destination = name(reader.u16())
+        operand = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=InstanceOfExpr(
+                operand=operand,
+                tested=parse_descriptor(pools.lookup(reader.u16())),
+            ),
+        )
+    if opcode == OP_ARRAY_LENGTH:
+        destination = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=LengthExpr(operand=name(reader.u16())),
+        )
+    if opcode == OP_CHECK_CAST:
+        destination = name(reader.u16())
+        operand = name(reader.u16())
+        return AssignmentStatement(
+            label=label,
+            lhs=destination,
+            rhs=CastExpr(
+                target=parse_descriptor(pools.lookup(reader.u16())),
+                operand=operand,
+            ),
+        )
+    if opcode == OP_TUPLE:
+        destination = name(reader.u16())
+        elements = tuple(name(reader.u16()) for _ in range(reader.u16()))
+        return AssignmentStatement(
+            label=label, lhs=destination, rhs=TupleExpr(elements=elements)
+        )
+    raise BytecodeError(f"unknown opcode 0x{opcode:02X}")

@@ -1,0 +1,262 @@
+"""GDX v2: the pooled, bytecode-backed container format.
+
+Where GDX v1 stores statements as text, v2 mirrors real dex structure:
+one app-wide constant pool plus per-method register-based code items
+(:mod:`repro.apk.bytecode`).  The two formats coexist --
+:func:`repro.apk.dex.unpack_app` dispatches on the version field -- and
+both lift to identical IR, which the test-suite asserts.
+
+v2 layout (little-endian)::
+
+    magic   "GDX2"
+    u16     version (2)
+    str     package, str category
+    pool    constant pool (see ConstantPools)
+    u32     global count + (str name, str descriptor) each
+    u32     component count + component records (as v1)
+    u32     method count, then per method:
+                str signature
+                u16 param count + (u16 name_idx, u16 desc_idx) each
+                u16 local count + (u16 name_idx, u16 desc_idx) each
+                u16 handler count + (u16 start, u16 end, u16 handler)
+                    as instruction indices
+                u16 register count + u16 name_idx each
+                u32 label count + u16 label_idx each
+                u32 code size + code bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from io import BytesIO
+from typing import BinaryIO, List
+
+from repro.apk.bytecode import (
+    BytecodeError,
+    ConstantPools,
+    assemble_method,
+    disassemble_method,
+)
+from repro.ir.app import AndroidApp, GlobalField
+from repro.ir.component import Component, ComponentKind
+from repro.ir.method import ExceptionHandler, Method, Parameter
+from repro.ir.parser import parse_signature
+from repro.ir.types import parse_descriptor
+
+MAGIC_V2 = b"GDX2"
+VERSION_V2 = 2
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    blob = text.encode("utf-8")
+    out.write(struct.pack("<I", len(blob)))
+    out.write(blob)
+
+
+def _read_exact(src: BinaryIO, count: int) -> bytes:
+    blob = src.read(count)
+    if len(blob) != count:
+        raise BytecodeError("truncated .gdx2 stream")
+    return blob
+
+
+def _read_str(src: BinaryIO) -> str:
+    (length,) = struct.unpack("<I", _read_exact(src, 4))
+    return _read_exact(src, length).decode("utf-8")
+
+
+def pack_app_v2(app: AndroidApp) -> bytes:
+    """Serialize with the pooled bytecode representation."""
+    pools = ConstantPools()
+    assembled = []
+    for method in app.methods:
+        code, register_names, labels = assemble_method(method, pools)
+        assembled.append((method, code, register_names, labels))
+
+    out = BytesIO()
+    out.write(MAGIC_V2)
+    out.write(struct.pack("<H", VERSION_V2))
+    _write_str(out, app.package)
+    _write_str(out, app.category)
+    pools.write(out)
+
+    out.write(struct.pack("<I", len(app.global_fields)))
+    for field in app.global_fields:
+        _write_str(out, field.name)
+        _write_str(out, field.type.descriptor())
+
+    out.write(struct.pack("<I", len(app.components)))
+    for component in app.components:
+        _write_str(out, component.name)
+        _write_str(out, component.kind.value)
+        out.write(struct.pack("<B", 1 if component.exported else 0))
+        out.write(struct.pack("<H", len(component.intent_filters)))
+        for intent_filter in component.intent_filters:
+            _write_str(out, intent_filter)
+        callbacks = sorted(component.callbacks.items())
+        out.write(struct.pack("<H", len(callbacks)))
+        for callback, signature in callbacks:
+            _write_str(out, callback)
+            _write_str(out, signature)
+
+    out.write(struct.pack("<I", len(assembled)))
+    for method, code, register_names, labels in assembled:
+        _write_str(out, str(method.signature))
+        out.write(struct.pack("<H", len(method.parameters)))
+        for parameter in method.parameters:
+            out.write(struct.pack("<H", pools.intern(parameter.name)))
+            out.write(struct.pack("<H", pools.intern(parameter.type.descriptor())))
+        out.write(struct.pack("<H", len(method.locals)))
+        for local in method.locals:
+            out.write(struct.pack("<H", pools.intern(local.name)))
+            out.write(struct.pack("<H", pools.intern(local.type.descriptor())))
+        label_index = {label: i for i, label in enumerate(labels)}
+        out.write(struct.pack("<H", len(method.handlers)))
+        for handler in method.handlers:
+            out.write(struct.pack("<H", label_index[handler.start]))
+            out.write(struct.pack("<H", label_index[handler.end]))
+            out.write(struct.pack("<H", label_index[handler.handler]))
+        out.write(struct.pack("<H", len(register_names)))
+        for name in register_names:
+            out.write(struct.pack("<H", pools.intern(name)))
+        out.write(struct.pack("<I", len(labels)))
+        for label in labels:
+            out.write(struct.pack("<H", pools.intern(label)))
+        out.write(struct.pack("<I", len(code)))
+        out.write(code)
+
+    # NOTE: pools were extended while writing method tables, but the
+    # pool section was written first.  Re-serialize with the final
+    # pools (single rewrite; pools are append-only so indices are
+    # stable).
+    final = BytesIO()
+    final.write(MAGIC_V2)
+    final.write(struct.pack("<H", VERSION_V2))
+    _write_str(final, app.package)
+    _write_str(final, app.category)
+    pools.write(final)
+    remainder_start = _skip_header_and_pool(out.getvalue())
+    final.write(out.getvalue()[remainder_start:])
+    return final.getvalue()
+
+
+def _skip_header_and_pool(blob: bytes) -> int:
+    """Offset of the first byte after the header + pool sections."""
+    src = BytesIO(blob)
+    _read_exact(src, 4)  # magic
+    _read_exact(src, 2)  # version
+    _read_str(src)  # package
+    _read_str(src)  # category
+    (count,) = struct.unpack("<I", _read_exact(src, 4))
+    for _ in range(count):
+        (length,) = struct.unpack("<I", _read_exact(src, 4))
+        _read_exact(src, length)
+    return src.tell()
+
+
+def unpack_app_v2(blob: bytes) -> AndroidApp:
+    """Reconstruct an app from GDX v2 bytes."""
+    src = BytesIO(blob)
+    if _read_exact(src, 4) != MAGIC_V2:
+        raise BytecodeError("bad magic; not a .gdx2 container")
+    (version,) = struct.unpack("<H", _read_exact(src, 2))
+    if version != VERSION_V2:
+        raise BytecodeError(f"unsupported .gdx2 version {version}")
+    package = _read_str(src)
+    category = _read_str(src)
+    pools = ConstantPools.read(src)
+
+    (global_count,) = struct.unpack("<I", _read_exact(src, 4))
+    globals_: List[GlobalField] = []
+    for _ in range(global_count):
+        name = _read_str(src)
+        globals_.append(
+            GlobalField(name=name, type=parse_descriptor(_read_str(src)))
+        )
+
+    (component_count,) = struct.unpack("<I", _read_exact(src, 4))
+    components: List[Component] = []
+    for _ in range(component_count):
+        name = _read_str(src)
+        kind = ComponentKind(_read_str(src))
+        exported = bool(_read_exact(src, 1)[0])
+        (filter_count,) = struct.unpack("<H", _read_exact(src, 2))
+        filters = [_read_str(src) for _ in range(filter_count)]
+        (callback_count,) = struct.unpack("<H", _read_exact(src, 2))
+        callbacks = {}
+        for _ in range(callback_count):
+            callback = _read_str(src)
+            callbacks[callback] = _read_str(src)
+        components.append(
+            Component(
+                name=name,
+                kind=kind,
+                callbacks=callbacks,
+                exported=exported,
+                intent_filters=filters,
+            )
+        )
+
+    (method_count,) = struct.unpack("<I", _read_exact(src, 4))
+    methods: List[Method] = []
+    for _ in range(method_count):
+        signature = parse_signature(_read_str(src))
+
+        def read_typed_names(count_fmt: str = "<H") -> List[Parameter]:
+            (count,) = struct.unpack(count_fmt, _read_exact(src, 2))
+            out: List[Parameter] = []
+            for _ in range(count):
+                (name_idx,) = struct.unpack("<H", _read_exact(src, 2))
+                (desc_idx,) = struct.unpack("<H", _read_exact(src, 2))
+                out.append(
+                    Parameter(
+                        name=pools.lookup(name_idx),
+                        type=parse_descriptor(pools.lookup(desc_idx)),
+                    )
+                )
+            return out
+
+        parameters = read_typed_names()
+        locals_ = read_typed_names()
+        (handler_count,) = struct.unpack("<H", _read_exact(src, 2))
+        handler_triples = [
+            struct.unpack("<HHH", _read_exact(src, 6))
+            for _ in range(handler_count)
+        ]
+        (register_count,) = struct.unpack("<H", _read_exact(src, 2))
+        register_names = [
+            pools.lookup(struct.unpack("<H", _read_exact(src, 2))[0])
+            for _ in range(register_count)
+        ]
+        (label_count,) = struct.unpack("<I", _read_exact(src, 4))
+        labels = [
+            pools.lookup(struct.unpack("<H", _read_exact(src, 2))[0])
+            for _ in range(label_count)
+        ]
+        (code_size,) = struct.unpack("<I", _read_exact(src, 4))
+        code = _read_exact(src, code_size)
+
+        statements = disassemble_method(code, register_names, labels, pools)
+        handlers = [
+            ExceptionHandler(
+                start=labels[start], end=labels[end], handler=labels[handler]
+            )
+            for start, end, handler in handler_triples
+        ]
+        methods.append(
+            Method(
+                signature=signature,
+                parameters=parameters,
+                locals=locals_,
+                statements=statements,
+                handlers=handlers,
+            )
+        )
+
+    return AndroidApp(
+        package=package,
+        components=components,
+        methods=methods,
+        global_fields=globals_,
+        category=category,
+    )

@@ -1,0 +1,927 @@
+"""Synthetic Android app generator, fit to the paper's Table I.
+
+The generator produces whole apps -- components, layered call graphs,
+method bodies drawn from the full statement/expression taxonomy --
+with size distributions whose corpus averages match Table I:
+
+=====================  ======
+no. of CFG nodes        6217
+no. of methods           268
+no. of variables         116
+max worklist length       74
+=====================  ======
+
+Determinism: every app is a pure function of its seed and profile, so
+corpora are reproducible and experiments are re-runnable bit-for-bit.
+
+Realism levers that matter to the evaluation:
+
+* *statement mix* -- drives the 25-way branch-divergence profile and
+  the one-time/single/double-layer group shares;
+* *loop density* -- drives revisit counts and hence worklist
+  iterations (Table II) and fact-set growth (allocation stalls);
+* *call structure* -- bottom-up layer depth determines how many kernel
+  launches an app needs and how wide each layer is;
+* *source/sink API calls* -- a configurable fraction of apps contains
+  a genuine taint flow for the vetting layer to find.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.app import AndroidApp, GlobalField
+from repro.ir.component import Component, ComponentKind, LIFECYCLE_CALLBACKS
+from repro.ir.expressions import (
+    AccessExpr,
+    BinaryExpr,
+    CastExpr,
+    CmpExpr,
+    ConstClassExpr,
+    IndexingExpr,
+    InstanceOfExpr,
+    LengthExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    UnaryExpr,
+    VariableNameExpr,
+)
+from repro.ir.expressions import ExceptionExpr
+from repro.ir.method import ExceptionHandler, Method, MethodSignature, Parameter
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    GotoStatement,
+    IfStatement,
+    MonitorStatement,
+    ReturnStatement,
+    Statement,
+    SwitchStatement,
+    ThrowStatement,
+)
+from repro.ir.types import (
+    INT,
+    JawaType,
+    ObjectType,
+    OBJECT,
+    STRING,
+    VOID,
+)
+
+#: Play-store categories the corpus samples from ("randomly selected
+#: from different categories", Section V).
+CATEGORIES = (
+    "games",
+    "social",
+    "productivity",
+    "finance",
+    "media",
+    "shopping",
+    "travel",
+    "education",
+    "health",
+    "news",
+)
+
+#: Framework "source" APIs (produce sensitive data) and "sink" APIs
+#: (exfiltrate data); both are app-external, so the analysis models
+#: them with the opaque external summary -- exactly how the vetting
+#: plugin wants them.
+SOURCE_APIS = (
+    "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;",
+    "android.location.LocationManager.getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;",
+    "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;",
+    "android.content.ContentResolver.query(Landroid/net/Uri;)Landroid/database/Cursor;",
+)
+SINK_APIS = (
+    "android.telephony.SmsManager.sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V",
+    "java.net.HttpURLConnection.connect(Ljava/lang/String;)V",
+    "android.util.Log.d(Ljava/lang/String;Ljava/lang/String;)I",
+    "java.io.FileOutputStream.write(Ljava/lang/String;)V",
+)
+
+#: Object classes allocated by synthetic apps.
+OBJECT_CLASSES = (
+    "java.lang.Object",
+    "java.lang.StringBuilder",
+    "android.content.Intent",
+    "android.os.Bundle",
+    "java.util.ArrayList",
+    "java.util.HashMap",
+    "android.view.View",
+    "android.graphics.Bitmap",
+)
+
+FIELD_NAMES = ("fData", "fNext", "fOwner", "fCache", "fItems", "fCtx")
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Tunable shape of generated apps.
+
+    Defaults are fit so 1000 seed-varied apps average Table I; see
+    ``tests/test_generator.py::test_table1_band`` for the asserted
+    bands.  ``scale`` multiplies the method count (benchmarks may use
+    scaled-down corpora for wall-clock reasons -- the *relative*
+    results are scale-invariant, which ``bench_ablation_scale``
+    demonstrates).
+    """
+
+    scale: float = 1.0
+    mean_methods: float = 268.0
+    #: Log-normal sigma of per-app size multipliers (heavy tail: the
+    #: paper's slowest apps take 38 minutes, its fastest seconds).
+    size_sigma: float = 0.55
+    mean_statements_per_method: float = 19.5
+    min_statements: int = 6
+    max_statements: int = 120
+    components_low: int = 1
+    components_high: int = 6
+    #: Number of distinct register-style variable names (Table I's
+    #: "no. of Variable" counts distinct names app-wide).
+    variable_pool: int = 110
+    object_locals_low: int = 2
+    object_locals_high: int = 7
+    primitive_locals_low: int = 1
+    primitive_locals_high: int = 3
+    globals_low: int = 2
+    globals_high: int = 8
+    #: Probability a method body contains a back edge (loop).
+    loop_probability: float = 0.62
+    #: Mean internal calls per method (layered DAG).
+    calls_per_method: float = 2.2
+    #: Probability a call site targets a same-layer/self method
+    #: (creates recursion SCCs).
+    recursion_probability: float = 0.02
+    #: Fraction of apps that contain a real source -> sink taint flow.
+    leaky_fraction: float = 0.3
+    #: Call-graph layer count range.
+    layers_low: int = 4
+    layers_high: int = 9
+    #: Probability a method has a try/catch region (Dalvik-style
+    #: exceptional edges from every throwing statement to the handler).
+    catch_probability: float = 0.7
+
+    def scaled(self, scale: float) -> "GeneratorProfile":
+        """Copy with selected constants overridden."""
+        return replace(self, scale=scale)
+
+
+@dataclass(frozen=True)
+class _AppKnobs:
+    """Per-app sampled behaviour knobs.
+
+    Real corpora are heterogeneous: some apps are loop- and heap-heavy
+    (points-to churn, huge fact sets), others are shallow glue code.
+    Sampling these per app is what produces the paper's wide per-app
+    spreads (MAT speedups of 7.6x to 92.4x; a plain-GPU-slower-than-CPU
+    tail in Fig. 4).
+    """
+
+    loop_probability: float
+    store_bias: float
+    catch_probability: float
+    relay_bias: float
+
+
+class AppGenerator:
+    """Deterministic generator of one app per (seed, profile)."""
+
+    def __init__(self, profile: Optional[GeneratorProfile] = None) -> None:
+        self.profile = profile or GeneratorProfile()
+
+    def _sample_knobs(self, rng: random.Random) -> _AppKnobs:
+        profile = self.profile
+        return _AppKnobs(
+            loop_probability=min(
+                0.9, max(0.08, rng.gauss(profile.loop_probability, 0.25))
+            ),
+            store_bias=math.exp(rng.gauss(0.0, 0.6)),
+            catch_probability=min(
+                0.95, max(0.1, rng.gauss(profile.catch_probability, 0.2))
+            ),
+            relay_bias=math.exp(rng.gauss(0.0, 0.55)),
+        )
+
+    # -- public API ----------------------------------------------------------------
+
+    def generate(self, seed: int) -> AndroidApp:
+        """Generate one deterministic app for ``seed``."""
+        rng = random.Random(seed)
+        profile = self.profile
+        category = rng.choice(CATEGORIES)
+        package = f"com.{category}.app{seed & 0xFFFF:04x}"
+        knobs = self._sample_knobs(rng)
+
+        # Log-normal size multiplier, mean-normalized to 1.0 so the
+        # corpus average tracks mean_methods while keeping the heavy
+        # right tail real corpora show.
+        sigma = profile.size_sigma
+        size_multiplier = math.exp(rng.gauss(0.0, sigma) - sigma * sigma / 2.0)
+        method_count = max(
+            4, int(profile.mean_methods * profile.scale * size_multiplier)
+        )
+
+        globals_ = self._make_globals(rng, package)
+        layers = self._layer_sizes(rng, method_count)
+        signatures = self._make_signatures(rng, package, layers)
+        leaky = rng.random() < profile.leaky_fraction
+
+        methods: List[Method] = []
+        flat: List[Tuple[int, MethodSignature]] = [
+            (layer_index, signature)
+            for layer_index, layer in enumerate(signatures)
+            for signature in layer
+        ]
+        # One leaky method (if any) carries the source -> sink flow.
+        leak_carrier = rng.randrange(len(flat)) if leaky and flat else -1
+        for index, (layer_index, signature) in enumerate(flat):
+            methods.append(
+                self._make_method(
+                    rng,
+                    signature,
+                    layer_index,
+                    signatures,
+                    globals_,
+                    knobs,
+                    inject_leak=(index == leak_carrier),
+                )
+            )
+
+        top_layer_count = sum(len(layer) for layer in signatures[-2:])
+        components = self._make_components(
+            rng, package, methods, top_layer_count
+        )
+        return AndroidApp(
+            package=package,
+            components=components,
+            methods=methods,
+            global_fields=globals_,
+            category=category,
+        )
+
+    # -- structure -----------------------------------------------------------------
+
+    def _make_globals(
+        self, rng: random.Random, package: str
+    ) -> List[GlobalField]:
+        profile = self.profile
+        count = rng.randint(profile.globals_low, profile.globals_high)
+        return [
+            GlobalField(
+                name=f"{package}.G.g{index}",
+                type=ObjectType(rng.choice(OBJECT_CLASSES)),
+            )
+            for index in range(count)
+        ]
+
+    def _layer_sizes(self, rng: random.Random, method_count: int) -> List[int]:
+        """Split methods over call-graph layers, wider at the bottom."""
+        profile = self.profile
+        layer_count = rng.randint(profile.layers_low, profile.layers_high)
+        layer_count = min(layer_count, max(1, method_count))
+        # Geometric taper: layer i gets weight r^i (leaves are layer 0).
+        ratio = 0.72
+        weights = [ratio**i for i in range(layer_count)]
+        total = sum(weights)
+        sizes = [max(1, int(method_count * w / total)) for w in weights]
+        # Fix rounding drift on the leaf layer.
+        sizes[0] += method_count - sum(sizes)
+        if sizes[0] < 1:
+            sizes[0] = 1
+        return sizes
+
+    def _make_signatures(
+        self, rng: random.Random, package: str, layers: Sequence[int]
+    ) -> List[List[MethodSignature]]:
+        signatures: List[List[MethodSignature]] = []
+        counter = 0
+        for layer_index, size in enumerate(layers):
+            layer: List[MethodSignature] = []
+            for _ in range(size):
+                owner = f"{package}.C{counter % 17}"
+                param_count = rng.choice((0, 1, 1, 2, 2, 3))
+                params = tuple(
+                    ObjectType(rng.choice(OBJECT_CLASSES))
+                    for _ in range(param_count)
+                )
+                returns_object = rng.random() < 0.5
+                ret: JawaType = (
+                    ObjectType(rng.choice(OBJECT_CLASSES))
+                    if returns_object
+                    else VOID
+                )
+                layer.append(
+                    MethodSignature(
+                        owner=owner,
+                        name=f"m{counter}",
+                        param_types=params,
+                        return_type=ret,
+                    )
+                )
+                counter += 1
+            signatures.append(layer)
+        return signatures
+
+    def _make_components(
+        self,
+        rng: random.Random,
+        package: str,
+        methods: Sequence[Method],
+        top_layer_count: int,
+    ) -> List[Component]:
+        profile = self.profile
+        count = rng.randint(profile.components_low, profile.components_high)
+        components: List[Component] = []
+        # Lifecycle callbacks come from the top call-graph layers: real
+        # onCreate/onResume handlers drive the app's core, which is
+        # what makes the environment-rooted ICFG cover most methods.
+        top = list(methods[-max(top_layer_count, 1):])
+        candidates = [m for m in top if len(m.parameters) <= 3]
+        if not candidates:
+            candidates = top or list(methods)
+        for index in range(count):
+            kind = rng.choice(list(ComponentKind))
+            callbacks: Dict[str, str] = {}
+            wanted = LIFECYCLE_CALLBACKS[kind]
+            take = rng.randint(1, len(wanted))
+            for callback in rng.sample(wanted, take):
+                method = rng.choice(candidates)
+                callbacks[callback] = str(method.signature)
+            components.append(
+                Component(
+                    name=f"{package}.Comp{index}",
+                    kind=kind,
+                    callbacks=callbacks,
+                    exported=rng.random() < 0.35,
+                    intent_filters=(
+                        ["android.intent.action.MAIN"]
+                        if index == 0
+                        else []
+                    ),
+                )
+            )
+        return components
+
+    # -- method bodies --------------------------------------------------------------
+
+    def _make_method(
+        self,
+        rng: random.Random,
+        signature: MethodSignature,
+        layer_index: int,
+        signatures: Sequence[Sequence[MethodSignature]],
+        globals_: Sequence[GlobalField],
+        knobs: _AppKnobs,
+        inject_leak: bool,
+    ) -> Method:
+        profile = self.profile
+        statement_target = max(
+            profile.min_statements,
+            min(
+                profile.max_statements,
+                int(rng.expovariate(1.0 / profile.mean_statements_per_method))
+                + profile.min_statements // 2,
+            ),
+        )
+
+        # Variable pools: register-style names shared across methods so
+        # the app-wide distinct-name count matches Table I.
+        object_count = rng.randint(
+            profile.object_locals_low, profile.object_locals_high
+        )
+        primitive_count = rng.randint(
+            profile.primitive_locals_low, profile.primitive_locals_high
+        )
+        pool = profile.variable_pool
+        object_names = [f"v{rng.randrange(pool)}" for _ in range(object_count)]
+        object_names = list(dict.fromkeys(object_names)) or ["v0"]
+        taken = set(object_names)
+        primitive_names = []
+        for _ in range(primitive_count):
+            name = f"p{rng.randrange(pool // 4 or 1)}"
+            if name not in taken:
+                primitive_names.append(name)
+                taken.add(name)
+        if not primitive_names:
+            primitive_names = ["p0"]
+
+        parameters = [
+            Parameter(name=f"a{index}", type=ptype)
+            for index, ptype in enumerate(signature.param_types)
+        ]
+        locals_ = [
+            Parameter(name=name, type=ObjectType(rng.choice(OBJECT_CLASSES)))
+            for name in object_names
+        ] + [Parameter(name=name, type=INT) for name in primitive_names]
+
+        object_vars = [p.name for p in parameters if p.type.is_object] + list(
+            object_names
+        )
+        callees = self._callee_pool(rng, signature, layer_index, signatures)
+
+        builder = _BodyBuilder(
+            rng=rng,
+            profile=profile,
+            object_vars=object_vars,
+            primitive_vars=primitive_names,
+            globals_=[g.name for g in globals_],
+            callees=callees,
+            returns_object=signature.return_type.is_object,
+            knobs=knobs,
+        )
+        statements = builder.build(statement_target, inject_leak)
+        return Method(
+            signature=signature,
+            parameters=parameters,
+            locals=locals_,
+            statements=statements,
+            handlers=builder.handlers,
+        )
+
+    def _callee_pool(
+        self,
+        rng: random.Random,
+        signature: MethodSignature,
+        layer_index: int,
+        signatures: Sequence[Sequence[MethodSignature]],
+    ) -> List[Tuple[str, int, bool]]:
+        """(callee signature, arity, returns object) call targets."""
+        profile = self.profile
+        pool: List[Tuple[str, int, bool]] = []
+        if profile.calls_per_method <= 0 or layer_index == 0:
+            call_budget = 0
+        else:
+            # Non-leaf methods always call at least one lower-layer
+            # method; the env-rooted ICFG then covers the app the way
+            # real lifecycle code does.
+            call_budget = max(1, round(rng.expovariate(1.0 / profile.calls_per_method)))
+        for _ in range(call_budget):
+            if rng.random() >= profile.recursion_probability:
+                # Prefer the adjacent lower layer (call chains, not
+                # star graphs), with occasional deep skips.
+                lower = (
+                    layer_index - 1
+                    if rng.random() < 0.6
+                    else rng.randrange(layer_index)
+                )
+                target = rng.choice(signatures[lower])
+            else:
+                target = signature  # self-recursion
+            pool.append(
+                (
+                    str(target),
+                    len(target.param_types),
+                    target.return_type.is_object,
+                )
+            )
+        return pool
+
+
+class _BodyBuilder:
+    """Generates one method body with valid labels and jump targets."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        profile: GeneratorProfile,
+        object_vars: List[str],
+        primitive_vars: List[str],
+        globals_: List[str],
+        callees: List[Tuple[str, int, bool]],
+        returns_object: bool,
+        knobs: Optional[_AppKnobs] = None,
+    ) -> None:
+        self.rng = rng
+        self.profile = profile
+        self.knobs = knobs or _AppKnobs(
+            loop_probability=profile.loop_probability,
+            store_bias=1.0,
+            catch_probability=profile.catch_probability,
+            relay_bias=1.0,
+        )
+        self.object_vars = object_vars
+        self.primitive_vars = primitive_vars
+        self.globals = globals_
+        self.callees = callees
+        self.returns_object = returns_object
+        self.statements: List[Statement] = []
+        self.handlers: List[ExceptionHandler] = []
+        #: Labels the handler injector must not clobber (the injected
+        #: source->sink chain must stay intact).
+        self.protected_labels: set = set()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _label(self) -> str:
+        return f"L{len(self.statements)}"
+
+    def _ovar(self) -> str:
+        return self.rng.choice(self.object_vars)
+
+    def _pvar(self) -> str:
+        return self.rng.choice(self.primitive_vars)
+
+    def _field(self) -> str:
+        return self.rng.choice(FIELD_NAMES)
+
+    def _global(self) -> Optional[str]:
+        return self.rng.choice(self.globals) if self.globals else None
+
+    # -- statement emitters ------------------------------------------------------
+
+    def _emit_assignment(self) -> Statement:
+        rng = self.rng
+        label = self._label()
+        lhs = self._ovar()
+        roll = rng.random()
+        if roll < 0.16:
+            rhs = NewExpr(allocated=ObjectType(rng.choice(OBJECT_CLASSES)))
+        elif roll < 0.34:
+            rhs = VariableNameExpr(name=self._ovar())
+        elif roll < 0.46:
+            rhs = AccessExpr(base=self._ovar(), field_name=self._field())
+        elif roll < 0.54:
+            rhs = LiteralExpr(value=rng.choice(
+                ("token", "payload", "cfg", "uri")
+            ))
+        elif roll < 0.60 and self.globals:
+            name = self._global()
+            owner, _, field_name = name.rpartition(".")
+            rhs = StaticFieldAccessExpr(owner=owner, field_name=field_name)
+        elif roll < 0.66:
+            rhs = CastExpr(target=OBJECT, operand=self._ovar())
+        elif roll < 0.72:
+            rhs = IndexingExpr(base=self._ovar(), index=self._pvar())
+        elif roll < 0.76:
+            rhs = NullExpr()
+        elif roll < 0.79:
+            rhs = ConstClassExpr(referenced=ObjectType(rng.choice(OBJECT_CLASSES)))
+        elif roll < 0.82:
+            rhs = TupleExpr(elements=(self._ovar(), self._ovar()))
+        else:
+            # Primitive-valued expressions write primitive locals.
+            lhs = self._pvar()
+            kind = rng.random()
+            if kind < 0.18:
+                # Integer constants (dex const/16 etc.) -- also what
+                # gives the IDE constant-propagation client real work.
+                rhs = LiteralExpr(value=rng.choice((0, 1, 2, 8, 64, 1024)))
+            elif kind < 0.45:
+                rhs = BinaryExpr(op=rng.choice("+-*&|^"), left=self._pvar(), right=self._pvar())
+            elif kind < 0.6:
+                rhs = UnaryExpr(op=rng.choice("-!~"), operand=self._pvar())
+            elif kind < 0.75:
+                rhs = CmpExpr(op=rng.choice(("cmp", "cmpl", "cmpg")), left=self._pvar(), right=self._pvar())
+            elif kind < 0.88:
+                rhs = InstanceOfExpr(operand=self._ovar(), tested=OBJECT)
+            else:
+                rhs = LengthExpr(operand=self._ovar())
+        return AssignmentStatement(label=label, lhs=lhs, rhs=rhs)
+
+    def _emit_heap_store(self) -> Statement:
+        rng = self.rng
+        label = self._label()
+        base = self._ovar()
+        value_roll = rng.random()
+        relay_hi = min(0.9, 0.5 + 0.25 * self.knobs.relay_bias)
+        if value_roll < 0.5:
+            rhs = VariableNameExpr(name=self._ovar())
+        elif value_roll < relay_hi:
+            # Cell-to-cell relay (o.f := p.g): facts advance one heap
+            # hop per loop circulation, the slow-convergence pattern
+            # that keeps real points-to analyses iterating.
+            rhs = AccessExpr(base=self._ovar(), field_name=self._field())
+        elif value_roll < min(0.97, relay_hi + 0.17):
+            rhs = NewExpr(allocated=ObjectType(rng.choice(OBJECT_CLASSES)))
+        else:
+            rhs = LiteralExpr(value="blob")
+        if rng.random() < 0.8:
+            access = AccessExpr(base=base, field_name=self._field())
+        else:
+            access = IndexingExpr(base=base, index=self._pvar())
+        return AssignmentStatement(
+            label=label, lhs=base, rhs=rhs, lhs_access=access
+        )
+
+    def _emit_static_store(self) -> Optional[Statement]:
+        name = self._global()
+        if name is None:
+            return None
+        owner, _, field_name = name.rpartition(".")
+        access = StaticFieldAccessExpr(owner=owner, field_name=field_name)
+        return AssignmentStatement(
+            label=self._label(),
+            lhs=access.global_slot,
+            rhs=VariableNameExpr(name=self._ovar()),
+            lhs_access=access,
+        )
+
+    def _emit_call(self) -> Optional[Statement]:
+        if not self.callees:
+            return None
+        callee, arity, returns_object = self.rng.choice(self.callees)
+        args = tuple(self._ovar() for _ in range(arity))
+        result = self._ovar() if returns_object and self.rng.random() < 0.7 else None
+        return CallStatement(
+            label=self._label(), callee=callee, args=args, result=result
+        )
+
+    def _emit_external_call(self, api: str, result: Optional[str]) -> Statement:
+        signature_end = api.rindex("(")
+        blob = api[signature_end + 1 : api.rindex(")")]
+        arity = len(_split_params(blob))
+        args = tuple(self._ovar() for _ in range(arity))
+        return CallStatement(
+            label=self._label(), callee=api, args=args, result=result
+        )
+
+    def _emit_icc_send(self) -> Statement:
+        """An inter-component Intent send (exercises the ICC analysis)."""
+        from repro.vetting.sources_sinks import ICC_SEND_APIS
+
+        api = self.rng.choice(sorted(ICC_SEND_APIS))
+        return self._emit_external_call(api, None)
+
+    # -- body assembly --------------------------------------------------------------
+
+    def build(
+        self, statement_target: int, inject_leak: bool
+    ) -> List[Statement]:
+        """Extract the summary from the method's exit OUT facts."""
+        rng = self.rng
+        body_len = max(self.profile.min_statements, statement_target)
+        # Reserve the final slot for the return.
+        interior = body_len - 1
+        emitted = 0
+        emitted_call = False
+        while emitted < interior:
+            roll = rng.random()
+            statement: Optional[Statement] = None
+            bias = self.knobs.store_bias
+            heap_hi = 0.46 + 0.12 * bias
+            static_hi = heap_hi + 0.06 * bias
+            call_hi = static_hi + 0.09
+            if roll < 0.46:
+                statement = self._emit_assignment()
+            elif roll < heap_hi:
+                statement = self._emit_heap_store()
+            elif roll < static_hi:
+                statement = self._emit_static_store()
+            elif roll < call_hi:
+                statement = self._emit_call()
+            elif roll < call_hi + 0.008:
+                statement = self._emit_icc_send()
+            elif roll < call_hi + 0.018:
+                statement = MonitorStatement(
+                    label=self._label(),
+                    enter=rng.random() < 0.5,
+                    operand=self._ovar(),
+                )
+            else:
+                # Control flow is patched in afterwards; emit a nop
+                # placeholder that _wire_control may replace.
+                statement = EmptyStatement(label=self._label())
+            if statement is None:
+                statement = self._emit_assignment()
+            if isinstance(statement, CallStatement) and statement.callee and not statement.callee.startswith(("android.", "java.")):
+                emitted_call = True
+            self.statements.append(statement)
+            emitted += 1
+
+        # A method with internal callees must actually call one of
+        # them, or the call graph silently loses its edges.
+        if self.callees and not emitted_call:
+            statement = self._emit_call()
+            if statement is not None:
+                self.statements.append(statement)
+
+        if inject_leak:
+            self._inject_leak()
+
+        self.statements.append(
+            ReturnStatement(
+                label=self._label(),
+                operand=self._ovar() if self.returns_object else None,
+            )
+        )
+        self._wire_control()
+        self._add_handlers()
+        return self.statements
+
+    def _add_handlers(self) -> None:
+        """Install Dalvik-style try/catch regions.
+
+        The handler statement becomes an ``x := Exception`` catch head;
+        the covered range gains exceptional edges from every throwing
+        statement, producing the high-fan-in joins real Android CFGs
+        have.
+        """
+        rng = self.rng
+        count = len(self.statements)
+        if count < 8 or rng.random() >= self.knobs.catch_probability:
+            return
+        regions = 1 + (1 if (count > 24 and rng.random() < 0.55) else 0)
+        def is_protected(index: int) -> bool:
+            statement = self.statements[index]
+            if statement.label in self.protected_labels:
+                return True
+            return isinstance(statement, CallStatement) and (
+                statement.callee in SOURCE_APIS or statement.callee in SINK_APIS
+            )
+
+        cursor_min = 0
+        for _ in range(regions):
+            handler_index = rng.randrange(
+                max(cursor_min + 3, (count * 3) // 5), count - 1
+            )
+            for _retry in range(4):
+                if not is_protected(handler_index):
+                    break
+                handler_index = rng.randrange(
+                    max(cursor_min + 3, (count * 3) // 5), count - 1
+                )
+            if is_protected(handler_index):
+                continue
+            start_index = rng.randrange(cursor_min, max(cursor_min + 1, handler_index // 3))
+            end_index = rng.randrange(
+                max(start_index, handler_index * 2 // 3), handler_index
+            )
+            labels = [s.label for s in self.statements]
+            self.statements[handler_index] = AssignmentStatement(
+                label=labels[handler_index],
+                lhs=self._ovar(),
+                rhs=ExceptionExpr(),
+            )
+            self.handlers.append(
+                ExceptionHandler(
+                    start=labels[start_index],
+                    end=labels[end_index],
+                    handler=labels[handler_index],
+                )
+            )
+            cursor_min = min(handler_index + 1, count - 4)
+            if cursor_min >= count - 4:
+                break
+
+    def _inject_leak(self) -> None:
+        """Append a genuine source -> sink flow for the vetting layer."""
+        rng = self.rng
+        first_injected = len(self.statements)
+        carrier = self._ovar()
+        source = rng.choice(SOURCE_APIS)
+        sink = rng.choice(SINK_APIS)
+        self.statements.append(self._emit_external_call(source, carrier))
+        # Launder through a field to exercise the heap path.
+        helper = self._ovar()
+        self.statements.append(
+            AssignmentStatement(
+                label=self._label(),
+                lhs=helper,
+                rhs=NewExpr(allocated=ObjectType("java.lang.StringBuilder")),
+            )
+        )
+        self.statements.append(
+            AssignmentStatement(
+                label=self._label(),
+                lhs=helper,
+                rhs=VariableNameExpr(name=helper),
+                lhs_access=AccessExpr(base=helper, field_name="fData"),
+            )
+        )
+        store = self.statements.pop()
+        # fData <- carrier (the tainted value), not helper itself.
+        self.statements.append(
+            AssignmentStatement(
+                label=store.label,
+                lhs=helper,
+                rhs=VariableNameExpr(name=carrier),
+                lhs_access=AccessExpr(base=helper, field_name="fData"),
+            )
+        )
+        loaded = self._ovar()
+        self.statements.append(
+            AssignmentStatement(
+                label=self._label(),
+                lhs=loaded,
+                rhs=AccessExpr(base=helper, field_name="fData"),
+            )
+        )
+        self.statements.append(self._emit_external_call(sink, None))
+        sink_call = self.statements.pop()
+        assert isinstance(sink_call, CallStatement)
+        args = (loaded,) + sink_call.args[1:] if sink_call.args else (loaded,)
+        self.statements.append(
+            CallStatement(
+                label=sink_call.label,
+                callee=sink_call.callee,
+                args=args,
+                result=None,
+            )
+        )
+        self.protected_labels.update(
+            statement.label for statement in self.statements[first_injected:]
+        )
+
+    def _wire_control(self) -> None:
+        """Replace some nops with ifs/gotos/switches with valid targets."""
+        rng = self.rng
+        count = len(self.statements)
+        if count < 4:
+            return
+        labels = [s.label for s in self.statements]
+        # Loops: up to max_back_edges conditional back edges; each one
+        # keeps a region of the body re-propagating until its facts
+        # saturate, which is what widens the worklists (Table I's max
+        # worklist length) and drives the iteration counts (Table II).
+        loops_left = 0
+        if rng.random() < self.knobs.loop_probability:
+            loops_left = 1 + (1 if rng.random() < 0.6 else 0) + (
+                1 if rng.random() < 0.3 else 0
+            )
+        whole_body_loop = loops_left > 0
+        for index in range(count - 1):
+            if not isinstance(self.statements[index], EmptyStatement):
+                continue
+            roll = rng.random()
+            if (
+                whole_body_loop
+                and index >= max(2, (count * 3) // 4)
+            ):
+                # The first back edge spans (most of) the body, so every
+                # circulation re-propagates the whole method.
+                target = labels[rng.randrange(max(1, count // 8))]
+                self.statements[index] = IfStatement(
+                    label=labels[index],
+                    condition=self._pvar(),
+                    target=target,
+                )
+                whole_body_loop = False
+                loops_left -= 1
+            elif loops_left and not whole_body_loop and index > 1:
+                target = labels[rng.randrange(max(1, index * 3 // 4))]
+                self.statements[index] = IfStatement(
+                    label=labels[index],
+                    condition=self._pvar(),
+                    target=target,
+                )
+                loops_left -= 1
+            elif roll < 0.5 and index + 2 < count:
+                target = labels[rng.randrange(index + 1, count)]
+                self.statements[index] = IfStatement(
+                    label=labels[index],
+                    condition=self._pvar(),
+                    target=target,
+                )
+            elif roll < 0.62 and index + 2 < count:
+                # Forward goto: skip a small range.
+                target = labels[min(count - 1, index + rng.randint(1, 4))]
+                self.statements[index] = GotoStatement(
+                    label=labels[index], target=target
+                )
+            elif roll < 0.7 and index + 3 < count:
+                case_labels = rng.sample(range(index + 1, count), k=min(2, count - index - 1))
+                self.statements[index] = SwitchStatement(
+                    label=labels[index],
+                    operand=self._pvar(),
+                    cases=tuple(
+                        (value, labels[target])
+                        for value, target in enumerate(sorted(case_labels))
+                    ),
+                    default=labels[index + 1],
+                )
+            elif roll < 0.73:
+                self.statements[index] = ThrowStatement(
+                    label=labels[index], operand=self._ovar()
+                )
+            # else: keep the nop.
+
+
+def _split_params(blob: str) -> List[str]:
+    """Split concatenated descriptors (same logic as the parser's)."""
+    out: List[str] = []
+    i = 0
+    while i < len(blob):
+        start = i
+        while i < len(blob) and blob[i] == "[":
+            i += 1
+        if i < len(blob) and blob[i] == "L":
+            i = blob.index(";", i) + 1
+        else:
+            i += 1
+        out.append(blob[start:i])
+    return out
+
+
+def generate_app(
+    seed: int, profile: Optional[GeneratorProfile] = None
+) -> AndroidApp:
+    """Generate one deterministic synthetic app."""
+    return AppGenerator(profile).generate(seed)

@@ -1,0 +1,49 @@
+"""Filesystem frontend: save/load apps as ``.gdx`` files.
+
+The reproduction's equivalent of "unpack the APK and lift classes.dex":
+apps round-trip through the binary container so analyses can be run
+against on-disk corpora, and the loader validates container integrity
+before handing the IR to the pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.apk.dex import pack_app, unpack_app
+from repro.ir.app import AndroidApp
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_gdx(app: AndroidApp, path: PathLike) -> int:
+    """Write ``app`` to ``path``; returns the byte size written."""
+    blob = pack_app(app)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_gdx(path: PathLike) -> AndroidApp:
+    """Load one app from a ``.gdx`` file."""
+    return unpack_app(Path(path).read_bytes())
+
+
+def load_directory(directory: PathLike) -> Iterator[AndroidApp]:
+    """Load every ``*.gdx`` under ``directory``, sorted by name."""
+    root = Path(directory)
+    for path in sorted(root.glob("*.gdx")):
+        yield load_gdx(path)
+
+
+def save_corpus(apps, directory: PathLike) -> List[Path]:
+    """Write a corpus to ``directory`` as ``app_<index>.gdx`` files."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for index, app in enumerate(apps):
+        path = root / f"app_{index:04d}.gdx"
+        save_gdx(app, path)
+        written.append(path)
+    return written

@@ -1,0 +1,31 @@
+"""Benchmark infrastructure.
+
+* :mod:`repro.bench.harness` -- per-app evaluation: one functional
+  workload, priced under every engine (plain / MAT / MAT+GRP / full
+  GDroid / 10-core CPU / Amandroid), plus profile statistics.
+* :mod:`repro.bench.stats` -- distribution helpers shared by the
+  benchmarks and the calibration tool.
+* :mod:`repro.bench.figures` -- ASCII rendering of paper-vs-measured
+  tables and per-app series (the "figures" of a terminal reproduction).
+"""
+
+from repro.bench.harness import AppEvaluation, evaluate_app, evaluate_corpus
+from repro.bench.report import collect_results, render_markdown_report
+from repro.bench.stats import (
+    describe,
+    percent_below,
+    percent_between,
+    size_mix,
+)
+
+__all__ = [
+    "AppEvaluation",
+    "collect_results",
+    "render_markdown_report",
+    "describe",
+    "evaluate_app",
+    "evaluate_corpus",
+    "percent_below",
+    "percent_between",
+    "size_mix",
+]

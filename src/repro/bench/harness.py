@@ -1,0 +1,155 @@
+"""Per-app evaluation harness.
+
+One :func:`evaluate_app` call builds the functional workload once and
+prices it under every platform -- the exact experiment matrix behind
+the paper's Figures 4 and 8-12 and Tables I-II.  Results are cached
+per (corpus identity, app index) inside a process so multiple
+benchmarks over the same corpus never repeat the functional run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.apk.corpus import AppCorpus
+from repro.bench.stats import size_mix
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload, GDroid
+from repro.cpu.amandroid import AmandroidModel
+from repro.cpu.multicore import MulticoreWorklist
+from repro.ir.app import AndroidApp
+
+
+@dataclass(frozen=True)
+class AppEvaluation:
+    """Every number one app contributes to the paper's evaluation."""
+
+    package: str
+    category: str
+    # Table I
+    cfg_nodes: int
+    methods: int
+    variables: int
+    max_worklist: int
+    # Modeled times (seconds)
+    plain_s: float
+    mat_s: float
+    grp_s: float
+    full_s: float
+    cpu_s: float
+    ama_total_s: float
+    ama_idfg_s: float
+    # Fig. 10
+    set_mem: int
+    mat_mem: int
+    # Table II
+    iterations_sync: int
+    iterations_mer: int
+    visits_sync: int
+    visits_mer: int
+    wl_mix_sync: Tuple[int, int, int]
+    wl_mix_mer: Tuple[int, int, int]
+
+    # -- derived ratios (the figures' y-axes) ---------------------------------
+
+    @property
+    def plain_vs_cpu(self) -> float:
+        """Fig. 4: plain-GPU speedup over the 10-core CPU."""
+        return self.cpu_s / self.plain_s
+
+    @property
+    def mat_speedup(self) -> float:
+        """Fig. 9: MAT over plain."""
+        return self.plain_s / self.mat_s
+
+    @property
+    def grp_speedup(self) -> float:
+        """Fig. 11: MAT+GRP over MAT."""
+        return self.mat_s / self.grp_s
+
+    @property
+    def mer_speedup(self) -> float:
+        """Fig. 12: full GDroid over MAT+GRP."""
+        return self.grp_s / self.full_s
+
+    @property
+    def gdroid_speedup(self) -> float:
+        """Fig. 8: full GDroid over plain."""
+        return self.plain_s / self.full_s
+
+    @property
+    def memory_ratio(self) -> float:
+        """Fig. 10: matrix footprint / set footprint."""
+        return self.mat_mem / self.set_mem if self.set_mem else 0.0
+
+    @property
+    def idfg_fraction(self) -> float:
+        """Fig. 1: IDFG share of Amandroid's total."""
+        return self.ama_idfg_s / self.ama_total_s if self.ama_total_s else 0.0
+
+
+#: The four GPU configurations of the cumulative evaluation.
+_CONFIGS = {
+    "plain": GDroidConfig.plain(),
+    "mat": GDroidConfig.mat_only(),
+    "grp": GDroidConfig.mat_grp(),
+    "full": GDroidConfig.all_optimizations(),
+}
+
+
+def evaluate_app(
+    app: AndroidApp, workload: Optional[AppWorkload] = None
+) -> AppEvaluation:
+    """Run the full experiment matrix for one app."""
+    workload = workload or AppWorkload.build(app)
+    priced = {
+        name: GDroid(config).price(workload)
+        for name, config in _CONFIGS.items()
+    }
+    cpu = MulticoreWorklist().analyze(workload)
+    amandroid = AmandroidModel().analyze(workload)
+    profile = workload.profile
+    return AppEvaluation(
+        package=app.package,
+        category=app.category,
+        cfg_nodes=profile.cfg_nodes,
+        methods=profile.methods,
+        variables=profile.variables,
+        max_worklist=profile.max_worklist,
+        plain_s=priced["plain"].modeled_time_s,
+        mat_s=priced["mat"].modeled_time_s,
+        grp_s=priced["grp"].modeled_time_s,
+        full_s=priced["full"].modeled_time_s,
+        cpu_s=cpu.modeled_time_s,
+        ama_total_s=amandroid.total_seconds,
+        ama_idfg_s=amandroid.idfg_seconds,
+        set_mem=workload.set_store_footprint(),
+        mat_mem=workload.matrix_store_footprint(),
+        iterations_sync=profile.iterations_sync,
+        iterations_mer=profile.iterations_mer,
+        visits_sync=profile.visits_sync,
+        visits_mer=profile.visits_mer,
+        wl_mix_sync=size_mix(profile.worklist_sizes_sync),
+        wl_mix_mer=size_mix(profile.worklist_sizes_mer),
+    )
+
+
+#: Process-wide evaluation cache: (base_seed, size, scale, index) -> row.
+_CACHE: Dict[Tuple[int, int, float, int], AppEvaluation] = {}
+
+
+def evaluate_corpus(
+    corpus: AppCorpus, limit: Optional[int] = None
+) -> List[AppEvaluation]:
+    """Evaluate a corpus slice with process-level caching."""
+    count = min(limit or corpus.size, corpus.size)
+    rows: List[AppEvaluation] = []
+    for index in range(count):
+        key = (corpus.base_seed, corpus.size, corpus.profile.scale, index)
+        row = _CACHE.get(key)
+        if row is None:
+            row = evaluate_app(corpus.app(index))
+            _CACHE[key] = row
+        rows.append(row)
+    return rows

@@ -1,0 +1,54 @@
+"""Distribution helpers for benchmark reporting."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percent_below(values: Sequence[float], threshold: float) -> float:
+    """Percentage of values strictly below ``threshold``."""
+    if not values:
+        return 0.0
+    return 100.0 * sum(1 for v in values if v < threshold) / len(values)
+
+
+def percent_between(
+    values: Sequence[float], low: float, high: float
+) -> float:
+    """Percentage of values in ``[low, high)``."""
+    if not values:
+        return 0.0
+    return 100.0 * sum(1 for v in values if low <= v < high) / len(values)
+
+
+def size_mix(sizes: Iterable[int]) -> Tuple[int, int, int]:
+    """Worklist-size buckets used by Table II: (<=32, 33-64, >64)."""
+    le32 = mid = gt64 = 0
+    for size in sizes:
+        if size <= 32:
+            le32 += 1
+        elif size <= 64:
+            mid += 1
+        else:
+            gt64 += 1
+    return le32, mid, gt64
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Five-number-ish summary used across the benchmark printouts."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "median": 0.0}
+    ordered = sorted(values)
+    return {
+        "n": len(values),
+        "mean": statistics.mean(values),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "median": ordered[len(ordered) // 2],
+    }
+
+
+def sorted_descending(values: Sequence[float]) -> List[float]:
+    """The paper's figures sort apps by descending metric."""
+    return sorted(values, reverse=True)

@@ -1,0 +1,36 @@
+"""Control-flow substrates: intra-CFG, call graph, environments, ICFG.
+
+Pipeline order:
+
+1. :mod:`repro.cfg.intra` builds one statement-granularity CFG per
+   method body.
+2. :mod:`repro.cfg.environment` synthesizes the per-component
+   environment method that over-approximates the Android framework's
+   lifecycle driving (Amandroid's ``E_C`` from the paper's Eq. 1).
+3. :mod:`repro.cfg.callgraph` links call sites to callees, condenses
+   recursion into SCCs, and computes the bottom-up SBDA layers that the
+   GPU implementation maps to thread-blocks.
+4. :mod:`repro.cfg.icfg` stitches everything into the
+   Inter-procedural Control-Flow Graph used by the IDFG definition.
+"""
+
+from repro.cfg.callgraph import CallGraph, SBDALayering
+from repro.cfg.dominators import DominatorTree, loop_nesting_depth, natural_loops
+from repro.cfg.environment import app_with_environments, synthesize_environments
+from repro.cfg.icfg import ICFG, ICFGNode, build_icfg
+from repro.cfg.intra import IntraCFG, build_intra_cfg
+
+__all__ = [
+    "CallGraph",
+    "DominatorTree",
+    "ICFG",
+    "ICFGNode",
+    "IntraCFG",
+    "SBDALayering",
+    "app_with_environments",
+    "build_icfg",
+    "build_intra_cfg",
+    "loop_nesting_depth",
+    "natural_loops",
+    "synthesize_environments",
+]

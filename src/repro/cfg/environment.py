@@ -1,0 +1,137 @@
+"""Environment-method synthesis for Android components.
+
+Android components have no ``main``: the framework drives them through
+lifecycle callbacks.  Amandroid's *environment method* ``E_C`` is a
+synthesized method that over-approximates that driving -- it invokes
+every registered callback of component ``C``, in lifecycle order,
+inside a loop so that arbitrary repetitions and interleavings are
+covered.  The IDFG of a component is rooted at ``E_C`` (Eq. 1 of the
+paper).
+
+The synthesized method is ordinary IR, so it flows through the normal
+CFG / call-graph / data-flow pipeline with no special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.app import AndroidApp
+from repro.ir.component import Component
+from repro.ir.expressions import NewExpr
+from repro.ir.method import Method, MethodSignature, Parameter
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    IfStatement,
+    ReturnStatement,
+    Statement,
+)
+from repro.ir.types import BUNDLE, INT, INTENT, ObjectType
+
+
+def environment_signature(component: Component) -> MethodSignature:
+    """Signature of the environment method synthesized for ``component``."""
+    return MethodSignature(owner=component.name, name="__env__")
+
+
+def synthesize_environment(component: Component, app: AndroidApp) -> Method:
+    """Build ``E_C`` for one component.
+
+    Shape::
+
+        L0:  intent := new android.content.Intent
+        L1:  extras := new android.os.Bundle
+        L2:  nop                        # loop head
+        L3:  call <callback 1>(this-ish args...)
+        ...
+        Ln:  call <callback k>(...)
+        Ln+1: if cond then goto L2     # framework may re-drive any callback
+        Ln+2: return
+
+    Callback argument lists are truncated/padded against the callee's
+    arity using the environment's own object locals, mirroring how
+    Amandroid feeds framework-created objects (Intents, Bundles) into
+    callbacks.
+    """
+    signature = environment_signature(component)
+    this_type = ObjectType(component.name)
+    locals_: List[Parameter] = [
+        Parameter("env_this", this_type),
+        Parameter("env_intent", INTENT),
+        Parameter("env_extras", BUNDLE),
+        Parameter("env_cond", INT),
+    ]
+    object_args = ["env_this", "env_intent", "env_extras"]
+
+    statements: List[Statement] = []
+    label = 0
+
+    def next_label() -> str:
+        nonlocal label
+        label += 1
+        return f"L{label - 1}"
+
+    statements.append(
+        AssignmentStatement(
+            label=next_label(), lhs="env_this", rhs=NewExpr(allocated=this_type)
+        )
+    )
+    statements.append(
+        AssignmentStatement(
+            label=next_label(), lhs="env_intent", rhs=NewExpr(allocated=INTENT)
+        )
+    )
+    statements.append(
+        AssignmentStatement(
+            label=next_label(), lhs="env_extras", rhs=NewExpr(allocated=BUNDLE)
+        )
+    )
+    loop_head = next_label()
+    statements.append(EmptyStatement(label=loop_head))
+
+    for _callback, callee_signature in component.declared_callbacks():
+        callee = app.method_table[callee_signature]
+        arity = len(callee.parameters)
+        args = tuple(object_args[i % len(object_args)] for i in range(arity))
+        statements.append(
+            CallStatement(
+                label=next_label(),
+                callee=callee_signature,
+                args=args,
+                result=None,
+            )
+        )
+
+    statements.append(
+        IfStatement(label=next_label(), condition="env_cond", target=loop_head)
+    )
+    statements.append(ReturnStatement(label=next_label()))
+
+    return Method(
+        signature=signature,
+        parameters=(),
+        locals=locals_,
+        statements=statements,
+    )
+
+
+def synthesize_environments(app: AndroidApp) -> Dict[str, Method]:
+    """Environment methods for every component, keyed by signature string."""
+    return {
+        str(environment_signature(component)): synthesize_environment(component, app)
+        for component in app.components
+    }
+
+
+def app_with_environments(app: AndroidApp) -> AndroidApp:
+    """A copy of ``app`` whose method table includes the environments."""
+    environments = synthesize_environments(app)
+    return AndroidApp(
+        package=app.package,
+        components=app.components,
+        methods=tuple(app.methods) + tuple(environments.values()),
+        global_fields=app.global_fields,
+        category=app.category,
+    )

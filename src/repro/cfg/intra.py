@@ -1,0 +1,131 @@
+"""Intra-procedural control-flow graph construction.
+
+The analysis operates at statement granularity (each statement is one
+ICFG node -- "each box is an ICFG node" in the paper's Fig. 2), so the
+intra-CFG is simply the statement list plus fall-through and jump
+edges.  Successor/predecessor lists are materialized as tuples for
+cheap iteration in the hot worklist loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.method import Method
+from repro.ir.statements import Statement, may_throw
+
+
+class IntraCFG:
+    """Statement-level CFG of one method.
+
+    Node *i* is ``method.statements[i]``; :attr:`successors` and
+    :attr:`predecessors` are parallel tuples of node-index tuples.
+    ``entry`` is node 0.  Exit nodes are those with no successors
+    (returns, throws, and trailing statements).
+    """
+
+    __slots__ = ("method", "successors", "predecessors", "exits")
+
+    def __init__(
+        self,
+        method: Method,
+        successors: Tuple[Tuple[int, ...], ...],
+        predecessors: Tuple[Tuple[int, ...], ...],
+    ) -> None:
+        self.method = method
+        self.successors = successors
+        self.predecessors = predecessors
+        self.exits: Tuple[int, ...] = tuple(
+            i for i, succ in enumerate(successors) if not succ
+        )
+
+    def __len__(self) -> int:
+        return len(self.method.statements)
+
+    @property
+    def entry(self) -> int:
+        """The entry node (always 0)."""
+        return 0
+
+    def statement(self, node: int) -> Statement:
+        """The statement at a node index."""
+        return self.method.statements[node]
+
+    def edge_count(self) -> int:
+        """Number of CFG edges."""
+        return sum(len(s) for s in self.successors)
+
+    def reachable_nodes(self) -> List[int]:
+        """Nodes reachable from the entry, in BFS discovery order."""
+        if not self.method.statements:
+            return []
+        seen = [False] * len(self)
+        order: List[int] = []
+        frontier = [0]
+        seen[0] = True
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for succ in self.successors[node]:
+                if not seen[succ]:
+                    seen[succ] = True
+                    frontier.append(succ)
+        return order
+
+    def has_back_edge(self) -> bool:
+        """True when any edge targets an earlier body position (a loop)."""
+        return any(
+            succ <= node
+            for node, successors in enumerate(self.successors)
+            for succ in successors
+        )
+
+
+def build_intra_cfg(method: Method) -> IntraCFG:
+    """Build the statement-level CFG of ``method``.
+
+    Edges follow the statement semantics: fall-through unless the
+    statement never falls through (goto / return / throw / full
+    switch), plus one edge per explicit jump target, plus one
+    *exceptional* edge to the enclosing catch handler for every
+    statement that may throw (Dalvik-style; these high-fan-in handler
+    joins are a large part of why real Android worklists are wide).
+    Duplicate edges (e.g. a conditional jump to the next statement)
+    are collapsed.
+    """
+    statements = method.statements
+    count = len(statements)
+    handler_ranges = [
+        (
+            method.index_of(handler.start),
+            method.index_of(handler.end),
+            method.index_of(handler.handler),
+        )
+        for handler in method.handlers
+    ]
+    successor_sets: List[List[int]] = [[] for _ in range(count)]
+    for index, statement in enumerate(statements):
+        targets: List[int] = []
+        if statement.falls_through and index + 1 < count:
+            targets.append(index + 1)
+        for label in statement.jump_targets():
+            targets.append(method.index_of(label))
+        if may_throw(statement):
+            for start, end, handler in handler_ranges:
+                if start <= index <= end and handler != index:
+                    targets.append(handler)
+        seen: Dict[int, None] = {}
+        for target in targets:
+            seen.setdefault(target, None)
+        successor_sets[index] = list(seen)
+
+    predecessor_sets: List[List[int]] = [[] for _ in range(count)]
+    for index, successors in enumerate(successor_sets):
+        for successor in successors:
+            predecessor_sets[successor].append(index)
+
+    return IntraCFG(
+        method=method,
+        successors=tuple(tuple(s) for s in successor_sets),
+        predecessors=tuple(tuple(p) for p in predecessor_sets),
+    )

@@ -1,0 +1,227 @@
+"""``gdroid`` command-line interface.
+
+Subcommands::
+
+    gdroid generate  --seed 7 --out app.gdx [--scale 1.0]
+    gdroid analyze   app.gdx [--config plain|mat|mat-grp|full] [--all]
+    gdroid vet       app.gdx
+    gdroid corpus    --apps 20 [--scale 1.0]      # Table I statistics
+    gdroid bench     --apps 12 [--scale 1.0]      # headline figure rows
+
+All times are *modeled* seconds on the simulated Tesla P40 / Xeon
+hosts; see DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Optional, Sequence
+
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile, generate_app
+from repro.apk.loader import load_gdx, save_gdx
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload, GDroid
+from repro.cpu.multicore import MulticoreWorklist
+from repro.vetting.report import vet_workload
+
+_CONFIGS = {
+    "plain": GDroidConfig.plain,
+    "mat": GDroidConfig.mat_only,
+    "mat-grp": GDroidConfig.mat_grp,
+    "full": GDroidConfig.all_optimizations,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gdroid",
+        description="GDroid reproduction: GPU-accelerated Android static "
+        "data-flow analysis (IPDPS 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic app")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--out", required=True, help="output .gdx path")
+
+    analyze = sub.add_parser("analyze", help="build an app's IDFG")
+    analyze.add_argument("app", help="input .gdx path")
+    analyze.add_argument(
+        "--config", choices=sorted(_CONFIGS), default="full"
+    )
+    analyze.add_argument(
+        "--all", action="store_true", help="price every configuration"
+    )
+    analyze.add_argument(
+        "--timeline",
+        default=None,
+        help="write a chrome://tracing JSON of the kernel schedule",
+    )
+
+    vet = sub.add_parser("vet", help="security-vet an app")
+    vet.add_argument("app", help="input .gdx path")
+
+    corpus = sub.add_parser("corpus", help="corpus statistics (Table I)")
+    corpus.add_argument("--apps", type=int, default=20)
+    corpus.add_argument("--scale", type=float, default=1.0)
+
+    bench = sub.add_parser("bench", help="headline figure rows")
+    bench.add_argument("--apps", type=int, default=12)
+    bench.add_argument("--scale", type=float, default=1.0)
+
+    report = sub.add_parser(
+        "report", help="aggregate persisted benchmark results to markdown"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="results directory"
+    )
+    report.add_argument("--out", default=None, help="write to file instead of stdout")
+    report.add_argument(
+        "--apps", type=int, default=0,
+        help="also evaluate a fresh corpus slice for the headline summary",
+    )
+
+    tune = sub.add_parser("tune", help="auto-tune execution parameters")
+    tune.add_argument("app", help="input .gdx path")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    app = generate_app(args.seed, GeneratorProfile(scale=args.scale))
+    nbytes = save_gdx(app, args.out)
+    print(
+        f"wrote {args.out}: {app.package}, {app.method_count()} methods, "
+        f"{app.statement_count()} statements, {nbytes} bytes"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    app = load_gdx(args.app)
+    workload = AppWorkload.build(app)
+    names = sorted(_CONFIGS) if args.all else [args.config]
+    print(
+        f"{app.package}: IDFG {workload.idfg.node_count()} nodes, "
+        f"{workload.idfg.total_fact_count()} facts"
+    )
+    last_result = None
+    for name in names:
+        last_result = GDroid(_CONFIGS[name]()).price(workload)
+        print(
+            f"  {name:8s} {last_result.modeled_time_s * 1e3:10.3f} ms  "
+            f"mem {last_result.memory_bytes / 1e6:7.2f} MB  "
+            f"iters {last_result.iterations}"
+        )
+    cpu = MulticoreWorklist().analyze(workload)
+    print(f"  {'cpu':8s} {cpu.modeled_time_s * 1e3:10.3f} ms  (10-core host)")
+    if args.timeline and last_result is not None:
+        from repro.gpu.timeline import export_chrome_trace
+
+        count = export_chrome_trace(last_result.kernels, args.timeline)
+        print(f"  wrote {args.timeline} ({count} trace events)")
+    return 0
+
+
+def _cmd_vet(args: argparse.Namespace) -> int:
+    app = load_gdx(args.app)
+    workload = AppWorkload.build(app)
+    result = GDroid(GDroidConfig.all_optimizations()).price(workload)
+    report = vet_workload(app, workload, analysis_time_s=result.modeled_time_s)
+    print(report.summary())
+    return 0 if not report.is_suspicious else 2
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = AppCorpus(
+        size=args.apps, profile=GeneratorProfile(scale=args.scale)
+    )
+    stats = corpus.stats()
+    print(f"corpus of {stats.apps} apps (paper Table I in parentheses):")
+    for key, paper in (
+        ("no. of CFG Nodes", 6217),
+        ("no. of Methods", 268),
+        ("no. of Variable", 116),
+    ):
+        print(f"  {key:20s} {stats.as_table1()[key]:8.0f}  ({paper})")
+    print("  categories:", dict(sorted(stats.categories.items())))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.harness import evaluate_corpus
+
+    corpus = AppCorpus(
+        size=args.apps, profile=GeneratorProfile(scale=args.scale)
+    )
+    rows = evaluate_corpus(corpus)
+    mean = statistics.mean
+    print(f"headline rows over {len(rows)} apps (paper in parentheses):")
+    print(f"  plain GPU vs CPU     {mean(r.plain_vs_cpu for r in rows):6.2f}x  (1.81x)")
+    print(f"  MAT vs plain         {mean(r.mat_speedup for r in rows):6.1f}x  (26.7x)")
+    print(f"  GRP over MAT         {mean(r.grp_speedup for r in rows):6.2f}x  (~1.43x)")
+    print(f"  MER over MAT+GRP     {mean(r.mer_speedup for r in rows):6.2f}x  (1.94x)")
+    print(f"  GDroid vs plain      {mean(r.gdroid_speedup for r in rows):6.1f}x  (71.3x)")
+    print(f"  memory matrix/set    {mean(r.memory_ratio for r in rows):6.2f}   (0.25)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.report import render_markdown_report
+
+    rows = None
+    if args.apps:
+        from repro.bench.harness import evaluate_corpus
+
+        corpus = AppCorpus(size=args.apps)
+        rows = evaluate_corpus(corpus)
+    text = render_markdown_report(Path(args.results), rows)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(text)} chars)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.autotune import AutoTuner
+
+    app = load_gdx(args.app)
+    result = AutoTuner().tune(app)
+    print(f"{app.package}: swept {len(result.samples)} candidates")
+    for sample in sorted(result.samples, key=lambda s: s.modeled_time_s)[:5]:
+        print(
+            f"  methods/block={sample.methods_per_block} "
+            f"blocks/SM={sample.blocks_per_sm}: "
+            f"{sample.modeled_time_s * 1e3:8.3f} ms"
+        )
+    print(
+        f"optimum: {result.best.methods_per_block} methods/block, "
+        f"{result.best.blocks_per_sm} blocks/SM"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "vet": _cmd_vet,
+        "corpus": _cmd_corpus,
+        "bench": _cmd_bench,
+        "report": _cmd_report,
+        "tune": _cmd_tune,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

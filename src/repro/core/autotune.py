@@ -1,0 +1,103 @@
+"""Auto-tuning of the execution parameters (the paper's future work).
+
+Section V: "We currently manually tune the parameters.  Empirically
+4-5 thread-blocks/SM achieves optimal GPU utilization ... we assign
+multiple methods (usually 3-4) to one block ... We leave the
+auto-tuning design as future work."
+
+:class:`AutoTuner` implements that future work as an exhaustive sweep
+over the two parameters.  Because ``methods_per_block`` changes the
+block partition, each candidate rebuilds the (functional) workload;
+``blocks_per_sm`` only re-prices, so candidates share workloads per
+methods-per-block value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GDroidConfig, TuningParameters
+from repro.core.engine import AppWorkload, GDroid
+from repro.ir.app import AndroidApp
+
+
+@dataclass(frozen=True)
+class TuningSample:
+    """One evaluated candidate."""
+
+    methods_per_block: int
+    blocks_per_sm: int
+    modeled_time_s: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Sweep outcome: the winner plus the full grid for reporting."""
+
+    best: TuningParameters
+    best_time_s: float
+    samples: Tuple[TuningSample, ...]
+
+    def grid(self) -> Dict[Tuple[int, int], float]:
+        """(methods/block, blocks/SM) -> modeled seconds mapping."""
+        return {
+            (s.methods_per_block, s.blocks_per_sm): s.modeled_time_s
+            for s in self.samples
+        }
+
+
+class AutoTuner:
+    """Exhaustive sweep over (methods_per_block, blocks_per_sm)."""
+
+    def __init__(
+        self,
+        config: Optional[GDroidConfig] = None,
+        methods_per_block_range: Sequence[int] = (1, 2, 3, 4, 6, 8),
+        blocks_per_sm_range: Sequence[int] = (1, 2, 3, 4, 5, 6, 8),
+    ) -> None:
+        self.config = config or GDroidConfig.all_optimizations()
+        self.methods_per_block_range = tuple(methods_per_block_range)
+        self.blocks_per_sm_range = tuple(blocks_per_sm_range)
+
+    def tune(self, app: AndroidApp) -> TuningResult:
+        """Sweep the grid and return the best parameters."""
+        samples: List[TuningSample] = []
+        best: Optional[TuningSample] = None
+        for methods_per_block in self.methods_per_block_range:
+            tuning = TuningParameters(
+                methods_per_block=methods_per_block, blocks_per_sm=1
+            )
+            workload = AppWorkload.build(
+                app, tuning=tuning, record_mer=self.config.use_mer
+            )
+            for blocks_per_sm in self.blocks_per_sm_range:
+                candidate = GDroidConfig(
+                    use_mat=self.config.use_mat,
+                    use_grp=self.config.use_grp,
+                    use_mer=self.config.use_mer,
+                    tuning=TuningParameters(
+                        methods_per_block=methods_per_block,
+                        blocks_per_sm=blocks_per_sm,
+                    ),
+                    spec=self.config.spec,
+                    costs=self.config.costs,
+                )
+                result = GDroid(candidate).price(workload)
+                sample = TuningSample(
+                    methods_per_block=methods_per_block,
+                    blocks_per_sm=blocks_per_sm,
+                    modeled_time_s=result.modeled_time_s,
+                )
+                samples.append(sample)
+                if best is None or sample.modeled_time_s < best.modeled_time_s:
+                    best = sample
+        assert best is not None
+        return TuningResult(
+            best=TuningParameters(
+                methods_per_block=best.methods_per_block,
+                blocks_per_sm=best.blocks_per_sm,
+            ),
+            best_time_s=best.modeled_time_s,
+            samples=tuple(samples),
+        )

@@ -1,0 +1,367 @@
+"""Functional thread-block runner.
+
+Executes one block's worklist dynamics *for real* -- facts are
+computed with the compiled transfer functions -- while recording the
+:class:`repro.core.trace.BlockTrace` that the kernel cost adapters
+price.  Two dynamics variants exist:
+
+* **synchronous** (paper Alg. 2): every iteration processes the whole
+  current worklist; every updated (or never-visited) successor is
+  appended to the next worklist, duplicates included -- the paper's
+  "redundant node analyses".
+* **merging** (MER, paper Alg. 3 / Fig. 7): only the *head list*
+  (largest multiple of the warp size, or everything when a single warp
+  suffices) is processed; the postponed tail is merged with the newly
+  discovered destinations, with repetitions removed.
+
+Both converge to the same least fixed point (transfer functions are
+monotone over a finite lattice, and every pending node is eventually
+processed), which the test-suite verifies against the sequential
+oracle.
+
+Recursive SCC blocks iterate whole rounds until their joint summaries
+stabilize; the recorded trace is the final round's, and
+``summary_rounds`` tells the cost adapters how many rounds to charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cfg.intra import IntraCFG, build_intra_cfg
+from repro.core.blocks import BlockAssignment
+from repro.core.grouping import (
+    access_group,
+    branch_class_id,
+    grouped_storage_order,
+)
+from repro.core.trace import BlockTrace, IterationRecord, NodeMeta, VisitRecord
+from repro.dataflow.facts import FactSpace
+from repro.dataflow.idfg import MethodFacts
+from repro.dataflow.summaries import MethodSummary, SummaryBuilder
+from repro.dataflow.transfer import TransferFunctions
+from repro.ir.app import AndroidApp
+
+#: CUDA warp size; the head-list granularity of MER.
+WARP_SIZE = 32
+
+
+@dataclass
+class BlockResult:
+    """Everything one block run produces."""
+
+    assignment: BlockAssignment
+    method_facts: Dict[str, MethodFacts]
+    summaries: Dict[str, MethodSummary]
+    #: Synchronous-dynamics trace (plain / MAT / MAT+GRP configs).
+    trace_sync: BlockTrace
+    #: Merging-dynamics trace (MER configs); None when not requested.
+    trace_mer: Optional[BlockTrace]
+    #: Initial (entry-seed) fact sizes per block node: (node, size).
+    seed_sizes: Tuple[Tuple[int, int], ...] = ()
+
+
+class _MethodState:
+    """Per-method analysis machinery inside a block."""
+
+    __slots__ = ("signature", "method", "cfg", "space", "transfer", "offset")
+
+    def __init__(self, app: AndroidApp, signature: str, summaries, offset: int):
+        self.signature = signature
+        self.method = app.method_table[signature]
+        self.cfg = build_intra_cfg(self.method)
+        footprints = {
+            sig: summary.footprint() for sig, summary in summaries.items()
+        }
+        self.space = FactSpace(self.method, footprints)
+        self.transfer = TransferFunctions(self.space, summaries)
+        self.offset = offset
+
+
+class BlockRunner:
+    """Run one thread block to its fixed point."""
+
+    def __init__(
+        self,
+        app: AndroidApp,
+        assignment: BlockAssignment,
+        summaries: Mapping[str, MethodSummary],
+        record_mer: bool = True,
+        sort_mer_worklist: bool = True,
+    ) -> None:
+        self.app = app
+        self.assignment = assignment
+        self.base_summaries = dict(summaries)
+        self.record_mer = record_mer
+        self.sort_mer_worklist = sort_mer_worklist
+        self._is_scc = self._detect_scc()
+
+    def _detect_scc(self) -> bool:
+        members = set(self.assignment.methods)
+        for signature in self.assignment.methods:
+            for callee in self.app.method_table[signature].callees():
+                if callee in members:
+                    return True
+        return False
+
+    # -- machinery ---------------------------------------------------------------
+
+    def _build_states(
+        self, summaries: Mapping[str, MethodSummary]
+    ) -> List[_MethodState]:
+        states: List[_MethodState] = []
+        offset = 0
+        for signature in self.assignment.methods:
+            state = _MethodState(self.app, signature, summaries, offset)
+            states.append(state)
+            offset += len(state.method.statements)
+        return states
+
+    def _node_meta(self, states: Sequence[_MethodState]) -> Tuple[NodeMeta, ...]:
+        groups: List[int] = []
+        raw: List[Tuple[_MethodState, int]] = []
+        for state in states:
+            for local in range(len(state.method.statements)):
+                groups.append(access_group(state.transfer, local))
+                raw.append((state, local))
+        grouped_positions = grouped_storage_order(groups)
+        meta: List[NodeMeta] = []
+        for node, (state, local) in enumerate(raw):
+            row_words = max(1, (state.space.fact_universe + 63) // 64)
+            meta.append(
+                NodeMeta(
+                    node=node,
+                    method=state.signature,
+                    local_index=local,
+                    branch_class=branch_class_id(
+                        state.method.statements[local]
+                    ),
+                    group=groups[node],
+                    grouped_position=grouped_positions[node],
+                    successors=tuple(
+                        state.offset + succ
+                        for succ in state.cfg.successors[local]
+                    ),
+                    row_words=row_words,
+                )
+            )
+        return tuple(meta)
+
+    # -- dynamics -------------------------------------------------------------------
+
+    def _run_dynamics(
+        self,
+        states: Sequence[_MethodState],
+        merging: bool,
+        trace: BlockTrace,
+    ) -> List[Set[int]]:
+        """Execute one fixed-point run; returns per-block-node fact sets."""
+        node_count = sum(len(s.method.statements) for s in states)
+        facts: List[Set[int]] = [set() for _ in range(node_count)]
+        visited = [False] * node_count
+        scheduled: Set[int] = set()
+
+        state_of: List[_MethodState] = []
+        local_of: List[int] = []
+        for state in states:
+            for local in range(len(state.method.statements)):
+                state_of.append(state)
+                local_of.append(local)
+
+        worklist: List[int] = []
+        for state in states:
+            if state.method.statements:
+                entry = state.offset
+                facts[entry] = set(state.space.entry_facts())
+                worklist.append(entry)
+                scheduled.add(entry)
+
+        meta = trace.node_meta
+        sort_key = (lambda n: meta[n].group) if (merging and self.sort_mer_worklist) else None
+
+        while worklist:
+            if sort_key is not None:
+                worklist.sort(key=sort_key)
+            size = len(worklist)
+            # MER (Alg. 3 line 8, "nid < 32"): each iteration processes
+            # exactly one full warp; the remainder is the postponed
+            # tail that merges with the new destinations.  Without MER
+            # the whole worklist is processed.
+            head_count = min(size, WARP_SIZE) if merging else size
+            head = worklist[:head_count]
+            tail = worklist[head_count:]
+
+            visits: List[VisitRecord] = []
+            growth: Dict[int, int] = {}
+            destinations: List[int] = []
+            dest_seen: Set[int] = set(tail) if merging else set()
+            #: Facts added to each successor this iteration, and how
+            #: many duplicate insertions we have attributed to them.
+            iter_new: Dict[int, int] = {}
+            iter_inserts: Dict[int, int] = {}
+            nondup_inserts = 0
+            dup_inserts = 0
+
+            for node in head:
+                scheduled.discard(node)
+                state = state_of[node]
+                local = local_of[node]
+                in_set = facts[node]
+                out = state.transfer.out_facts(local, in_set)
+                new_counts: List[int] = []
+                for succ in meta[node].successors:
+                    succ_facts = facts[succ]
+                    before = len(succ_facts)
+                    succ_facts |= out
+                    added = len(succ_facts) - before
+                    new_counts.append(added)
+                    if added:
+                        growth[succ] = len(succ_facts)
+                    # GPU lanes run concurrently: a lane whose atomic
+                    # union added at least one fact observes
+                    # update() == true and inserts the successor --
+                    # even when another lane already inserted it this
+                    # iteration.  Each new fact is attributed to
+                    # exactly one lane, so the number of duplicate
+                    # insertions per successor is bounded by the facts
+                    # it gained this iteration.  This is the paper's
+                    # "redundant node analyses" that MER deduplicates.
+                    if added:
+                        iter_new[succ] = iter_new.get(succ, 0) + added
+                    # Bounded by the lanes that actually touch the
+                    # successor this iteration, and scaled by how much
+                    # it grew (a one-fact nudge rarely races with many
+                    # lanes; a burst of new facts does).
+                    # Bounded per successor: the number of racing
+                    # lanes cannot exceed the facts being added (each
+                    # atomic union attributes a fact to one lane) nor a
+                    # warp's worth of simultaneously racing inserters.
+                    concurrent_dup = (
+                        not added
+                        and succ in growth
+                        and iter_inserts.get(succ, 0)
+                        < min(6 * iter_new.get(succ, 0), 32)
+                    )
+                    if added or concurrent_dup or not visited[succ]:
+                        if merging:
+                            if succ not in dest_seen:
+                                dest_seen.add(succ)
+                                destinations.append(succ)
+                        else:
+                            if added or concurrent_dup or succ not in scheduled:
+                                destinations.append(succ)
+                                scheduled.add(succ)
+                                iter_inserts[succ] = iter_inserts.get(succ, 0) + 1
+                                if concurrent_dup:
+                                    dup_inserts += 1
+                                else:
+                                    nondup_inserts += 1
+                visits.append(
+                    VisitRecord(
+                        node=node,
+                        in_size=len(in_set),
+                        out_size=len(out),
+                        new_facts=tuple(new_counts),
+                        first_visit=not visited[node],
+                    )
+                )
+                visited[node] = True
+
+            trace.iterations.append(
+                IterationRecord(
+                    worklist_size=size,
+                    visits=tuple(visits),
+                    growth=tuple(sorted(growth.items())),
+                    merged=len(destinations) if merging else 0,
+                )
+            )
+            if merging:
+                worklist = destinations + tail
+            else:
+                worklist = destinations
+        return facts
+
+    # -- public API --------------------------------------------------------------------
+
+    def run(self) -> BlockResult:
+        """Execute to completion and return the results."""
+        summaries = dict(self.base_summaries)
+        if self._is_scc:
+            for signature in self.assignment.methods:
+                summaries.setdefault(signature, MethodSummary(signature=signature))
+
+        rounds = 0
+        while True:
+            rounds += 1
+            states = self._build_states(summaries)
+            meta = self._node_meta(states)
+            trace_sync = BlockTrace(
+                block_id=self.assignment.block_id,
+                layer=self.assignment.layer,
+                methods=self.assignment.methods,
+                node_meta=meta,
+            )
+            facts = self._run_dynamics(states, merging=False, trace=trace_sync)
+
+            new_summaries: Dict[str, MethodSummary] = {}
+            method_facts: Dict[str, MethodFacts] = {}
+            for state in states:
+                count = len(state.method.statements)
+                node_facts = tuple(
+                    frozenset(facts[state.offset + local]) for local in range(count)
+                )
+                exit_out: Set[int] = set()
+                for exit_local in state.cfg.exits:
+                    exit_out |= state.transfer.out_facts(
+                        exit_local, facts[state.offset + exit_local]
+                    )
+                method_facts[state.signature] = MethodFacts(
+                    space=state.space,
+                    node_facts=node_facts,
+                    exit_facts=frozenset(exit_out),
+                )
+                new_summaries[state.signature] = SummaryBuilder(
+                    state.space
+                ).build(exit_out)
+
+            if not self._is_scc:
+                break
+            stable = all(
+                new_summaries[sig] == summaries.get(sig)
+                for sig in self.assignment.methods
+            )
+            summaries.update(new_summaries)
+            if stable:
+                break
+        trace_sync.summary_rounds = rounds
+
+        trace_mer: Optional[BlockTrace] = None
+        if self.record_mer:
+            trace_mer = BlockTrace(
+                block_id=self.assignment.block_id,
+                layer=self.assignment.layer,
+                methods=self.assignment.methods,
+                node_meta=meta,
+            )
+            mer_facts = self._run_dynamics(states, merging=True, trace=trace_mer)
+            trace_mer.summary_rounds = rounds
+            # Both dynamics must land on the same fixed point.
+            assert mer_facts == facts, (
+                f"block {self.assignment.block_id}: MER dynamics diverged "
+                "from the synchronous fixed point"
+            )
+
+        seed_sizes = tuple(
+            (state.offset, len(state.space.entry_facts()))
+            for state in states
+            if state.method.statements
+        )
+        return BlockResult(
+            assignment=self.assignment,
+            method_facts=method_facts,
+            summaries=new_summaries,
+            trace_sync=trace_sync,
+            trace_mer=trace_mer,
+            seed_sizes=seed_sizes,
+        )

@@ -1,0 +1,247 @@
+"""Shared trace-pricing machinery for the kernel cost adapters.
+
+Given a :class:`repro.core.trace.BlockTrace` and a
+:class:`repro.core.config.GDroidConfig`, :func:`price_block` replays
+the trace against the GPU simulator's cost rules and returns a
+:class:`repro.gpu.kernel.BlockCost`.  The four bottlenecks map to four
+cost channels:
+
+1. *dynamic allocation* -- set-store configurations replay each
+   iteration's fact-set growth through the capacity-doubling model and
+   charge serialized reallocation stalls; MAT configurations never do.
+2. *branch divergence* -- warp branch classes are the 25 statement/
+   expression classes, or the 3 access-pattern groups under GRP (with
+   the worklist partially sorted so same-group nodes share warps).
+3. *load imbalance* -- every warp, full or nearly empty, pays the
+   fixed warp-issue cost; partial tail warps are pure overhead that
+   MER's trace no longer contains.
+4. *memory irregularity* -- node-record and fact-storage accesses go
+   through the coalescing model; GRP's group-contiguous layout gives
+   neighbouring lanes neighbouring addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import GDroidConfig
+from repro.core.trace import BlockTrace, NodeMeta, VisitRecord
+from repro.dataflow.lattice import GROWTH_FACTOR, INITIAL_CAPACITY
+from repro.gpu.kernel import BlockCost
+from repro.gpu.memory import MemoryModel
+from repro.gpu.spec import CostTable
+from repro.gpu.warp import LaneWork, REGION_FACTS, execute_warp, form_warps
+
+#: Modeled bytes per fact-matrix row touched per visit (a handful of
+#: 64-bit mask words); rows of neighbouring nodes are adjacent, so
+#: lanes on neighbouring nodes coalesce.
+MAT_ROW_BYTES = 32
+
+
+def _lane_for_visit(
+    visit: VisitRecord,
+    all_meta: Sequence[NodeMeta],
+    config: GDroidConfig,
+) -> LaneWork:
+    """Translate one trace visit into the warp lane descriptor."""
+    costs = config.costs
+    meta = all_meta[visit.node]
+    new_total = sum(visit.new_facts)
+
+    if config.use_grp:
+        branch = str(meta.group)
+        storage = meta.grouped_position
+
+        def position(node: int) -> int:
+            return all_meta[node].grouped_position
+
+    else:
+        branch = str(meta.branch_class)
+        storage = meta.node
+
+        def position(node: int) -> int:
+            return node
+
+    if config.use_mat:
+        # Entry lookups in the fixed matrix: compute OUT, then flip the
+        # bits that changed.  One-time generators do their constant GEN
+        # only on the first visit.
+        gen_work = visit.out_size if (meta.group != 0 or visit.first_visit) else 0
+        compute = costs.node_issue_cycles + costs.mat_lookup_cycles * (
+            gen_work + new_total
+        )
+        fact_elements = [storage] + [
+            position(successor) for successor in meta.successors
+        ]
+        fact_accesses = tuple(
+            (REGION_FACTS, element, MAT_ROW_BYTES) for element in fact_elements
+        )
+        return LaneWork(
+            branch_class=branch,
+            compute_cycles=compute,
+            node_element=storage,
+            fact_accesses=fact_accesses,
+            scattered_accesses=0,
+        )
+
+    # Set-based store: scan the node's set, build OUT, then insert into
+    # each successor's set -- pointer-chasing structures whose buckets
+    # land in unrelated segments.
+    compute = (
+        costs.node_issue_cycles
+        + costs.set_scan_cycles_per_entry
+        * (visit.in_size + visit.out_size * max(len(visit.new_facts), 1))
+        + costs.set_insert_cycles * new_total
+    )
+    touched = visit.in_size + new_total
+    scattered = 1 + (touched + 3) // 4
+    return LaneWork(
+        branch_class=branch,
+        compute_cycles=compute,
+        node_element=storage,
+        scattered_accesses=scattered,
+    )
+
+
+class _SetCapacityModel:
+    """Replays fact-set growth through capacity doubling (bottleneck 1)."""
+
+    __slots__ = ("capacities",)
+
+    def __init__(self) -> None:
+        self.capacities: Dict[int, int] = {}
+
+    def grow_to(self, node: int, size: int) -> int:
+        """Returns the number of reallocations this growth triggered."""
+        capacity = self.capacities.get(node, INITIAL_CAPACITY)
+        events = 0
+        while size > capacity:
+            capacity *= GROWTH_FACTOR
+            events += 1
+        if events:
+            self.capacities[node] = capacity
+        elif node not in self.capacities:
+            self.capacities[node] = capacity
+        return events
+
+
+def _sort_cycles(costs: CostTable, n: int) -> float:
+    """Partial bitonic sort of the worklist (GRP's per-iteration fee).
+
+    Bitonic networks run at power-of-two widths with a minimum tile of
+    half a warp, so short worklists still pay a fixed-size network --
+    which is exactly why GRP degrades the small-worklist apps the paper
+    calls out in Fig. 11.
+    """
+    if n <= 1:
+        return 0.0
+    width = max(n, 12)
+    passes = max(1, (width - 1).bit_length())
+    return costs.sort_cycles_per_element * width * passes
+
+
+def price_block(
+    trace: BlockTrace,
+    config: GDroidConfig,
+    seed_sizes: Sequence[Tuple[int, int]] = (),
+) -> BlockCost:
+    """Price one block's trace under ``config``; see module docstring."""
+    costs = config.costs
+    memory = MemoryModel(config.spec)
+    warp_size = config.spec.warp_size
+    meta = trace.node_meta
+
+    compute_cycles = 0.0
+    divergence_cycles = 0.0
+    memory_cycles = 0.0
+    alloc_stall_cycles = 0.0
+    sort_cycles = 0.0
+    sync_cycles = 0.0
+    idle_lane_cycles = 0.0
+    warp_cycles = 0.0
+    total_visits = 0
+
+    capacity_model = _SetCapacityModel()
+    if not config.use_mat:
+        # Seeding the entry fact sets before the first iteration may
+        # already overflow the pre-allocated capacity.
+        seed_events = 0
+        for node, size in seed_sizes:
+            seed_events += capacity_model.grow_to(node, size)
+        alloc_stall_cycles += seed_events * costs.dynamic_alloc_cycles
+
+    for iteration in trace.iterations:
+        visits: Sequence[VisitRecord] = iteration.visits
+        total_visits += len(visits)
+        if config.use_grp:
+            visits = sorted(visits, key=lambda v: meta[v.node].group)
+            sort_cycles += _sort_cycles(costs, iteration.worklist_size)
+
+        lanes = [_lane_for_visit(v, meta, config) for v in visits]
+        for warp in form_warps(lanes, warp_size):
+            execution = execute_warp(warp, costs, memory)
+            compute_cycles += execution.compute_cycles
+            divergence_cycles += execution.divergence_cycles
+            memory_cycles += execution.memory_cycles
+            warp_cycles += costs.warp_base_cycles
+            idle_lane_cycles += (
+                (warp_size - execution.active_lanes) * costs.node_issue_cycles
+            )
+
+        if not config.use_mat:
+            events = 0
+            for node, size in iteration.growth:
+                events += capacity_model.grow_to(node, size)
+            alloc_stall_cycles += events * costs.dynamic_alloc_cycles
+
+        sync_cycles += (
+            costs.iteration_sync_cycles
+            + costs.worklist_op_cycles * len(visits)
+        )
+        if config.use_mer and iteration.merged:
+            sync_cycles += costs.merge_op_cycles * iteration.merged
+
+    rounds = max(1, trace.summary_rounds)
+    factor = float(rounds)
+    total = (
+        compute_cycles
+        + divergence_cycles
+        + memory_cycles
+        + alloc_stall_cycles
+        + sort_cycles
+        + sync_cycles
+        + warp_cycles
+    ) * factor
+
+    return BlockCost(
+        block_id=trace.block_id,
+        cycles=total,
+        iterations=trace.iteration_count * rounds,
+        node_visits=total_visits * rounds,
+        compute_cycles=compute_cycles * factor,
+        divergence_cycles=divergence_cycles * factor,
+        memory_cycles=memory_cycles * factor,
+        alloc_stall_cycles=alloc_stall_cycles * factor,
+        sort_cycles=sort_cycles * factor,
+        sync_cycles=(sync_cycles + warp_cycles) * factor,
+        idle_lane_cycles=idle_lane_cycles * factor,
+    )
+
+
+def set_store_bytes(
+    trace: BlockTrace, seed_sizes: Sequence[Tuple[int, int]]
+) -> int:
+    """Final set-store footprint of one block (Fig. 10, set side)."""
+    from repro.dataflow.lattice import BYTES_PER_ENTRY, SET_HEADER_BYTES
+
+    capacity_model = _SetCapacityModel()
+    for node, size in seed_sizes:
+        capacity_model.grow_to(node, size)
+    for iteration in trace.iterations:
+        for node, size in iteration.growth:
+            capacity_model.grow_to(node, size)
+    total = trace.node_count * SET_HEADER_BYTES
+    for node in range(trace.node_count):
+        capacity = capacity_model.capacities.get(node, INITIAL_CAPACITY)
+        total += capacity * BYTES_PER_ENTRY
+    return total

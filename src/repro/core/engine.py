@@ -1,0 +1,316 @@
+"""The GDroid analysis engine: Android app in, IDFG + modeled time out.
+
+Two-phase design:
+
+1. :class:`AppWorkload` runs the *functional* analysis once per app --
+   environment synthesis, SBDA layering, per-block fixed points with
+   trace recording -- independent of any GPU configuration.
+2. :class:`GDroid` prices a workload under one
+   :class:`repro.core.config.GDroidConfig`: per-layer kernel launches,
+   SM scheduling, dual-buffered staging, memory footprint.
+
+Benchmarks exploit the split to evaluate many configurations against
+one workload; ``GDroid(config).analyze(app)`` does both steps for the
+simple API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cfg.callgraph import CallGraph, SBDALayering
+from repro.cfg.environment import app_with_environments
+from repro.core.blockexec import BlockResult, BlockRunner
+from repro.core.blocks import BlockAssignment, partition_layers
+from repro.core.config import GDroidConfig, TuningParameters
+from repro.core.costing import price_block, set_store_bytes
+from repro.core.gdroid_kernel import select_trace
+from repro.dataflow.idfg import IDFG
+from repro.dataflow.summaries import MethodSummary
+from repro.gpu.kernel import BlockCost, KernelCost
+from repro.gpu.sim import GPUDevice
+from repro.ir.app import AndroidApp
+
+#: Modeled bytes staged to the device per ICFG node: the node record,
+#: statement operands, successor lists and worklist slots.
+STAGED_BYTES_PER_NODE = 256
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate dynamics statistics (Tables I and II)."""
+
+    cfg_nodes: int = 0
+    methods: int = 0
+    variables: int = 0
+    layers: int = 0
+    blocks: int = 0
+    iterations_sync: int = 0
+    iterations_mer: int = 0
+    visits_sync: int = 0
+    visits_mer: int = 0
+    worklist_sizes_sync: List[int] = field(default_factory=list)
+    worklist_sizes_mer: List[int] = field(default_factory=list)
+
+    @property
+    def max_worklist(self) -> int:
+        """Largest worklist observed (sync dynamics)."""
+        return max(self.worklist_sizes_sync, default=0)
+
+
+class AppWorkload:
+    """The functional analysis of one app, ready to be priced."""
+
+    __slots__ = (
+        "app",
+        "analyzed_app",
+        "layering",
+        "partition",
+        "block_results",
+        "summaries",
+        "idfg",
+        "profile",
+        "tuning",
+    )
+
+    def __init__(
+        self,
+        app: AndroidApp,
+        analyzed_app: AndroidApp,
+        layering: SBDALayering,
+        partition: List[List[BlockAssignment]],
+        block_results: List[BlockResult],
+        summaries: Dict[str, MethodSummary],
+        idfg: IDFG,
+        profile: WorkloadProfile,
+        tuning: TuningParameters,
+    ) -> None:
+        self.app = app
+        self.analyzed_app = analyzed_app
+        self.layering = layering
+        self.partition = partition
+        self.block_results = block_results
+        self.summaries = summaries
+        self.idfg = idfg
+        self.profile = profile
+        self.tuning = tuning
+
+    @classmethod
+    def build(
+        cls,
+        app: AndroidApp,
+        tuning: Optional[TuningParameters] = None,
+        record_mer: bool = True,
+    ) -> "AppWorkload":
+        """Run the functional analysis and record all dynamics traces."""
+        tuning = tuning or TuningParameters()
+        analyzed = app_with_environments(app) if app.components else app
+        layering = SBDALayering(CallGraph(analyzed))
+        partition = partition_layers(analyzed, layering, tuning)
+
+        summaries: Dict[str, MethodSummary] = {}
+        block_results: List[BlockResult] = []
+        method_facts = {}
+        for layer_blocks in partition:
+            layer_results: List[BlockResult] = []
+            for assignment in layer_blocks:
+                runner = BlockRunner(
+                    analyzed, assignment, summaries, record_mer=record_mer
+                )
+                result = runner.run()
+                layer_results.append(result)
+                method_facts.update(result.method_facts)
+            # Summaries become visible to the next layer only: blocks
+            # within one layer are independent by construction.
+            for result in layer_results:
+                summaries.update(result.summaries)
+            block_results.extend(layer_results)
+
+        idfg = IDFG(method_facts=method_facts, summaries=summaries)
+
+        profile = WorkloadProfile(
+            cfg_nodes=analyzed.statement_count(),
+            methods=analyzed.method_count(),
+            variables=analyzed.variable_count(),
+            layers=len(layering),
+            blocks=len(block_results),
+        )
+        for result in block_results:
+            sync_rounds = result.trace_sync.summary_rounds
+            profile.iterations_sync += (
+                result.trace_sync.iteration_count * sync_rounds
+            )
+            profile.visits_sync += result.trace_sync.visit_count * sync_rounds
+            # Recursive SCC blocks re-run the recorded dynamics once per
+            # summary round, so their worklist sizes recur too.
+            profile.worklist_sizes_sync.extend(
+                result.trace_sync.worklist_sizes() * sync_rounds
+            )
+            if result.trace_mer is not None:
+                mer_rounds = result.trace_mer.summary_rounds
+                profile.iterations_mer += (
+                    result.trace_mer.iteration_count * mer_rounds
+                )
+                profile.visits_mer += (
+                    result.trace_mer.visit_count * mer_rounds
+                )
+                profile.worklist_sizes_mer.extend(
+                    result.trace_mer.worklist_sizes() * mer_rounds
+                )
+        return cls(
+            app=app,
+            analyzed_app=analyzed,
+            layering=layering,
+            partition=partition,
+            block_results=block_results,
+            summaries=summaries,
+            idfg=idfg,
+            profile=profile,
+            tuning=tuning,
+        )
+
+    # -- memory footprints (Fig. 10) -----------------------------------------------
+
+    def set_store_footprint(self) -> int:
+        """Device bytes of the set-based fact store, app-wide."""
+        return sum(
+            set_store_bytes(result.trace_sync, result.seed_sizes)
+            for result in self.block_results
+        )
+
+    def matrix_store_footprint(self) -> int:
+        """Device bytes of the MAT bit-matrix store, app-wide."""
+        total = 0
+        for result in self.block_results:
+            for facts in result.method_facts.values():
+                node_count = len(facts.node_facts)
+                bits = facts.space.fact_universe * node_count
+                total += (bits + 7) // 8
+        return total
+
+    def staged_bytes(self) -> int:
+        """Host->device image size of this app."""
+        return self.profile.cfg_nodes * STAGED_BYTES_PER_NODE
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of pricing one workload under one configuration."""
+
+    config: GDroidConfig
+    idfg: IDFG
+    kernel_cycles: float
+    transfer_cycles: float
+    breakdown: Mapping[str, float]
+    memory_bytes: int
+    iterations: int
+    visits: int
+    kernels: Tuple[KernelCost, ...] = ()
+
+    @property
+    def total_cycles(self) -> float:
+        """All charged cycles (kernel + exposed transfer)."""
+        return self.kernel_cycles + self.transfer_cycles
+
+    @property
+    def modeled_time_s(self) -> float:
+        """Charged cycles converted to seconds on this spec."""
+        return self.config.spec.cycles_to_seconds(self.total_cycles)
+
+
+class GDroid:
+    """Public analyzer facade.
+
+    >>> result = GDroid(GDroidConfig.all_optimizations()).analyze(app)
+    >>> result.modeled_time_s, result.idfg.total_fact_count()
+    """
+
+    def __init__(self, config: Optional[GDroidConfig] = None) -> None:
+        self.config = config or GDroidConfig.all_optimizations()
+
+    def analyze(
+        self, app_or_workload: Union[AndroidApp, AppWorkload]
+    ) -> AnalysisResult:
+        """Run the model over a built workload."""
+        if isinstance(app_or_workload, AppWorkload):
+            workload = app_or_workload
+        else:
+            workload = AppWorkload.build(
+                app_or_workload,
+                tuning=self.config.tuning,
+                record_mer=self.config.use_mer,
+            )
+        return self.price(workload)
+
+    def price(self, workload: AppWorkload) -> AnalysisResult:
+        """Price an already-built workload under this configuration."""
+        from repro.gpu.occupancy import occupancy
+
+        config = self.config
+        device = GPUDevice(config.spec, config.costs)
+        # Shared memory caps residency: a block's worklists must fit in
+        # the SM's 48 KB, whatever the tuning knob asks for.
+        report = occupancy(
+            workload.profile.max_worklist,
+            config.tuning.blocks_per_sm,
+            config.spec,
+            use_grp=config.use_grp,
+        )
+        blocks_per_sm = report.effective_blocks_per_sm
+
+        kernels: List[KernelCost] = []
+        breakdown: Dict[str, float] = {}
+        iterations = 0
+        visits = 0
+        result_by_block = {
+            result.assignment.block_id: result
+            for result in workload.block_results
+        }
+        for layer_blocks in workload.partition:
+            block_costs: List[BlockCost] = []
+            for assignment in layer_blocks:
+                result = result_by_block[assignment.block_id]
+                trace = select_trace(result, config)
+                cost = price_block(trace, config, result.seed_sizes)
+                block_costs.append(cost)
+                iterations += cost.iterations
+                visits += cost.node_visits
+            if not block_costs:
+                continue
+            kernel = device.launch(block_costs, blocks_per_sm)
+            kernels.append(kernel)
+            for key, value in kernel.breakdown().items():
+                breakdown[key] = breakdown.get(key, 0.0) + value
+
+        kernel_cycles = device.stats.kernel_cycles
+        memory_bytes = (
+            workload.matrix_store_footprint()
+            if config.use_mat
+            else workload.set_store_footprint()
+        )
+        # Stage the app image plus the resident fact store.  When the
+        # total exceeds device memory, the ICFG is processed as
+        # sub-graphs alternating between the two buffers (paper
+        # Section III-A1); the dual-buffer schedule charges whatever
+        # transfer time the kernels cannot hide.
+        from repro.gpu.allocator import DeviceOutOfMemory
+
+        image_bytes = workload.staged_bytes() + memory_bytes
+        try:
+            device.allocator.reserve(image_bytes)
+        except DeviceOutOfMemory:
+            pass  # chunked staging below covers the oversubscription
+        device.stage_input(image_bytes, kernel_cycles)
+
+        return AnalysisResult(
+            config=config,
+            idfg=workload.idfg,
+            kernel_cycles=kernel_cycles,
+            transfer_cycles=device.stats.transfer_cycles,
+            breakdown=breakdown,
+            memory_bytes=memory_bytes,
+            iterations=iterations,
+            visits=visits,
+            kernels=tuple(kernels),
+        )

@@ -1,0 +1,82 @@
+"""GRP: memory-access-pattern node classification (paper Section IV-B).
+
+The original implementation branches on statement/expression type --
+25 classes (8 non-assignment statement categories + 17 assignment
+expression kinds).  GRP observes that once the slot/instance pools are
+pre-determined, only *three* memory access patterns remain:
+
+(i)   **one-time fact-generation** -- ConstClass / Null / Literal (and
+      New / Exception, which behave identically): the node creates its
+      constant facts on the first visit; re-visits only forward.
+(ii)  **single-layer** -- VariableName / StaticFieldAccess / Cast /
+      Tuple reads, returns, plus control statements: one dereference of
+      the fact storage per visit.
+(iii) **double-layer** -- Access / Indexing reads, heap stores, and
+      calls with heap effects: two chained dereferences per visit.
+
+This module derives both classifications for a node; the kernels use
+the 25-way one as the warp branch classes when GRP is off and the
+3-way one when it is on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dataflow.transfer import TransferFunctions
+from repro.ir.expressions import EXPRESSION_KINDS
+from repro.ir.statements import STATEMENT_KINDS, Statement, branch_class
+
+#: The three access-pattern groups.
+GROUP_ONE_TIME = 0
+GROUP_SINGLE_LAYER = 1
+GROUP_DOUBLE_LAYER = 2
+
+ACCESS_GROUP_NAMES = ("one-time", "single-layer", "double-layer")
+
+#: The 25 branch classes of the original grouping, with stable ids.
+BRANCH_CLASSES = tuple(
+    kind for kind in STATEMENT_KINDS if kind != "AssignmentStatement"
+) + EXPRESSION_KINDS
+BRANCH_CLASS_ID: Dict[str, int] = {
+    name: index for index, name in enumerate(BRANCH_CLASSES)
+}
+
+assert len(BRANCH_CLASSES) == 25, "paper counts 8 + 17 = 25 classes"
+
+
+def branch_class_id(statement: Statement) -> int:
+    """0..24 branch class under the original statement-type grouping."""
+    return BRANCH_CLASS_ID[branch_class(statement)]
+
+
+def access_group(transfer: TransferFunctions, node: int) -> int:
+    """0/1/2 access-pattern group of a node under GRP.
+
+    Derived from the compiled transfer plan: constant-only generators
+    are one-time, plans that read one level of fact storage are
+    single-layer, plans that chase a heap cell are double-layer.
+    """
+    depth = transfer.deref_depth(node)
+    if depth <= 0:
+        return GROUP_ONE_TIME
+    if depth == 1:
+        return GROUP_SINGLE_LAYER
+    return GROUP_DOUBLE_LAYER
+
+
+def grouped_storage_order(groups: list[int]) -> list[int]:
+    """Storage position of each node under GRP's contiguous layout.
+
+    GRP "stores the nodes in the same group consecutively at GPU
+    memory": nodes are renumbered group-by-group, preserving original
+    order within a group.  Returns ``position[node]``.
+    """
+    position = [0] * len(groups)
+    next_position = 0
+    for wanted in (GROUP_ONE_TIME, GROUP_SINGLE_LAYER, GROUP_DOUBLE_LAYER):
+        for node, group in enumerate(groups):
+            if group == wanted:
+                position[node] = next_position
+                next_position += 1
+    return position

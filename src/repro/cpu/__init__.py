@@ -1,0 +1,26 @@
+"""CPU baselines.
+
+* :mod:`repro.cpu.multicore` -- the paper's CPU counterpart: "we
+  re-implement the worklist algorithm in Amandroid (written in Scala)
+  using multithreading C" on a 10-core Xeon Gold 5115 @ 2.40 GHz
+  (Fig. 4's baseline).
+* :mod:`repro.cpu.amandroid` -- the full Amandroid pipeline model
+  (Scala, single-threaded IDFG construction plus frontend and plugin
+  stages) behind Fig. 1's total-vs-IDFG breakdown.
+
+Both models price the *same measured workload* (visit counts, fact
+sizes, layer structure) as the GPU engine, so every comparison is
+between platforms, never between different analyses.
+"""
+
+from repro.cpu.amandroid import AmandroidModel, AmandroidTiming
+from repro.cpu.multicore import CPUCostTable, CPUSpec, MulticoreWorklist, XEON_GOLD_5115
+
+__all__ = [
+    "AmandroidModel",
+    "AmandroidTiming",
+    "CPUCostTable",
+    "CPUSpec",
+    "MulticoreWorklist",
+    "XEON_GOLD_5115",
+]

@@ -1,0 +1,393 @@
+"""An IFDS tabulation solver (Reps, Horwitz & Sagiv, POPL'95).
+
+The paper's related work situates the worklist algorithm inside the
+IFDS/IDE lineage ("two well-known conceptual frameworks using the
+worklist algorithm as the core", implemented by WALA and Heros).  This
+module is that classic algorithm: the exploded-supergraph tabulation
+with path edges, summary edges, and the four flow-function kinds
+(normal, call-to-start, exit-to-return, call-to-return), running over
+:class:`repro.cfg.icfg.ICFG`.
+
+It is instantiated for **variable/global taint reachability** -- a
+genuinely distributive problem -- and serves two purposes:
+
+1. a second, independently-derived taint engine: every sink flow IFDS
+   finds must also be found by the points-to-based plugin
+   (:mod:`repro.vetting.taint`), which the test-suite asserts;
+2. an algorithmic reference point for the related-work discussion
+   (context-sensitive via summary edges, no points-to required).
+
+Scope note: the IFDS domain tracks *variables and globals*, not heap
+cells -- field-sensitive taint is not distributive without access-path
+bounding, so heap-laundered flows are the points-to plugin's job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.icfg import ICFG, build_icfg
+from repro.ir.app import AndroidApp
+from repro.ir.expressions import CallRhs, CastExpr, TupleExpr, VariableNameExpr
+from repro.ir.expressions import StaticFieldAccessExpr
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    ReturnStatement,
+    Statement,
+)
+
+# NOTE: repro.vetting imports repro.core which imports repro.dataflow;
+# pulling the source/sink table lazily breaks the package-level cycle.
+
+
+def _source_sink_tables():
+    from repro.vetting.sources_sinks import is_sink, is_source
+
+    return is_source, is_sink
+
+#: The IFDS zero fact.
+ZERO = ("0",)
+#: Data facts: ("var", name) -- method-local taint; ("global", name).
+Fact = Tuple
+
+
+@dataclass(frozen=True)
+class IfdsFlow:
+    """A tainted value reaching a sink argument."""
+
+    method: str
+    sink_label: str
+    sink_api: str
+    tainted_argument: str
+
+
+class IfdsTaintProblem:
+    """Flow functions of the taint-reachability IFDS instance."""
+
+    def __init__(self, app: AndroidApp, icfg: ICFG) -> None:
+        self.app = app
+        self.icfg = icfg
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _rhs_sources(statement: AssignmentStatement) -> Tuple[Fact, ...]:
+        """Facts whose taint the assignment's RHS propagates."""
+        rhs = statement.rhs
+        if isinstance(rhs, VariableNameExpr):
+            return (("var", rhs.name),)
+        if isinstance(rhs, CastExpr):
+            return (("var", rhs.operand),)
+        if isinstance(rhs, TupleExpr):
+            return tuple(("var", element) for element in rhs.elements)
+        if isinstance(rhs, StaticFieldAccessExpr):
+            return (("global", rhs.global_slot),)
+        return ()
+
+    # -- the four flow-function kinds -----------------------------------------------
+
+    def normal_flow(self, statement: Statement, fact: Fact) -> Set[Fact]:
+        """Intraprocedural edge (including call-free assignments)."""
+        if not isinstance(statement, AssignmentStatement):
+            return {fact}
+        if statement.lhs_access is not None:
+            # Heap/array stores: out of the IFDS domain (see module
+            # docstring) -- except static stores, which gen/kill the
+            # global fact.
+            if isinstance(statement.lhs_access, StaticFieldAccessExpr):
+                target: Fact = ("global", statement.lhs_access.global_slot)
+                sources = self._rhs_sources(statement)
+                out = {fact} - {target}  # strong update
+                if fact in sources or (fact == ZERO and False):
+                    out.add(target)
+                return out
+            return {fact}
+        if isinstance(statement.rhs, CallRhs):
+            # Handled by the call flow functions.
+            return {fact}
+        target = ("var", statement.lhs)
+        sources = self._rhs_sources(statement)
+        out = {fact} - {target}
+        if fact in sources:
+            out.add(target)
+        return out
+
+    def call_flow(
+        self,
+        site: Statement,
+        callee: str,
+        fact: Fact,
+    ) -> Set[Fact]:
+        """Caller fact -> callee-entry facts (call-to-start edge)."""
+        method = self.app.method_table[callee]
+        out: Set[Fact] = set()
+        if fact == ZERO:
+            # The zero fact reaches every procedure (it is what lets
+            # callee-local GENs fire).
+            out.add(ZERO)
+            return out
+        if fact[0] == "global":
+            out.add(fact)
+            return out
+        args = _call_args(site)
+        for index, argument in enumerate(args):
+            if fact == ("var", argument) and index < len(method.parameters):
+                out.add(("var", method.parameters[index].name))
+        return out
+
+    def return_flow(
+        self,
+        site: Statement,
+        callee: str,
+        exit_statement: Statement,
+        fact: Fact,
+    ) -> Set[Fact]:
+        """Callee-exit fact -> caller facts (exit-to-return edge)."""
+        out: Set[Fact] = set()
+        if fact[0] == "global":
+            out.add(fact)
+            return out
+        result = _call_result(site)
+        if (
+            result is not None
+            and isinstance(exit_statement, ReturnStatement)
+            and exit_statement.operand is not None
+            and fact == ("var", exit_statement.operand)
+        ):
+            out.add(("var", result))
+        return out
+
+    def call_to_return_flow(
+        self, site: Statement, callee: Optional[str], fact: Fact
+    ) -> Set[Fact]:
+        """Facts that bypass the callee along the call-to-return edge."""
+        result = _call_result(site)
+        internal = callee is not None and callee in self.app.method_table
+        if fact[0] == "global" and internal:
+            # Globals are routed *through* the callee for context
+            # sensitivity; they do not bypass it.
+            return set()
+        out = {fact}
+        if result is not None:
+            out.discard(("var", result))
+        if not internal and callee is not None:
+            # External library call: tainted argument -> result
+            # (conservative laundering), sources inject fresh taint.
+            if result is not None:
+                if fact != ZERO and fact[0] == "var" and fact[1] in _call_args(site):
+                    out.add(("var", result))
+                if fact == ZERO:
+                    is_source, _ = _source_sink_tables()
+                    if is_source(callee):
+                        out.add(("var", result))
+        return out
+
+
+def _call_args(statement: Statement) -> Tuple[str, ...]:
+    if isinstance(statement, CallStatement):
+        return statement.args
+    if isinstance(statement, AssignmentStatement) and isinstance(
+        statement.rhs, CallRhs
+    ):
+        return statement.rhs.args
+    return ()
+
+
+def _call_result(statement: Statement) -> Optional[str]:
+    if isinstance(statement, CallStatement):
+        return statement.result
+    if isinstance(statement, AssignmentStatement) and isinstance(
+        statement.rhs, CallRhs
+    ):
+        return statement.lhs if statement.lhs_access is None else None
+    return None
+
+
+def _callee_of(statement: Statement) -> Optional[str]:
+    from repro.ir.statements import callee_of
+
+    return callee_of(statement)
+
+
+class IfdsSolver:
+    """The tabulation algorithm over the exploded supergraph."""
+
+    def __init__(self, app: AndroidApp, icfg: Optional[ICFG] = None) -> None:
+        self.app = app
+        self.icfg = icfg or build_icfg(app)
+        self.problem = IfdsTaintProblem(app, self.icfg)
+        #: Path edges: node -> set of (entry_fact, fact-at-node).
+        self.path_edges: Dict[int, Set[Tuple[Fact, Fact]]] = {}
+        #: Summary edges per call site: (site, d_at_site) -> facts after.
+        self.summaries: Dict[Tuple[int, Fact], Set[Fact]] = {}
+        #: Callers to revisit when a callee grows a summary:
+        #: callee entry -> set of (call site, entry fact of caller PE).
+        self._incoming: Dict[Tuple[int, Fact], Set[Tuple[int, Fact]]] = {}
+        self._call_sites_of: Dict[int, List[Tuple[int, str]]] = {}
+        for site, entry in self.icfg.call_edges:
+            callee = self.icfg.method_of(entry)
+            self._call_sites_of.setdefault(site, []).append((entry, callee))
+
+        # Exit nodes per method (for summary computation).
+        self._exits: Dict[str, List[int]] = {}
+        for signature, (start, end) in self.icfg.method_span.items():
+            cfg = self.icfg.intra[signature]
+            self._exits[signature] = [start + e for e in cfg.exits]
+
+    # -- tabulation ------------------------------------------------------------------
+
+    def _propagate(
+        self,
+        node: int,
+        edge: Tuple[Fact, Fact],
+        worklist: deque,
+    ) -> None:
+        edges = self.path_edges.setdefault(node, set())
+        if edge not in edges:
+            edges.add(edge)
+            worklist.append((node, edge))
+
+    def solve(self, roots: Optional[Sequence[str]] = None) -> None:
+        """Run the tabulation from the ICFG roots."""
+        worklist: deque = deque()
+        root_methods = roots or self.icfg.roots
+        for signature in root_methods:
+            entry = self.icfg.entry_of(signature)
+            if entry is not None:
+                self._propagate(entry, (ZERO, ZERO), worklist)
+
+        while worklist:
+            node, (entry_fact, fact) = worklist.popleft()
+            statement = self.icfg.statement_of(node)
+            method = self.icfg.method_of(node)
+            callee_targets = self._call_sites_of.get(node, ())
+            callee = _callee_of(statement)
+
+            if callee_targets:
+                # Call site: call-to-start plus call-to-return.
+                for callee_entry, callee_sig in callee_targets:
+                    for start_fact in self.problem.call_flow(
+                        statement, callee_sig, fact
+                    ):
+                        self._incoming.setdefault(
+                            (callee_entry, start_fact), set()
+                        ).add((node, entry_fact))
+                        self._propagate(
+                            callee_entry, (start_fact, start_fact), worklist
+                        )
+                        # Apply already-known summaries.
+                        self._apply_summaries(
+                            node, entry_fact, fact, worklist
+                        )
+                for bypass in self.problem.call_to_return_flow(
+                    statement, callee, fact
+                ):
+                    for successor in self.icfg.successors[node]:
+                        self._propagate(
+                            successor, (entry_fact, bypass), worklist
+                        )
+                self._apply_summaries(node, entry_fact, fact, worklist)
+            elif callee is not None:
+                # Call to an external method: call-to-return only.
+                for bypass in self.problem.call_to_return_flow(
+                    statement, callee, fact
+                ):
+                    for successor in self.icfg.successors[node]:
+                        self._propagate(
+                            successor, (entry_fact, bypass), worklist
+                        )
+            else:
+                for out_fact in self.problem.normal_flow(statement, fact):
+                    for successor in self.icfg.successors[node]:
+                        self._propagate(
+                            successor, (entry_fact, out_fact), worklist
+                        )
+
+            # Exit node: build summaries back to every caller.
+            if node in self._exits.get(method, ()):  # pragma: no branch
+                self._handle_exit(method, node, entry_fact, fact, worklist)
+
+    def _apply_summaries(
+        self,
+        site: int,
+        entry_fact: Fact,
+        fact: Fact,
+        worklist: deque,
+    ) -> None:
+        for after in self.summaries.get((site, fact), ()):
+            for successor in self.icfg.successors[site]:
+                self._propagate(successor, (entry_fact, after), worklist)
+
+    def _handle_exit(
+        self,
+        method: str,
+        exit_node: int,
+        entry_fact: Fact,
+        fact: Fact,
+        worklist: deque,
+    ) -> None:
+        entry = self.icfg.entry_of(method)
+        if entry is None:
+            return
+        exit_statement = self.icfg.statement_of(exit_node)
+        for site, caller_entry_fact in self._incoming.get(
+            (entry, entry_fact), set()
+        ).copy():
+            site_statement = self.icfg.statement_of(site)
+            for after in self.problem.return_flow(
+                site_statement, method, exit_statement, fact
+            ):
+                key = (site, self._site_fact_for(site_statement, method, entry_fact))
+                self.summaries.setdefault(key, set()).add(after)
+                for successor in self.icfg.successors[site]:
+                    self._propagate(
+                        successor, (caller_entry_fact, after), worklist
+                    )
+
+    def _site_fact_for(
+        self, site_statement: Statement, callee: str, start_fact: Fact
+    ) -> Fact:
+        """Invert the call flow for summary keying (best effort)."""
+        if start_fact[0] == "global" or start_fact == ZERO:
+            return start_fact
+        method = self.app.method_table[callee]
+        args = _call_args(site_statement)
+        for index, parameter in enumerate(method.parameters):
+            if start_fact == ("var", parameter.name) and index < len(args):
+                return ("var", args[index])
+        return start_fact
+
+    # -- results ------------------------------------------------------------------------
+
+    def facts_at(self, node: int) -> FrozenSet[Fact]:
+        """Facts that hold at a node (any entry context)."""
+        return frozenset(
+            fact
+            for _entry, fact in self.path_edges.get(node, ())
+            if fact != ZERO
+        )
+
+    def sink_flows(self) -> List[IfdsFlow]:
+        """Tainted values reaching sink-call arguments."""
+        flows: List[IfdsFlow] = []
+        for node in range(len(self.icfg)):
+            statement = self.icfg.statement_of(node)
+            callee = _callee_of(statement)
+            _, is_sink = _source_sink_tables()
+            if callee is None or not is_sink(callee):
+                continue
+            holding = self.facts_at(node)
+            for argument in _call_args(statement):
+                if ("var", argument) in holding:
+                    flows.append(
+                        IfdsFlow(
+                            method=self.icfg.method_of(node),
+                            sink_label=statement.label,
+                            sink_api=callee,
+                            tainted_argument=argument,
+                        )
+                    )
+        return flows

@@ -1,0 +1,487 @@
+"""GEN/KILL transfer functions for every statement/expression kind.
+
+``TransferFunctions`` pre-compiles each statement of a method into a
+small *plan* -- an op tag plus resolved slot/instance ids -- so the
+worklist hot loop evaluates nodes without re-inspecting the IR.  The
+same plans are executed by the sequential reference, the plain GPU
+kernel, and every GDroid variant, which is what makes their outputs
+bit-identical (the paper's correctness check).
+
+Monotonicity: every plan computes ``OUT = (IN \\ KILL) | GEN(IN)``
+where KILL is a fixed slot's facts (strong updates of locals, statics
+and the return slot) and GEN is a monotone function of IN.  Hence OUT
+is monotone in IN -- the property the MER optimization relies on to
+postpone tail-list processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dataflow.facts import ARRAY_FIELD, FactSpace
+from repro.dataflow.summaries import MethodSummary, Source, external_summary
+from repro.ir.expressions import (
+    AccessExpr,
+    CallRhs,
+    CastExpr,
+    ConstClassExpr,
+    ExceptionExpr,
+    Expression,
+    IndexingExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    VariableNameExpr,
+)
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    ReturnStatement,
+    Statement,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ValuePlan:
+    """Compiled instance-set expression.
+
+    The instances a value may denote, as a function of IN:
+    ``consts  |  union(pts(slot) for slot in slots)
+             |  union(pts(heap(o, field)) for (base, field) in derefs
+                                          for o in pts(base))``.
+    """
+
+    consts: Tuple[int, ...] = ()
+    slots: Tuple[int, ...] = ()
+    derefs: Tuple[Tuple[int, str], ...] = ()
+
+    @property
+    def deref_depth(self) -> int:
+        """0 = constant-only, 1 = single slot read, 2 = double deref."""
+        if self.derefs:
+            return 2
+        if self.slots:
+            return 1
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class CallEffect:
+    """One instantiated summary effect at a call site.
+
+    ``target_kind`` selects where the generated facts land:
+    ``"result"`` (strong), ``"global"`` (weak, ``target`` = slot id) or
+    ``"field"`` (weak, ``target`` = (base slot id, field name)).
+    ``sources`` are compiled source terms: ``("const", inst_id)`` for
+    fresh, ``("slot", slot_id)`` for param/global reads, and
+    ``("deref", slot_id, field)`` for parameter-field entry values.
+    """
+
+    target_kind: str
+    target: object
+    sources: Tuple[Tuple, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NodePlan:
+    """Compiled transfer plan of one statement."""
+
+    #: Op tag: "identity" | "assign" | "store_heap" | "store_global"
+    #: | "call" | "return".
+    op: str
+    #: Strong-update slot (assign/call result/return/static store), or None.
+    kill_slot: Optional[int] = None
+    #: Value being assigned / stored / returned.
+    value: Optional[ValuePlan] = None
+    #: Heap-store target: (base slot id, field name).
+    heap_target: Optional[Tuple[int, str]] = None
+    #: Call effects (instantiated callee summary), in application order.
+    call_effects: Tuple[CallEffect, ...] = ()
+
+    @property
+    def is_identity(self) -> bool:
+        """True when this node can never add or move a fact."""
+        return self.op == "identity"
+
+
+class TransferFunctions:
+    """Per-method compiled transfer functions.
+
+    Parameters
+    ----------
+    space:
+        The method's pre-determined fact space.
+    summaries:
+        Callee summaries by signature string.  Callees missing from the
+        mapping get the conservative external summary.
+    """
+
+    __slots__ = ("space", "plans", "_instance_count")
+
+    def __init__(
+        self,
+        space: FactSpace,
+        summaries: Optional[Mapping[str, MethodSummary]] = None,
+    ) -> None:
+        self.space = space
+        self._instance_count = space.instance_count
+        summary_table = summaries or {}
+        self.plans: Tuple[NodePlan, ...] = tuple(
+            self._compile(statement, summary_table)
+            for statement in space.method.statements
+        )
+
+    # -- compilation -----------------------------------------------------------
+
+    def _compile_value(self, expression: Expression) -> ValuePlan:
+        space = self.space
+        if isinstance(expression, NewExpr):
+            raise AssertionError("NewExpr is compiled at statement level")
+        if isinstance(expression, NullExpr):
+            inst = space.null_instance()
+            return ValuePlan(consts=(inst,) if inst is not None else ())
+        if isinstance(expression, LiteralExpr):
+            if isinstance(expression.value, str):
+                inst = space.const_instance("str")
+                return ValuePlan(consts=(inst,) if inst is not None else ())
+            return ValuePlan()
+        if isinstance(expression, ConstClassExpr):
+            inst = space.class_instance(expression.referenced.class_name)
+            return ValuePlan(consts=(inst,) if inst is not None else ())
+        if isinstance(expression, (VariableNameExpr, CastExpr)):
+            name = (
+                expression.name
+                if isinstance(expression, VariableNameExpr)
+                else expression.operand
+            )
+            slot = space.var_slot(name)
+            return ValuePlan(slots=(slot,) if slot is not None else ())
+        if isinstance(expression, TupleExpr):
+            slots = tuple(
+                s
+                for s in (space.var_slot(e) for e in expression.elements)
+                if s is not None
+            )
+            return ValuePlan(slots=slots)
+        if isinstance(expression, StaticFieldAccessExpr):
+            slot = space.global_slot(expression.global_slot)
+            return ValuePlan(slots=(slot,) if slot is not None else ())
+        if isinstance(expression, AccessExpr):
+            base = space.var_slot(expression.base)
+            if base is None:
+                return ValuePlan()
+            return ValuePlan(derefs=((base, expression.field_name),))
+        if isinstance(expression, IndexingExpr):
+            base = space.var_slot(expression.base)
+            if base is None:
+                return ValuePlan()
+            return ValuePlan(derefs=((base, ARRAY_FIELD),))
+        # Binary / Unary / Cmp / InstanceOf / Length / Exception handled
+        # by callers; primitive-valued expressions denote no instances.
+        return ValuePlan()
+
+    def _compile_call(
+        self,
+        label: str,
+        callee: str,
+        args: Sequence[str],
+        result: Optional[str],
+        summaries: Mapping[str, MethodSummary],
+    ) -> NodePlan:
+        space = self.space
+        summary = summaries.get(callee)
+        if summary is None:
+            summary = external_summary(callee)
+        call_inst = space.call_instance(label)
+
+        def compile_sources(sources: FrozenSet[Source]) -> Tuple[Tuple, ...]:
+            compiled: List[Tuple] = []
+            for source in sorted(sources):
+                if source[0] == "fresh":
+                    if call_inst is not None:
+                        compiled.append(("const", call_inst))
+                elif source[0] == "param":
+                    index = source[1]
+                    if index < len(args):
+                        slot = space.var_slot(args[index])
+                        if slot is not None:
+                            compiled.append(("slot", slot))
+                elif source[0] == "pfield":
+                    index, field_name = source[1], source[2]
+                    if index < len(args):
+                        slot = space.var_slot(args[index])
+                        if slot is not None:
+                            compiled.append(("deref", slot, field_name))
+                else:  # ("global", name)
+                    slot = space.global_slot(source[1])
+                    if slot is not None:
+                        compiled.append(("slot", slot))
+            return tuple(compiled)
+
+        effects: List[CallEffect] = []
+        result_slot = space.var_slot(result) if result is not None else None
+        if result_slot is not None:
+            return_sources: Set[Source] = set()
+            if summary.returns_fresh:
+                return_sources.add(("fresh",))
+            return_sources.update(("param", j) for j in summary.return_params)
+            return_sources.update(("global", g) for g in summary.return_globals)
+            return_sources.update(
+                ("pfield", j, f) for (j, f) in summary.return_pfields
+            )
+            effects.append(
+                CallEffect(
+                    target_kind="result",
+                    target=result_slot,
+                    sources=compile_sources(frozenset(return_sources)),
+                )
+            )
+        for name, sources in sorted(summary.global_writes.items()):
+            slot = space.global_slot(name)
+            if slot is not None:
+                effects.append(
+                    CallEffect(
+                        target_kind="global",
+                        target=slot,
+                        sources=compile_sources(sources),
+                    )
+                )
+        for (target_source, field_name), sources in sorted(
+            summary.field_writes.items()
+        ):
+            if target_source[0] == "param":
+                index = target_source[1]
+                base = (
+                    space.var_slot(args[index]) if index < len(args) else None
+                )
+            elif target_source[0] == "pfield":
+                # Write into a field of the object held by arg_j's own
+                # field f: a two-level dereference at the call site.
+                index, inner_field = target_source[1], target_source[2]
+                base = (
+                    space.var_slot(args[index]) if index < len(args) else None
+                )
+                if base is not None:
+                    effects.append(
+                        CallEffect(
+                            target_kind="field2",
+                            target=(base, inner_field, field_name),
+                            sources=compile_sources(sources),
+                        )
+                    )
+                continue
+            else:
+                base = space.global_slot(target_source[1])
+            if base is not None:
+                effects.append(
+                    CallEffect(
+                        target_kind="field",
+                        target=(base, field_name),
+                        sources=compile_sources(sources),
+                    )
+                )
+
+        if not effects:
+            return NodePlan(op="identity")
+        return NodePlan(
+            op="call",
+            kill_slot=result_slot,
+            call_effects=tuple(effects),
+        )
+
+    def _compile(
+        self, statement: Statement, summaries: Mapping[str, MethodSummary]
+    ) -> NodePlan:
+        space = self.space
+        if isinstance(statement, ReturnStatement):
+            if statement.operand is None:
+                return NodePlan(op="identity")
+            slot = space.var_slot(statement.operand)
+            if slot is None:
+                return NodePlan(op="identity")
+            return NodePlan(
+                op="return",
+                kill_slot=space.return_slot(),
+                value=ValuePlan(slots=(slot,)),
+            )
+        if isinstance(statement, CallStatement):
+            return self._compile_call(
+                statement.label,
+                statement.callee,
+                statement.args,
+                statement.result,
+                summaries,
+            )
+        if not isinstance(statement, AssignmentStatement):
+            # Empty / Monitor / Throw / Goto / If / Switch: identity.
+            return NodePlan(op="identity")
+
+        if isinstance(statement.rhs, CallRhs):
+            return self._compile_call(
+                statement.label,
+                statement.rhs.callee,
+                statement.rhs.args,
+                statement.lhs if statement.lhs_access is None else None,
+                summaries,
+            )
+
+        if statement.lhs_access is None:
+            dst = space.var_slot(statement.lhs)
+            if dst is None:
+                return NodePlan(op="identity")
+            if isinstance(statement.rhs, NewExpr):
+                site = space.site_instance(statement.label)
+                return NodePlan(
+                    op="assign", kill_slot=dst, value=ValuePlan(consts=(site,))
+                )
+            if isinstance(statement.rhs, ExceptionExpr):
+                exc = space.exc_instance(statement.label)
+                return NodePlan(
+                    op="assign", kill_slot=dst, value=ValuePlan(consts=(exc,))
+                )
+            value = self._compile_value(statement.rhs)
+            if not value.consts and not value.slots and not value.derefs:
+                return NodePlan(op="identity")
+            return NodePlan(op="assign", kill_slot=dst, value=value)
+
+        # Heap / static stores.
+        access = statement.lhs_access
+        value = (
+            ValuePlan(consts=(space.site_instance(statement.label),))
+            if isinstance(statement.rhs, NewExpr)
+            else self._compile_value(statement.rhs)
+        )
+        if isinstance(access, StaticFieldAccessExpr):
+            slot = space.global_slot(access.global_slot)
+            if slot is None:
+                return NodePlan(op="identity")
+            return NodePlan(op="store_global", kill_slot=slot, value=value)
+        if isinstance(access, AccessExpr):
+            base = space.var_slot(access.base)
+            field_name = access.field_name
+        else:
+            assert isinstance(access, IndexingExpr)
+            base = space.var_slot(access.base)
+            field_name = ARRAY_FIELD
+        if base is None:
+            return NodePlan(op="identity")
+        return NodePlan(
+            op="store_heap", value=value, heap_target=(base, field_name)
+        )
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _pts(self, slot: int, in_facts: Set[int]) -> List[int]:
+        """Instance ids slot points to under IN."""
+        count = self._instance_count
+        base = slot * count
+        return [fact - base for fact in in_facts if base <= fact < base + count]
+
+    def _eval_value(self, value: ValuePlan, in_facts: Set[int]) -> Set[int]:
+        instances: Set[int] = set(value.consts)
+        for slot in value.slots:
+            instances.update(self._pts(slot, in_facts))
+        space = self.space
+        for base, field_name in value.derefs:
+            for obj in self._pts(base, in_facts):
+                heap = space.heap_slot(obj, field_name)
+                if heap is not None:
+                    instances.update(self._pts(heap, in_facts))
+        return instances
+
+    def out_facts(self, node: int, in_facts: Set[int]) -> Set[int]:
+        """Apply node's transfer: OUT = (IN \\ KILL) | GEN(IN)."""
+        plan = self.plans[node]
+        if plan.op == "identity":
+            return in_facts
+
+        space = self.space
+        count = self._instance_count
+
+        if plan.op in ("assign", "return", "store_global"):
+            dst = plan.kill_slot
+            assert dst is not None and plan.value is not None
+            instances = self._eval_value(plan.value, in_facts)
+            base = dst * count
+            out = {f for f in in_facts if not base <= f < base + count}
+            out.update(base + i for i in instances)
+            return out
+
+        if plan.op == "store_heap":
+            assert plan.value is not None and plan.heap_target is not None
+            base_slot, field_name = plan.heap_target
+            instances = self._eval_value(plan.value, in_facts)
+            out = set(in_facts)
+            for obj in self._pts(base_slot, in_facts):
+                heap = space.heap_slot(obj, field_name)
+                if heap is not None:
+                    heap_base = heap * count
+                    out.update(heap_base + i for i in instances)
+            return out
+
+        assert plan.op == "call"
+        out = set(in_facts)
+        if plan.kill_slot is not None:
+            base = plan.kill_slot * count
+            out = {f for f in out if not base <= f < base + count}
+        for effect in plan.call_effects:
+            instances: Set[int] = set()
+            for source in effect.sources:
+                kind = source[0]
+                if kind == "const":
+                    instances.add(source[1])
+                elif kind == "slot":
+                    instances.update(self._pts(source[1], in_facts))
+                else:  # ("deref", slot, field)
+                    for obj in self._pts(source[1], in_facts):
+                        heap = space.heap_slot(obj, source[2])
+                        if heap is not None:
+                            instances.update(self._pts(heap, in_facts))
+            if effect.target_kind == "result":
+                base = effect.target * count
+                out.update(base + i for i in instances)
+            elif effect.target_kind == "global":
+                base = effect.target * count
+                out.update(base + i for i in instances)
+            elif effect.target_kind == "field":
+                base_slot, field_name = effect.target
+                for obj in self._pts(base_slot, in_facts):
+                    heap = space.heap_slot(obj, field_name)
+                    if heap is not None:
+                        heap_base = heap * count
+                        out.update(heap_base + i for i in instances)
+            else:  # field2: write through arg.inner_field
+                base_slot, inner_field, field_name = effect.target
+                for obj in self._pts(base_slot, in_facts):
+                    inner = space.heap_slot(obj, inner_field)
+                    if inner is None:
+                        continue
+                    for middle in self._pts(inner, in_facts):
+                        heap = space.heap_slot(middle, field_name)
+                        if heap is not None:
+                            heap_base = heap * count
+                            out.update(heap_base + i for i in instances)
+        return out
+
+    # -- cost-model metadata ------------------------------------------------------
+
+    def deref_depth(self, node: int) -> int:
+        """Dereference depth of the node's value computation (0/1/2)."""
+        plan = self.plans[node]
+        if plan.op == "identity":
+            return 1  # reads its IN set once to forward it
+        if plan.op == "call":
+            depth = 1
+            for effect in plan.call_effects:
+                if effect.target_kind in ("field", "field2"):
+                    depth = 2
+                if any(source[0] == "deref" for source in effect.sources):
+                    depth = 2
+            return depth
+        if plan.op == "store_heap":
+            return 2
+        assert plan.value is not None
+        return max(plan.value.deref_depth, 1) if plan.op != "assign" else plan.value.deref_depth

@@ -1,0 +1,136 @@
+"""Warp execution with branch-divergence serialization (bottleneck #2).
+
+A warp executes in SIMT lockstep: lanes that take different branch
+paths are serialized, one pass per distinct path.  "The original
+worklist algorithm classifies the ICFG nodes based on their statement
+or expression types, and can render 25 different node groups ...
+a disaster to the GPU execution" (Section III-B2).
+
+:func:`execute_warp` receives one *lane descriptor* per active lane --
+the lane's branch class plus its compute/memory demands -- and returns
+the warp's cycle cost decomposed into compute, divergence and memory
+components, which the kernels aggregate per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.memory import MemoryModel
+from repro.gpu.spec import CostTable
+
+
+@dataclass(frozen=True, slots=True)
+class LaneWork:
+    """What one active lane wants to do in this warp pass."""
+
+    #: Branch class of the lane's node.  Lanes sharing a class execute
+    #: together; each additional distinct class costs one serialized
+    #: pass over the warp.
+    branch_class: str
+    #: Pure compute cycles the lane needs (GEN/KILL arithmetic etc.).
+    compute_cycles: float
+    #: Element index of the lane's node record (for coalescing).
+    node_element: int
+    #: Global-memory elements of fact storage the lane touches, as
+    #: (region, element index, element bytes) triples.
+    fact_accesses: Tuple[Tuple[int, int, int], ...] = ()
+    #: Number of scattered (pointer-chasing) accesses, each its own
+    #: transaction regardless of lane order.
+    scattered_accesses: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WarpExecution:
+    """Cycle breakdown of one executed warp."""
+
+    active_lanes: int
+    divergent_passes: int
+    compute_cycles: float
+    divergence_cycles: float
+    memory_cycles: float
+    transactions: int
+
+    @property
+    def total_cycles(self) -> float:
+        """All charged cycles (kernel + exposed transfer)."""
+        return self.compute_cycles + self.divergence_cycles + self.memory_cycles
+
+
+#: Region ids used by the kernels when expressing accesses.
+REGION_NODE_RECORDS = 1
+REGION_FACTS = 2
+REGION_WORKLIST = 3
+
+
+def execute_warp(
+    lanes: Sequence[LaneWork],
+    costs: CostTable,
+    memory: MemoryModel,
+    node_record_bytes: Optional[int] = None,
+) -> WarpExecution:
+    """Charge one warp's execution.
+
+    * compute: the max lane compute per branch class, summed over the
+      serialized passes (lanes in a pass run concurrently, passes are
+      sequential);
+    * divergence: ``(passes - 1) * divergence_pass_cycles`` of
+      re-convergence overhead;
+    * memory: every distinct 128B segment touched costs one
+      transaction's latency share.
+    """
+    if not lanes:
+        return WarpExecution(0, 0, 0.0, 0.0, 0.0, 0)
+    record_bytes = node_record_bytes or costs.node_record_bytes
+
+    by_class: Dict[str, float] = {}
+    for lane in lanes:
+        current = by_class.get(lane.branch_class, 0.0)
+        if lane.compute_cycles > current:
+            by_class[lane.branch_class] = lane.compute_cycles
+        elif lane.branch_class not in by_class:
+            by_class[lane.branch_class] = lane.compute_cycles
+    passes = len(by_class)
+    compute = sum(by_class.values())
+    divergence = (passes - 1) * costs.divergence_pass_cycles
+
+    transactions = memory.access(
+        REGION_NODE_RECORDS,
+        [lane.node_element for lane in lanes],
+        record_bytes,
+    )
+    fact_by_shape: Dict[Tuple[int, int], List[int]] = {}
+    for lane in lanes:
+        for region, element, element_bytes in lane.fact_accesses:
+            fact_by_shape.setdefault((region, element_bytes), []).append(element)
+    for (region, element_bytes), elements in fact_by_shape.items():
+        transactions += memory.access(region, elements, element_bytes)
+    scattered = sum(lane.scattered_accesses for lane in lanes)
+    if scattered:
+        transactions += memory.scattered_access(scattered)
+
+    memory_cycles = transactions * costs.memory_transaction_cycles
+
+    return WarpExecution(
+        active_lanes=len(lanes),
+        divergent_passes=passes,
+        compute_cycles=compute,
+        divergence_cycles=divergence,
+        memory_cycles=memory_cycles,
+        transactions=transactions,
+    )
+
+
+def form_warps(
+    lane_items: Sequence[LaneWork], warp_size: int
+) -> List[Sequence[LaneWork]]:
+    """Slice an iteration's lanes into consecutive warps.
+
+    Lane order is the worklist order -- exactly what the GRP partial
+    sort manipulates to cluster branch classes.
+    """
+    return [
+        lane_items[start : start + warp_size]
+        for start in range(0, len(lane_items), warp_size)
+    ]

@@ -1,0 +1,102 @@
+"""Jawa-like intermediate representation for Android methods.
+
+Amandroid lifts Dalvik bytecode into the Jawa IR before analysis.  This
+package provides the equivalent representation for the reproduction: a
+typed, statement-oriented IR with exactly the statement and expression
+taxonomy the paper enumerates in Section III-B2 (nine statement
+categories; seventeen expression kinds on assignment right-hand sides).
+
+The public surface re-exports the commonly used node classes; see the
+submodules for the full hierarchy:
+
+* :mod:`repro.ir.types` -- primitive / object / array types.
+* :mod:`repro.ir.expressions` -- the 17 expression kinds.
+* :mod:`repro.ir.statements` -- the 9 statement categories.
+* :mod:`repro.ir.method` -- method signatures and bodies.
+* :mod:`repro.ir.component` -- Android components and lifecycles.
+* :mod:`repro.ir.app` -- whole-app container.
+* :mod:`repro.ir.parser` / :mod:`repro.ir.printer` -- textual round-trip.
+"""
+
+from repro.ir.app import AndroidApp
+from repro.ir.component import Component, ComponentKind, LIFECYCLE_CALLBACKS
+from repro.ir.expressions import (
+    AccessExpr,
+    BinaryExpr,
+    CallRhs,
+    CastExpr,
+    CmpExpr,
+    ConstClassExpr,
+    ExceptionExpr,
+    Expression,
+    EXPRESSION_KINDS,
+    IndexingExpr,
+    InstanceOfExpr,
+    LengthExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    UnaryExpr,
+    VariableNameExpr,
+)
+from repro.ir.method import Method, MethodSignature, Parameter
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    GotoStatement,
+    IfStatement,
+    MonitorStatement,
+    ReturnStatement,
+    Statement,
+    STATEMENT_KINDS,
+    SwitchStatement,
+    ThrowStatement,
+)
+from repro.ir.types import ArrayType, JawaType, ObjectType, PrimitiveType
+
+__all__ = [
+    "AccessExpr",
+    "AndroidApp",
+    "ArrayType",
+    "AssignmentStatement",
+    "BinaryExpr",
+    "CallRhs",
+    "CallStatement",
+    "CastExpr",
+    "CmpExpr",
+    "Component",
+    "ComponentKind",
+    "ConstClassExpr",
+    "EmptyStatement",
+    "ExceptionExpr",
+    "Expression",
+    "EXPRESSION_KINDS",
+    "GotoStatement",
+    "IfStatement",
+    "IndexingExpr",
+    "InstanceOfExpr",
+    "JawaType",
+    "LengthExpr",
+    "LIFECYCLE_CALLBACKS",
+    "LiteralExpr",
+    "Method",
+    "MethodSignature",
+    "MonitorStatement",
+    "NewExpr",
+    "NullExpr",
+    "ObjectType",
+    "Parameter",
+    "PrimitiveType",
+    "ReturnStatement",
+    "Statement",
+    "STATEMENT_KINDS",
+    "StaticFieldAccessExpr",
+    "SwitchStatement",
+    "ThrowStatement",
+    "TupleExpr",
+    "UnaryExpr",
+    "VariableNameExpr",
+]

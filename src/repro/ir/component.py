@@ -1,0 +1,95 @@
+"""Android components and their lifecycle callbacks.
+
+Amandroid analyzes an app per *component* (Activity, Service, Broadcast
+Receiver, Content Provider): for each component it synthesizes an
+*environment method* that over-approximates how the Android framework
+drives the component's lifecycle callbacks, and the IDFG is built from
+that environment method (``IDFG(E_C)`` in the paper's Eq. 1).
+
+This module models components and declares, per component kind, the
+lifecycle callback names an environment method must invoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class ComponentKind(str, Enum):
+    """The four Android component kinds."""
+
+    ACTIVITY = "activity"
+    SERVICE = "service"
+    RECEIVER = "receiver"
+    PROVIDER = "provider"
+
+
+#: Lifecycle callbacks per component kind, in framework invocation
+#: order.  The environment generator wires these into an
+#: over-approximating loop (any callback may repeat / interleave).
+LIFECYCLE_CALLBACKS: Dict[ComponentKind, Tuple[str, ...]] = {
+    ComponentKind.ACTIVITY: (
+        "onCreate",
+        "onStart",
+        "onResume",
+        "onPause",
+        "onStop",
+        "onRestart",
+        "onDestroy",
+    ),
+    ComponentKind.SERVICE: (
+        "onCreate",
+        "onStartCommand",
+        "onBind",
+        "onUnbind",
+        "onDestroy",
+    ),
+    ComponentKind.RECEIVER: ("onReceive",),
+    ComponentKind.PROVIDER: (
+        "onCreate",
+        "query",
+        "insert",
+        "update",
+        "delete",
+    ),
+}
+
+
+@dataclass
+class Component:
+    """One manifest-declared component.
+
+    ``callbacks`` maps a lifecycle callback name (e.g. ``"onCreate"``)
+    to the signature string of the method implementing it; only
+    callbacks the app actually overrides appear.  ``exported`` and
+    ``intent_filters`` mirror the manifest attributes the vetting layer
+    inspects.
+    """
+
+    name: str
+    kind: ComponentKind
+    callbacks: Dict[str, str] = field(default_factory=dict)
+    exported: bool = False
+    intent_filters: List[str] = field(default_factory=list)
+
+    @property
+    def environment_name(self) -> str:
+        """Name of the synthesized environment method for this component."""
+        return f"{self.name}.__env__"
+
+    def declared_callbacks(self) -> List[Tuple[str, str]]:
+        """(callback, implementing signature) pairs in lifecycle order."""
+        order = LIFECYCLE_CALLBACKS[self.kind]
+        ordered = [
+            (cb, self.callbacks[cb]) for cb in order if cb in self.callbacks
+        ]
+        # Custom (non-lifecycle) callbacks, e.g. onClick handlers,
+        # follow the lifecycle ones deterministically.
+        extras = sorted(set(self.callbacks) - set(order))
+        ordered.extend((cb, self.callbacks[cb]) for cb in extras)
+        return ordered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Component({self.name!r}, {self.kind.value}, {len(self.callbacks)} callbacks)"

@@ -1,0 +1,412 @@
+"""Parser for the textual Jawa-like IR.
+
+Exact inverse of :mod:`repro.ir.printer`; see that module for the
+format.  The parser is deliberately strict -- malformed input raises
+:class:`IRSyntaxError` with a line number -- because the generator and
+the dex loader are the only producers and silent tolerance would mask
+their bugs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.app import AndroidApp, GlobalField
+from repro.ir.component import Component, ComponentKind
+from repro.ir.expressions import (
+    AccessExpr,
+    BinaryExpr,
+    CallRhs,
+    CastExpr,
+    CmpExpr,
+    ConstClassExpr,
+    ExceptionExpr,
+    Expression,
+    IndexingExpr,
+    InstanceOfExpr,
+    LengthExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    UnaryExpr,
+    VariableNameExpr,
+)
+from repro.ir.method import ExceptionHandler, Method, MethodSignature, Parameter
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    GotoStatement,
+    IfStatement,
+    MonitorStatement,
+    ReturnStatement,
+    Statement,
+    SwitchStatement,
+    ThrowStatement,
+)
+from repro.ir.types import ObjectType, parse_descriptor
+
+_IDENT = r"[A-Za-z_$][A-Za-z0-9_$]*"
+_VAR_RE = re.compile(rf"^{_IDENT}$")
+_BINARY_RE = re.compile(
+    rf"^({_IDENT})\s*(\+|-|\*|/|%|&|\||\^|<<|>>>|>>)\s*({_IDENT})$"
+)
+_UNARY_RE = re.compile(rf"^([-!~])({_IDENT})$")
+_CMP_RE = re.compile(rf"^(cmpl?|cmpg|cmp)\(({_IDENT}),\s*({_IDENT})\)$")
+_LENGTH_RE = re.compile(rf"^length\(({_IDENT})\)$")
+_INSTANCEOF_RE = re.compile(rf"^({_IDENT})\s+instanceof\s+(\S+)$")
+_ACCESS_RE = re.compile(rf"^({_IDENT})\.({_IDENT})$")
+_STATIC_RE = re.compile(rf"^@@([A-Za-z0-9_.$]+)\.({_IDENT})$")
+_INDEX_RE = re.compile(rf"^({_IDENT})\[({_IDENT})\]$")
+_CAST_RE = re.compile(rf"^\((\S+)\)\s+({_IDENT})$")
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+$")
+_CALL_STMT_RE = re.compile(rf"^call\s+(?:({_IDENT})\s*:=\s*)?(.+)$")
+_SIG_RE = re.compile(r"^([A-Za-z0-9_.$]+)\.([A-Za-z0-9_$<>]+)\((.*)\)(.+)$")
+_SWITCH_RE = re.compile(rf"^switch\s+({_IDENT})\s*\{{\s*(.*)\s*\}}$")
+_CASE_RE = re.compile(r"^case\s+(-?\d+):\s*goto\s+(\S+)$")
+_DEFAULT_RE = re.compile(r"^default:\s*goto\s+(\S+)$")
+
+
+class IRSyntaxError(ValueError):
+    """Raised for malformed textual IR, carrying the offending line."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def parse_signature(text: str) -> MethodSignature:
+    """Parse ``owner.name(paramdescs)retdesc`` into a signature."""
+    match = _SIG_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"malformed method signature: {text!r}")
+    owner_and_name = match.group(1) + "." + match.group(2)
+    owner, _, name = owner_and_name.rpartition(".")
+    param_blob, return_blob = match.group(3), match.group(4)
+    params = tuple(parse_descriptor(d) for d in _split_descriptors(param_blob))
+    return MethodSignature(owner, name, params, parse_descriptor(return_blob))
+
+
+def _split_descriptors(blob: str) -> List[str]:
+    """Split concatenated dex descriptors (``ILjava/lang/String;[I``)."""
+    out: List[str] = []
+    i = 0
+    while i < len(blob):
+        start = i
+        while blob[i] == "[":
+            i += 1
+        if blob[i] == "L":
+            end = blob.index(";", i)
+            i = end + 1
+        else:
+            i += 1
+        out.append(blob[start:i])
+    return out
+
+
+def _parse_literal(token: str) -> Optional[LiteralExpr]:
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        inner = token[1:-1]
+        inner = inner.replace('\\"', '"').replace("\\\\", "\\")
+        return LiteralExpr(value=inner)
+    if _INT_RE.match(token):
+        return LiteralExpr(value=int(token))
+    if _FLOAT_RE.match(token):
+        return LiteralExpr(value=float(token))
+    if token in ("true", "false"):
+        return LiteralExpr(value=token == "true")
+    return None
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse one right-hand-side expression (any of the 17 kinds)."""
+    text = text.strip()
+    if text == "null":
+        return NullExpr()
+    if text == "Exception":
+        return ExceptionExpr()
+    if text.startswith("new "):
+        return NewExpr(allocated=ObjectType(text[4:].strip()))
+    if text.startswith("constclass "):
+        return ConstClassExpr(referenced=ObjectType(text[len("constclass "):].strip()))
+    if text.startswith("call "):
+        callee, args = _parse_call_target(text[len("call "):])
+        return CallRhs(callee=callee, args=args)
+    literal = _parse_literal(text)
+    if literal is not None:
+        return literal
+    match = _CAST_RE.match(text)
+    if match is not None:
+        return CastExpr(target=parse_descriptor(match.group(1)), operand=match.group(2))
+    if text.startswith("(") and text.endswith(")"):
+        inner = text[1:-1].strip()
+        elements = tuple(e.strip() for e in inner.split(",")) if inner else ()
+        return TupleExpr(elements=elements)
+    match = _CMP_RE.match(text)
+    if match is not None:
+        return CmpExpr(op=match.group(1), left=match.group(2), right=match.group(3))
+    match = _LENGTH_RE.match(text)
+    if match is not None:
+        return LengthExpr(operand=match.group(1))
+    match = _INSTANCEOF_RE.match(text)
+    if match is not None:
+        return InstanceOfExpr(
+            operand=match.group(1), tested=parse_descriptor(match.group(2))
+        )
+    match = _STATIC_RE.match(text)
+    if match is not None:
+        return StaticFieldAccessExpr(owner=match.group(1), field_name=match.group(2))
+    match = _INDEX_RE.match(text)
+    if match is not None:
+        return IndexingExpr(base=match.group(1), index=match.group(2))
+    match = _ACCESS_RE.match(text)
+    if match is not None:
+        return AccessExpr(base=match.group(1), field_name=match.group(2))
+    match = _BINARY_RE.match(text)
+    if match is not None:
+        return BinaryExpr(op=match.group(2), left=match.group(1), right=match.group(3))
+    match = _UNARY_RE.match(text)
+    if match is not None:
+        return UnaryExpr(op=match.group(1), operand=match.group(2))
+    if _VAR_RE.match(text):
+        return VariableNameExpr(name=text)
+    raise ValueError(f"cannot parse expression: {text!r}")
+
+
+def _parse_call_target(text: str) -> Tuple[str, Tuple[str, ...]]:
+    """Split ``sig(arg, arg)`` where *sig* itself contains parentheses."""
+    text = text.strip()
+    open_paren = text.rfind("(")
+    if open_paren < 0 or not text.endswith(")"):
+        raise ValueError(f"malformed call: {text!r}")
+    callee = text[:open_paren].strip()
+    blob = text[open_paren + 1 : -1].strip()
+    args = tuple(a.strip() for a in blob.split(",")) if blob else ()
+    return callee, args
+
+
+def _parse_lhs(text: str) -> Tuple[str, Optional[Expression]]:
+    """Parse an assignment left-hand side into (name, heap access)."""
+    text = text.strip()
+    match = _STATIC_RE.match(text)
+    if match is not None:
+        access = StaticFieldAccessExpr(owner=match.group(1), field_name=match.group(2))
+        return access.global_slot, access
+    match = _INDEX_RE.match(text)
+    if match is not None:
+        return match.group(1), IndexingExpr(base=match.group(1), index=match.group(2))
+    match = _ACCESS_RE.match(text)
+    if match is not None:
+        return match.group(1), AccessExpr(base=match.group(1), field_name=match.group(2))
+    if _VAR_RE.match(text):
+        return text, None
+    raise ValueError(f"cannot parse assignment target: {text!r}")
+
+
+def parse_statement(label: str, text: str) -> Statement:
+    """Parse one statement body (text after the ``Lx:`` label)."""
+    text = text.strip()
+    if text == "nop":
+        return EmptyStatement(label=label)
+    if text == "return":
+        return ReturnStatement(label=label)
+    if text.startswith("return "):
+        return ReturnStatement(label=label, operand=text[len("return "):].strip())
+    if text.startswith("throw "):
+        return ThrowStatement(label=label, operand=text[len("throw "):].strip())
+    if text.startswith("monitorenter "):
+        return MonitorStatement(label=label, enter=True, operand=text.split()[1])
+    if text.startswith("monitorexit "):
+        return MonitorStatement(label=label, enter=False, operand=text.split()[1])
+    if text.startswith("goto "):
+        return GotoStatement(label=label, target=text.split()[1])
+    if text.startswith("if "):
+        match = re.match(rf"^if\s+({_IDENT})\s+then\s+goto\s+(\S+)$", text)
+        if match is None:
+            raise ValueError(f"malformed if: {text!r}")
+        return IfStatement(label=label, condition=match.group(1), target=match.group(2))
+    match = _SWITCH_RE.match(text)
+    if match is not None:
+        operand, body = match.group(1), match.group(2)
+        cases: List[Tuple[int, str]] = []
+        default = ""
+        for clause in (c.strip() for c in body.split(";") if c.strip()):
+            case_match = _CASE_RE.match(clause)
+            if case_match is not None:
+                cases.append((int(case_match.group(1)), case_match.group(2)))
+                continue
+            default_match = _DEFAULT_RE.match(clause)
+            if default_match is not None:
+                default = default_match.group(1)
+                continue
+            raise ValueError(f"malformed switch clause: {clause!r}")
+        return SwitchStatement(
+            label=label, operand=operand, cases=tuple(cases), default=default
+        )
+    if text.startswith("call "):
+        match = _CALL_STMT_RE.match(text)
+        assert match is not None
+        result, rest = match.group(1), match.group(2)
+        callee, args = _parse_call_target(rest)
+        return CallStatement(label=label, callee=callee, args=args, result=result)
+    if ":=" in text:
+        lhs_text, rhs_text = text.split(":=", 1)
+        lhs, lhs_access = _parse_lhs(lhs_text)
+        rhs = parse_expression(rhs_text)
+        return AssignmentStatement(label=label, lhs=lhs, rhs=rhs, lhs_access=lhs_access)
+    raise ValueError(f"cannot parse statement: {text!r}")
+
+
+def parse_app(source: str) -> AndroidApp:
+    """Parse a full textual app; inverse of ``printer.print_app``."""
+    package = ""
+    category = "uncategorized"
+    globals_: List[GlobalField] = []
+    components: List[Component] = []
+    methods: List[Method] = []
+
+    lines = source.splitlines()
+    index = 0
+
+    def error(message: str) -> IRSyntaxError:
+        return IRSyntaxError(index + 1, message)
+
+    while index < len(lines):
+        line = lines[index].strip()
+        if not line or line.startswith("#"):
+            index += 1
+            continue
+        if line.startswith("app "):
+            parts = line.split()
+            if len(parts) not in (2, 4) or (len(parts) == 4 and parts[2] != "category"):
+                raise error(f"malformed app header: {line!r}")
+            package = parts[1]
+            if len(parts) == 4:
+                category = parts[3]
+            index += 1
+            continue
+        if line.startswith("global "):
+            match = re.match(r"^global\s+(\S+):\s*(\S+)$", line)
+            if match is None:
+                raise error(f"malformed global: {line!r}")
+            globals_.append(
+                GlobalField(name=match.group(1), type=parse_descriptor(match.group(2)))
+            )
+            index += 1
+            continue
+        if line.startswith("component "):
+            component, index = _parse_component(lines, index)
+            components.append(component)
+            continue
+        if line.startswith("method "):
+            method, index = _parse_method(lines, index)
+            methods.append(method)
+            continue
+        raise error(f"unexpected line: {line!r}")
+
+    if not package:
+        raise IRSyntaxError(1, "missing 'app' header")
+    return AndroidApp(
+        package=package,
+        components=components,
+        methods=methods,
+        global_fields=globals_,
+        category=category,
+    )
+
+
+def _parse_component(lines: List[str], index: int) -> Tuple[Component, int]:
+    header = lines[index].strip().split()
+    if len(header) < 3:
+        raise IRSyntaxError(index + 1, f"malformed component header: {lines[index]!r}")
+    name = header[1]
+    kind = ComponentKind(header[2])
+    exported = "exported" in header[3:]
+    callbacks: Dict[str, str] = {}
+    filters: List[str] = []
+    index += 1
+    while index < len(lines):
+        line = lines[index].strip()
+        if line == "end":
+            return (
+                Component(
+                    name=name,
+                    kind=kind,
+                    callbacks=callbacks,
+                    exported=exported,
+                    intent_filters=filters,
+                ),
+                index + 1,
+            )
+        if line.startswith("filter "):
+            filters.append(line[len("filter "):].strip())
+        elif line.startswith("callback "):
+            _, callback, signature = line.split(None, 2)
+            callbacks[callback] = signature.strip()
+        elif line:
+            raise IRSyntaxError(index + 1, f"unexpected component line: {line!r}")
+        index += 1
+    raise IRSyntaxError(index, "unterminated component block")
+
+
+def _parse_method(lines: List[str], index: int) -> Tuple[Method, int]:
+    signature = parse_signature(lines[index].strip()[len("method "):])
+    parameters: List[Parameter] = []
+    locals_: List[Parameter] = []
+    statements: List[Statement] = []
+    handlers: List[ExceptionHandler] = []
+    index += 1
+    while index < len(lines):
+        line = lines[index].strip()
+        if line == "end":
+            return (
+                Method(
+                    signature=signature,
+                    parameters=parameters,
+                    locals=locals_,
+                    statements=statements,
+                    handlers=handlers,
+                ),
+                index + 1,
+            )
+        if line.startswith("catch "):
+            match = re.match(r"^catch\s+(\S+)\s+from\s+(\S+)\s+to\s+(\S+)$", line)
+            if match is None:
+                raise IRSyntaxError(index + 1, f"malformed catch: {line!r}")
+            handlers.append(
+                ExceptionHandler(
+                    handler=match.group(1),
+                    start=match.group(2),
+                    end=match.group(3),
+                )
+            )
+            index += 1
+            continue
+        if line.startswith("param "):
+            match = re.match(r"^param\s+(\S+):\s*(\S+)$", line)
+            if match is None:
+                raise IRSyntaxError(index + 1, f"malformed param: {line!r}")
+            parameters.append(
+                Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
+            )
+        elif line.startswith("local "):
+            match = re.match(r"^local\s+(\S+):\s*(\S+)$", line)
+            if match is None:
+                raise IRSyntaxError(index + 1, f"malformed local: {line!r}")
+            locals_.append(
+                Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
+            )
+        elif line:
+            match = re.match(r"^(\S+):\s*(.+)$", line)
+            if match is None:
+                raise IRSyntaxError(index + 1, f"missing label: {line!r}")
+            try:
+                statements.append(parse_statement(match.group(1), match.group(2)))
+            except ValueError as exc:
+                raise IRSyntaxError(index + 1, str(exc)) from exc
+        index += 1
+    raise IRSyntaxError(index, "unterminated method block")

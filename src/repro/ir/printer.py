@@ -1,0 +1,75 @@
+"""Pretty-printer for the textual Jawa-like IR.
+
+The printer and :mod:`repro.ir.parser` form an exact round-trip pair:
+``parse_app(print_app(app))`` reconstructs an equal app.  The textual
+format is the human-readable interchange format of the reproduction
+(the binary interchange format is :mod:`repro.apk.dex`).
+
+Format sketch::
+
+    app com.example.demo category games
+    global gIntent: Landroid/content/Intent;
+    component com.example.demo.Main activity exported
+      filter android.intent.action.MAIN
+      callback onCreate com.example.demo.Main.onCreate()V
+    end
+    method com.example.demo.Main.onCreate()V
+      param this: Lcom/example/demo/Main;
+      local v0: Landroid/content/Intent;
+      L1: v0 := new android.content.Intent
+      L2: return
+    end
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.app import AndroidApp
+from repro.ir.component import Component
+from repro.ir.method import Method
+
+
+def print_method(method: Method) -> str:
+    """Render one method in concrete syntax."""
+    lines: List[str] = [f"method {method.signature}"]
+    for parameter in method.parameters:
+        lines.append(f"  param {parameter.name}: {parameter.type.descriptor()}")
+    for local in method.locals:
+        lines.append(f"  local {local.name}: {local.type.descriptor()}")
+    for handler in method.handlers:
+        lines.append(
+            f"  catch {handler.handler} from {handler.start} to {handler.end}"
+        )
+    for statement in method.statements:
+        lines.append(f"  {statement.label}: {statement.text()}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_component(component: Component) -> str:
+    """Render one component declaration."""
+    header = f"component {component.name} {component.kind.value}"
+    if component.exported:
+        header += " exported"
+    lines = [header]
+    for intent_filter in component.intent_filters:
+        lines.append(f"  filter {intent_filter}")
+    for callback, signature in sorted(component.callbacks.items()):
+        lines.append(f"  callback {callback} {signature}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_app(app: AndroidApp) -> str:
+    """Render a whole application; inverse of ``parser.parse_app``."""
+    sections: List[str] = [f"app {app.package} category {app.category}"]
+    for global_field in app.global_fields:
+        sections.append(
+            f"global {global_field.name}: {global_field.type.descriptor()}"
+        )
+    for component in app.components:
+        sections.append(print_component(component))
+    for method in app.methods:
+        sections.append(print_method(method))
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,361 @@
+"""The nine statement categories of the Jawa-like IR.
+
+From the paper (Section III-B2): *"there are nine categories of
+statements in Android apps: AssignmentStatement, EmptyStatement,
+MonitorStatement, ThrowStatement, CallStatement, GoToStatement,
+IfStatement, ReturnStatement, and SwitchStatement."*
+
+A statement owns a label (``L<n>`` in the concrete syntax) that doubles
+as its ICFG node identity within a method.  Control-transfer statements
+(:class:`GotoStatement`, :class:`IfStatement`, :class:`SwitchStatement`)
+reference targets by label; the CFG builder resolves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.ir.expressions import AccessExpr, CallRhs, Expression, IndexingExpr, StaticFieldAccessExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """Base class of all statements.
+
+    ``label`` is unique within a method body.  Subclasses define
+    ``kind`` (the statement-category tag used by the original
+    statement-type based node grouping).
+    """
+
+    label: str
+
+    kind = "Statement"
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables read by this statement."""
+        return ()
+
+    def defines(self) -> Optional[str]:
+        """The local variable written by this statement, if any."""
+        return None
+
+    def jump_targets(self) -> Tuple[str, ...]:
+        """Labels of explicit control-transfer successors."""
+        return ()
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next statement."""
+        return True
+
+    def text(self) -> str:
+        """Concrete-syntax form (without label prefix)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentStatement(Statement):
+    """``lhs := rhs`` where *rhs* is one of the 17 expression kinds.
+
+    The left-hand side may be a plain variable name, an instance-field
+    store ``base.field``, an array store ``base[index]``, or a static
+    field ``@@Class.field``; the optional structured forms are carried
+    by ``lhs_access`` so transfer functions can distinguish strong
+    variable updates from weak heap updates.
+    """
+
+    kind = "AssignmentStatement"
+
+    lhs: str = ""
+    rhs: Expression = field(default_factory=Expression)
+    #: Either None (plain variable), or one of AccessExpr /
+    #: IndexingExpr / StaticFieldAccessExpr describing a heap store.
+    lhs_access: Optional[Expression] = None
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        used = tuple(self.rhs.uses())
+        if self.lhs_access is not None:
+            used = used + tuple(self.lhs_access.uses())
+        return used
+
+    def defines(self) -> Optional[str]:
+        # Heap stores do not define a local variable.
+        """The local variable written by this statement, if any."""
+        return self.lhs if self.lhs_access is None else None
+
+    @property
+    def is_heap_store(self) -> bool:
+        """True for field / array / static stores (weak updates)."""
+        return self.lhs_access is not None
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        if self.lhs_access is not None:
+            return f"{self.lhs_access.text()} := {self.rhs.text()}"
+        return f"{self.lhs} := {self.rhs.text()}"
+
+
+@dataclass(frozen=True, slots=True)
+class EmptyStatement(Statement):
+    """A no-op placeholder (also used as explicit join points)."""
+
+    kind = "EmptyStatement"
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        return "nop"
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorStatement(Statement):
+    """``monitorenter v`` / ``monitorexit v`` synchronization."""
+
+    kind = "MonitorStatement"
+
+    enter: bool = True
+    operand: str = ""
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return (self.operand,)
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        word = "monitorenter" if self.enter else "monitorexit"
+        return f"{word} {self.operand}"
+
+
+@dataclass(frozen=True, slots=True)
+class ThrowStatement(Statement):
+    """``throw v``; terminates normal control flow."""
+
+    kind = "ThrowStatement"
+
+    operand: str = ""
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return (self.operand,)
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next statement."""
+        return False
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        return f"throw {self.operand}"
+
+
+@dataclass(frozen=True, slots=True)
+class CallStatement(Statement):
+    """A call whose result (if any) is bound to ``result``.
+
+    ``call r := m(a, b)`` or ``call m(a, b)`` in the concrete syntax.
+    ``callee`` holds the target signature string; the call graph layer
+    resolves it (virtual dispatch is out of scope for the synthetic
+    corpus -- signatures are unique).
+    """
+
+    kind = "CallStatement"
+
+    callee: str = ""
+    args: Tuple[str, ...] = ()
+    result: Optional[str] = None
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return self.args
+
+    def defines(self) -> Optional[str]:
+        """The local variable written by this statement, if any."""
+        return self.result
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        call = f"call {self.callee}(" + ", ".join(self.args) + ")"
+        if self.result is not None:
+            return f"call {self.result} := {self.callee}(" + ", ".join(self.args) + ")"
+        return call
+
+
+@dataclass(frozen=True, slots=True)
+class GotoStatement(Statement):
+    """Unconditional jump ``goto Lx``."""
+
+    kind = "GoToStatement"
+
+    target: str = ""
+
+    def jump_targets(self) -> Tuple[str, ...]:
+        """Labels of explicit control-transfer successors."""
+        return (self.target,)
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next statement."""
+        return False
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class IfStatement(Statement):
+    """Conditional branch ``if cond then goto Lx`` (falls through otherwise)."""
+
+    kind = "IfStatement"
+
+    condition: str = ""
+    target: str = ""
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return (self.condition,)
+
+    def jump_targets(self) -> Tuple[str, ...]:
+        """Labels of explicit control-transfer successors."""
+        return (self.target,)
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        return f"if {self.condition} then goto {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnStatement(Statement):
+    """``return`` or ``return v``; exits the method."""
+
+    kind = "ReturnStatement"
+
+    operand: Optional[str] = None
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return () if self.operand is None else (self.operand,)
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control may continue to the next statement."""
+        return False
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        return "return" if self.operand is None else f"return {self.operand}"
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchStatement(Statement):
+    """``switch v { case k: goto Lx; ... default: goto Ld }``."""
+
+    kind = "SwitchStatement"
+
+    operand: str = ""
+    cases: Tuple[Tuple[int, str], ...] = ()
+    default: str = ""
+
+    def uses(self) -> Tuple[str, ...]:
+        """Names of local variables this node reads."""
+        return (self.operand,)
+
+    def jump_targets(self) -> Tuple[str, ...]:
+        """Labels of explicit control-transfer successors."""
+        targets = tuple(label for _, label in self.cases)
+        if self.default:
+            targets = targets + (self.default,)
+        return targets
+
+    @property
+    def falls_through(self) -> bool:
+        # All outcomes are explicit (default included): no fall-through.
+        """True when control may continue to the next statement."""
+        return not self.default
+
+    def text(self) -> str:
+        """Concrete-syntax form (see :mod:`repro.ir.parser`)."""
+        parts = [f"case {value}: goto {label}" for value, label in self.cases]
+        if self.default:
+            parts.append(f"default: goto {self.default}")
+        return f"switch {self.operand} {{ " + "; ".join(parts) + " }"
+
+
+#: The nine statement categories, in the paper's order.
+STATEMENT_KINDS = (
+    "AssignmentStatement",
+    "EmptyStatement",
+    "MonitorStatement",
+    "ThrowStatement",
+    "CallStatement",
+    "GoToStatement",
+    "IfStatement",
+    "ReturnStatement",
+    "SwitchStatement",
+)
+
+
+def branch_class(statement: Statement) -> str:
+    """The branch class of a node under the *original* grouping scheme.
+
+    Non-assignment statements each form their own class; assignments
+    are split further by their right-hand-side expression kind, giving
+    ``8 + 17 = 25`` classes in total -- the count the paper cites as
+    the source of branch divergence on GPU.
+    """
+    if isinstance(statement, AssignmentStatement):
+        return statement.rhs.kind
+    return statement.kind
+
+
+def heap_store_kind(statement: Statement) -> Optional[str]:
+    """Classify a heap store's left-hand side, or None for non-stores."""
+    if not isinstance(statement, AssignmentStatement) or statement.lhs_access is None:
+        return None
+    if isinstance(statement.lhs_access, AccessExpr):
+        return "field"
+    if isinstance(statement.lhs_access, IndexingExpr):
+        return "array"
+    if isinstance(statement.lhs_access, StaticFieldAccessExpr):
+        return "static"
+    raise TypeError(f"unsupported lhs access: {statement.lhs_access!r}")
+
+
+def is_call(statement: Statement) -> bool:
+    """True for call statements and assignments with a CallRhs."""
+    if isinstance(statement, CallStatement):
+        return True
+    return isinstance(statement, AssignmentStatement) and isinstance(statement.rhs, CallRhs)
+
+
+def may_throw(statement: Statement) -> bool:
+    """May this statement raise at runtime (exceptional CFG edge)?
+
+    Mirrors Dalvik semantics: calls, allocations, heap loads/stores,
+    array accesses, casts, monitors and explicit throws can all raise;
+    pure register moves, constants and jumps cannot.
+    """
+    if isinstance(statement, (ThrowStatement, MonitorStatement, CallStatement)):
+        return True
+    if isinstance(statement, AssignmentStatement):
+        if statement.lhs_access is not None:
+            return True  # heap/array/static store
+        return statement.rhs.kind in (
+            "AccessExpr",
+            "IndexingExpr",
+            "NewExpr",
+            "CastExpr",
+            "CallRhs",
+            "LengthExpr",
+        )
+    return False
+
+
+def callee_of(statement: Statement) -> Optional[str]:
+    """Signature string of the statement's callee, if it is a call."""
+    if isinstance(statement, CallStatement):
+        return statement.callee
+    if isinstance(statement, AssignmentStatement) and isinstance(statement.rhs, CallRhs):
+        return statement.rhs.callee
+    return None

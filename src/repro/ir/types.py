@@ -1,0 +1,161 @@
+"""Type system for the Jawa-like IR.
+
+Jawa (Amandroid's IR for Dalvik bytecode) distinguishes primitive types,
+object (class) types, and array types.  The reproduction keeps the same
+three-way split.  Types are immutable value objects: two types compare
+equal iff their canonical descriptors are equal, which lets them be used
+as dictionary keys throughout the CFG and data-flow layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Names of the Dalvik primitive types (plus ``void`` for return types).
+PRIMITIVE_NAMES = (
+    "boolean",
+    "byte",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "void",
+)
+
+#: Single-character descriptors used by the dex-like container.
+_PRIMITIVE_DESCRIPTORS = {
+    "boolean": "Z",
+    "byte": "B",
+    "char": "C",
+    "short": "S",
+    "int": "I",
+    "long": "J",
+    "float": "F",
+    "double": "D",
+    "void": "V",
+}
+_DESCRIPTOR_TO_NAME = {v: k for k, v in _PRIMITIVE_DESCRIPTORS.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class JawaType:
+    """Base class for all IR types; concrete kinds are the subclasses."""
+
+    def descriptor(self) -> str:
+        """Return the canonical dex-style descriptor for this type."""
+        raise NotImplementedError
+
+    @property
+    def is_object(self) -> bool:
+        """True when values of this type may carry points-to facts."""
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.descriptor()
+
+
+@dataclass(frozen=True, slots=True)
+class PrimitiveType(JawaType):
+    """A Dalvik primitive type such as ``int`` or ``boolean``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _PRIMITIVE_DESCRIPTORS:
+            raise ValueError(f"unknown primitive type: {self.name!r}")
+
+    def descriptor(self) -> str:
+        """Canonical dex-style type descriptor."""
+        return _PRIMITIVE_DESCRIPTORS[self.name]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectType(JawaType):
+    """A class type, e.g. ``ObjectType("android.content.Intent")``."""
+
+    class_name: str
+
+    def descriptor(self) -> str:
+        """Canonical dex-style type descriptor."""
+        return "L" + self.class_name.replace(".", "/") + ";"
+
+    @property
+    def is_object(self) -> bool:
+        """True when values may carry points-to facts."""
+        return True
+
+    @property
+    def simple_name(self) -> str:
+        """The class name without its package prefix."""
+        return self.class_name.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType(JawaType):
+    """An array type; ``element`` may itself be an array (nested arrays)."""
+
+    element: JawaType
+
+    def descriptor(self) -> str:
+        """Canonical dex-style type descriptor."""
+        return "[" + self.element.descriptor()
+
+    @property
+    def is_object(self) -> bool:
+        # Arrays are heap objects regardless of their element type.
+        """True when values may carry points-to facts."""
+        return True
+
+    @property
+    def dimensions(self) -> int:
+        """Number of array dimensions (``int[][]`` has 2)."""
+        if isinstance(self.element, ArrayType):
+            return 1 + self.element.dimensions
+        return 1
+
+
+@lru_cache(maxsize=None)
+def primitive(name: str) -> PrimitiveType:
+    """Interned constructor for primitive types (``primitive("int")``)."""
+    return PrimitiveType(name)
+
+
+#: Frequently used types, pre-interned.
+INT = primitive("int")
+LONG = primitive("long")
+FLOAT = primitive("float")
+DOUBLE = primitive("double")
+BOOLEAN = primitive("boolean")
+VOID = primitive("void")
+OBJECT = ObjectType("java.lang.Object")
+STRING = ObjectType("java.lang.String")
+CLASS = ObjectType("java.lang.Class")
+THROWABLE = ObjectType("java.lang.Throwable")
+INTENT = ObjectType("android.content.Intent")
+CONTEXT = ObjectType("android.content.Context")
+BUNDLE = ObjectType("android.os.Bundle")
+
+
+def parse_descriptor(descriptor: str) -> JawaType:
+    """Parse a dex-style type descriptor back into a :class:`JawaType`.
+
+    >>> parse_descriptor("I")
+    PrimitiveType(name='int')
+    >>> parse_descriptor("[Ljava/lang/String;").dimensions
+    1
+    """
+    if not descriptor:
+        raise ValueError("empty type descriptor")
+    if descriptor[0] == "[":
+        return ArrayType(parse_descriptor(descriptor[1:]))
+    if descriptor[0] == "L":
+        if not descriptor.endswith(";"):
+            raise ValueError(f"unterminated object descriptor: {descriptor!r}")
+        return ObjectType(descriptor[1:-1].replace("/", "."))
+    name = _DESCRIPTOR_TO_NAME.get(descriptor)
+    if name is None:
+        raise ValueError(f"unknown type descriptor: {descriptor!r}")
+    return primitive(name)

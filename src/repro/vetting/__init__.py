@@ -1,0 +1,45 @@
+"""Security vetting on top of the IDFG (the system's raison d'etre).
+
+Amandroid's architecture -- which GDroid accelerates -- builds the
+IDFG once and then runs cheap *plugins* over it.  This package is that
+plugin layer:
+
+* :mod:`repro.vetting.sources_sinks` -- the Android source/sink API
+  table (SuSi-style categories).
+* :mod:`repro.vetting.ddg` -- the data-dependence graph derived from
+  per-node points-to facts.
+* :mod:`repro.vetting.taint` -- interprocedural taint analysis: which
+  sensitive sources can reach which exfiltration sinks.
+* :mod:`repro.vetting.report` -- vetting verdicts for an app.
+"""
+
+from repro.vetting.ddg import DataDependenceGraph, build_ddg
+from repro.vetting.icc import IccAnalysis, IccFlow
+from repro.vetting.report import VettingReport, vet_app, vet_workload
+from repro.vetting.sources_sinks import (
+    ICC_SEND_APIS,
+    SINK_CATEGORIES,
+    SOURCE_CATEGORIES,
+    is_icc_send,
+    is_sink,
+    is_source,
+)
+from repro.vetting.taint import TaintAnalysis, TaintFlow
+
+__all__ = [
+    "DataDependenceGraph",
+    "ICC_SEND_APIS",
+    "IccAnalysis",
+    "IccFlow",
+    "SINK_CATEGORIES",
+    "SOURCE_CATEGORIES",
+    "TaintAnalysis",
+    "TaintFlow",
+    "VettingReport",
+    "build_ddg",
+    "is_icc_send",
+    "is_sink",
+    "is_source",
+    "vet_app",
+    "vet_workload",
+]

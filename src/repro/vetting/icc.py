@@ -1,0 +1,113 @@
+"""Inter-Component Communication (ICC) analysis.
+
+The related-work tools the paper positions against -- IccTA and
+DialDroid -- track flows that cross component boundaries through
+Intents.  This module is that analysis on top of our IDFG + taint
+substrate:
+
+* an *ICC send site* is a call to ``startActivity`` / ``sendBroadcast``
+  / ``startService`` whose Intent argument may point to a tainted
+  instance (sensitive data packed into the Intent);
+* candidate *receivers* are manifest components of the matching kind
+  that are exported (or advertise intent filters) -- the
+  over-approximation inter-app analyses must make when the concrete
+  Intent target is not a compile-time constant.
+
+The result complements :mod:`repro.vetting.taint`'s direct sink flows:
+an app can be clean on direct exfiltration yet still leak through a
+collusive or hijackable component boundary (DialDroid's "collusive
+data leak").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.idfg import IDFG
+from repro.ir.app import AndroidApp
+from repro.ir.component import ComponentKind
+from repro.vetting.sources_sinks import ICC_SEND_APIS
+from repro.vetting.taint import TaintAnalysis, _call_sites
+
+
+@dataclass(frozen=True)
+class IccFlow:
+    """Sensitive data crossing a component boundary via an Intent."""
+
+    method: str
+    send_label: str
+    send_api: str
+    #: Component kind the Intent targets (activity/receiver/service).
+    target_kind: str
+    #: Source APIs whose data may ride in the Intent.
+    source_apis: Tuple[str, ...]
+    #: Exported components of the matching kind that could receive it.
+    candidate_receivers: Tuple[str, ...]
+
+    @property
+    def escapes_app(self) -> bool:
+        """True when an *exported* component could hijack the Intent."""
+        return bool(self.candidate_receivers)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        receivers = ", ".join(self.candidate_receivers) or "(internal only)"
+        return (
+            f"{self.method} @ {self.send_label}: Intent({self.target_kind}) "
+            f"carries {len(self.source_apis)} source(s) -> {receivers}"
+        )
+
+
+class IccAnalysis:
+    """Find tainted ICC sends and their candidate receivers."""
+
+    def __init__(
+        self,
+        app: AndroidApp,
+        idfg: IDFG,
+        taint: Optional[TaintAnalysis] = None,
+    ) -> None:
+        self.app = app
+        self.idfg = idfg
+        if taint is None:
+            taint = TaintAnalysis(app, idfg)
+            taint.run()
+        self.taint = taint
+
+    def _receivers_for(self, kind: str) -> Tuple[str, ...]:
+        wanted = ComponentKind(kind)
+        return tuple(
+            component.name
+            for component in self.app.components
+            if component.kind == wanted
+            and (component.exported or component.intent_filters)
+        )
+
+    def run(self) -> List[IccFlow]:
+        """Execute to completion and return the results."""
+        flows: List[IccFlow] = []
+        for signature in self.idfg.method_facts:
+            if signature not in self.app.method_table:
+                continue
+            for site in _call_sites(self.app, signature):
+                kind = ICC_SEND_APIS.get(site.callee)
+                if kind is None:
+                    continue
+                provenance = set()
+                for arg in site.args:
+                    provenance.update(
+                        self.taint._pts_provenance(signature, site.node, arg)
+                    )
+                if not provenance:
+                    continue
+                flows.append(
+                    IccFlow(
+                        method=signature,
+                        send_label=site.label,
+                        send_api=site.callee,
+                        target_kind=kind,
+                        source_apis=tuple(sorted(provenance)),
+                        candidate_receivers=self._receivers_for(kind),
+                    )
+                )
+        return flows

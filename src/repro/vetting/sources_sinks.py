@@ -1,0 +1,85 @@
+"""Android source/sink API table (SuSi-style categories).
+
+A *source* produces sensitive data (device identifiers, location,
+accounts, content-provider rows); a *sink* moves data off the device
+or into an observable channel (SMS, network, logs, files).  The table
+keys on the fully qualified method signature strings the IR uses for
+external calls, so lookup is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Signature -> sensitive-data category.
+SOURCE_CATEGORIES: Dict[str, str] = {
+    "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;": "UNIQUE_IDENTIFIER",
+    "android.location.LocationManager.getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;": "LOCATION",
+    "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;": "ACCOUNT",
+    "android.content.ContentResolver.query(Landroid/net/Uri;)Landroid/database/Cursor;": "DATABASE",
+}
+
+#: Signature -> exfiltration-channel category.
+SINK_CATEGORIES: Dict[str, str] = {
+    "android.telephony.SmsManager.sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V": "SMS",
+    "java.net.HttpURLConnection.connect(Ljava/lang/String;)V": "NETWORK",
+    "android.util.Log.d(Ljava/lang/String;Ljava/lang/String;)I": "LOG",
+    "java.io.FileOutputStream.write(Ljava/lang/String;)V": "FILE",
+}
+
+#: ICC send APIs: data put into an Intent here leaves the component
+#: boundary (IccTA / DialDroid's analysis target).  Values name the
+#: component kind the Intent is delivered to.
+ICC_SEND_APIS: Dict[str, str] = {
+    "android.content.Context.startActivity(Landroid/content/Intent;)V": "activity",
+    "android.content.Context.sendBroadcast(Landroid/content/Intent;)V": "receiver",
+    "android.content.Context.startService(Landroid/content/Intent;)Landroid/content/ComponentName;": "service",
+}
+
+#: Category pair -> severity of the flow (drives the report's score).
+FLOW_SEVERITY: Dict[tuple, int] = {
+    ("UNIQUE_IDENTIFIER", "SMS"): 9,
+    ("UNIQUE_IDENTIFIER", "NETWORK"): 8,
+    ("LOCATION", "SMS"): 9,
+    ("LOCATION", "NETWORK"): 8,
+    ("ACCOUNT", "NETWORK"): 8,
+    ("ACCOUNT", "SMS"): 9,
+    ("DATABASE", "NETWORK"): 7,
+    ("DATABASE", "SMS"): 8,
+}
+#: Default severities by sink channel when the pair is not listed.
+_DEFAULT_BY_SINK = {"SMS": 7, "NETWORK": 6, "LOG": 3, "FILE": 4}
+
+
+def is_source(callee: str) -> bool:
+    """True when the API produces sensitive data."""
+    return callee in SOURCE_CATEGORIES
+
+
+def is_sink(callee: str) -> bool:
+    """True when the API can exfiltrate data."""
+    return callee in SINK_CATEGORIES
+
+
+def is_icc_send(callee: str) -> bool:
+    """True when the API sends an Intent across components."""
+    return callee in ICC_SEND_APIS
+
+
+def source_category(callee: str) -> Optional[str]:
+    """Sensitive-data category of a source API, or None."""
+    return SOURCE_CATEGORIES.get(callee)
+
+
+def sink_category(callee: str) -> Optional[str]:
+    """Exfiltration-channel category of a sink API, or None."""
+    return SINK_CATEGORIES.get(callee)
+
+
+def flow_severity(source: str, sink: str) -> int:
+    """1-10 severity of a source-category -> sink-category flow."""
+    src = SOURCE_CATEGORIES.get(source, source)
+    snk = SINK_CATEGORIES.get(sink, sink)
+    if (src, snk) in FLOW_SEVERITY:
+        return FLOW_SEVERITY[(src, snk)]
+    return _DEFAULT_BY_SINK.get(snk, 5)

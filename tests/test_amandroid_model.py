@@ -1,0 +1,67 @@
+"""Amandroid pipeline-model decomposition tests (Fig. 1 machinery)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.engine import AppWorkload
+from repro.cpu.amandroid import (
+    AmandroidCostTable,
+    AmandroidModel,
+    DEFAULT_AMANDROID_COSTS,
+)
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AppWorkload.build(tiny_app(19))
+
+
+class TestDecomposition:
+    def test_fraction_is_idfg_over_total(self, workload):
+        timing = AmandroidModel().analyze(workload)
+        expected = timing.idfg_cycles / timing.total_cycles
+        assert timing.idfg_fraction == pytest.approx(expected)
+
+    def test_zero_visit_workload_edge(self):
+        # A components-free app with a single trivial method.
+        from repro.ir.parser import parse_app
+
+        app = parse_app("app p\nmethod a.B.m()V\n  L0: return\nend\n")
+        workload = AppWorkload.build(app)
+        timing = AmandroidModel().analyze(workload)
+        assert timing.frontend_cycles > 0
+        assert 0.0 <= timing.idfg_fraction < 1.0
+
+    def test_frontend_scales_with_code_size_only(self, workload):
+        costs = dataclasses.replace(
+            DEFAULT_AMANDROID_COSTS, visit_cycles=0.0, fact_cycles=0.0
+        )
+        timing = AmandroidModel(costs=costs).analyze(workload)
+        assert timing.idfg_cycles == 0.0
+        expected = (
+            costs.frontend_base_cycles
+            + costs.frontend_cycles_per_node * workload.profile.cfg_nodes
+        )
+        assert timing.frontend_cycles == pytest.approx(expected)
+
+    def test_plugin_charges_facts_and_nodes(self, workload):
+        costs = AmandroidCostTable(
+            frontend_cycles_per_node=0.0,
+            frontend_base_cycles=0.0,
+            visit_cycles=0.0,
+            fact_cycles=0.0,
+            plugin_cycles_per_fact=1.0,
+            plugin_cycles_per_node=0.0,
+        )
+        timing = AmandroidModel(costs=costs).analyze(workload)
+        assert timing.plugin_cycles == pytest.approx(
+            workload.idfg.total_fact_count()
+        )
+
+    def test_visit_costs_dominate_defaults(self, workload):
+        """Fig. 1's claim needs the IDFG stage to dominate by default."""
+        timing = AmandroidModel().analyze(workload)
+        assert timing.idfg_cycles > timing.frontend_cycles
+        assert timing.idfg_cycles > timing.plugin_cycles

@@ -1,0 +1,98 @@
+"""Auto-tuner and multi-GPU model tests (the paper's future work)."""
+
+import pytest
+
+from repro.core.autotune import AutoTuner, TuningResult
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload
+from repro.core.multigpu import MultiGPUEngine, scaling_curve
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AppWorkload.build(tiny_app(6))
+
+
+class TestAutoTuner:
+    def test_sweep_covers_grid(self):
+        tuner = AutoTuner(
+            GDroidConfig.mat_only(),
+            methods_per_block_range=(1, 4),
+            blocks_per_sm_range=(1, 8),
+        )
+        result = tuner.tune(tiny_app(6))
+        assert isinstance(result, TuningResult)
+        assert len(result.samples) == 4
+        assert set(result.grid()) == {(1, 1), (1, 8), (4, 1), (4, 8)}
+
+    def test_best_is_grid_minimum(self):
+        tuner = AutoTuner(
+            GDroidConfig.all_optimizations(),
+            methods_per_block_range=(1, 4),
+            blocks_per_sm_range=(1, 8),
+        )
+        result = tuner.tune(tiny_app(6))
+        assert result.best_time_s == min(
+            sample.modeled_time_s for sample in result.samples
+        )
+        key = (result.best.methods_per_block, result.best.blocks_per_sm)
+        assert result.grid()[key] == result.best_time_s
+
+    def test_contention_penalizes_high_occupancy(self):
+        tuner = AutoTuner(
+            GDroidConfig.all_optimizations(),
+            methods_per_block_range=(4,),
+            blocks_per_sm_range=(4, 16),
+        )
+        result = tuner.tune(tiny_app(6))
+        grid = result.grid()
+        assert grid[(4, 16)] >= grid[(4, 4)]
+
+
+class TestMultiGPU:
+    def test_single_device_matches_engine_shape(self, workload):
+        result = MultiGPUEngine(1).analyze(workload)
+        assert result.exchange_cycles == 0.0
+        assert result.compute_cycles > 0
+        assert result.modeled_time_s > 0
+
+    def test_exchange_charged_beyond_one_device(self, workload):
+        result = MultiGPUEngine(4).analyze(workload)
+        assert result.exchange_cycles > 0
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            MultiGPUEngine(0)
+
+    def test_scaling_curve_monotone_devices(self, workload):
+        curve = scaling_curve(workload, device_counts=(1, 2, 4))
+        assert [point.devices for point in curve] == [1, 2, 4]
+        # Compute share never increases with more devices.
+        assert curve[2].compute_cycles <= curve[0].compute_cycles + 1e-6
+
+    def test_scaling_is_sublinear(self, workload):
+        curve = scaling_curve(workload, device_counts=(1, 8))
+        speedup = curve[0].modeled_time_s / curve[1].modeled_time_s
+        assert speedup < 8.0
+
+
+class TestCorpusThroughput:
+    def test_perfect_split(self):
+        from repro.core.multigpu import corpus_throughput_cycles
+
+        assert corpus_throughput_cycles([10.0, 10.0], 2) == 10.0
+        assert corpus_throughput_cycles([10.0, 10.0], 1) == 20.0
+
+    def test_bounded_by_largest_app(self):
+        from repro.core.multigpu import corpus_throughput_cycles
+
+        cycles = [100.0, 1.0, 1.0, 1.0]
+        assert corpus_throughput_cycles(cycles, 4) == 100.0
+
+    def test_empty_and_invalid(self):
+        from repro.core.multigpu import corpus_throughput_cycles
+
+        assert corpus_throughput_cycles([], 3) == 0.0
+        with pytest.raises(ValueError):
+            corpus_throughput_cycles([1.0], 0)

@@ -1,0 +1,78 @@
+"""Benchmark-infrastructure tests: stats, figures, harness."""
+
+import pytest
+
+from repro.apk.corpus import AppCorpus
+from repro.bench.figures import render_series, render_table, sparkline
+from repro.bench.harness import evaluate_app, evaluate_corpus
+from repro.bench.stats import (
+    describe,
+    percent_below,
+    percent_between,
+    size_mix,
+    sorted_descending,
+)
+from tests.conftest import TINY_PROFILE, tiny_app
+
+
+class TestStats:
+    def test_percent_below(self):
+        assert percent_below([1, 2, 3, 4], 3) == 50.0
+        assert percent_below([], 3) == 0.0
+
+    def test_percent_between(self):
+        assert percent_between([1, 2, 3, 4], 2, 4) == 50.0
+
+    def test_size_mix(self):
+        assert size_mix([1, 32, 33, 64, 65, 100]) == (2, 2, 2)
+
+    def test_describe(self):
+        summary = describe([3.0, 1.0, 2.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert describe([])["n"] == 0
+
+    def test_sorted_descending(self):
+        assert sorted_descending([1, 3, 2]) == [3, 2, 1]
+
+
+class TestFigures:
+    def test_sparkline_bounds(self):
+        line = sparkline(list(range(200)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "   "
+
+    def test_render_table(self):
+        text = render_table("T", [("m", "1x", "1.1x")])
+        assert "T" in text and "1.1x" in text
+
+    def test_render_series(self):
+        text = render_series("Fig", [1.0, 2.0, 3.0])
+        assert "max 3.00x" in text
+
+
+class TestHarness:
+    def test_evaluate_app_fields(self):
+        row = evaluate_app(tiny_app(0))
+        assert row.plain_s > 0 and row.full_s > 0 and row.cpu_s > 0
+        assert row.mat_speedup > 1.0
+        assert row.gdroid_speedup == pytest.approx(row.plain_s / row.full_s)
+        assert 0 < row.memory_ratio < 1
+        assert 0 < row.idfg_fraction < 1
+        assert sum(row.wl_mix_sync) == row.iterations_sync
+
+    def test_corpus_cache(self):
+        corpus = AppCorpus(size=2, profile=TINY_PROFILE, base_seed=990)
+        first = evaluate_corpus(corpus)
+        second = evaluate_corpus(corpus)
+        assert [r.package for r in first] == [r.package for r in second]
+        # Cached objects are reused, not recomputed.
+        assert first[0] is second[0]
+
+    def test_corpus_limit(self):
+        corpus = AppCorpus(size=4, profile=TINY_PROFILE, base_seed=991)
+        rows = evaluate_corpus(corpus, limit=2)
+        assert len(rows) == 2

@@ -1,0 +1,60 @@
+"""Cost-breakdown sanity: each configuration's cycles go where the
+paper's bottleneck analysis says they should."""
+
+import pytest
+
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload, GDroid
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AppWorkload.build(tiny_app(13))
+
+
+def shares(result):
+    # idle_lane_cycles is a diagnostic metric, not a charged cost.
+    charged = {
+        key: value
+        for key, value in result.breakdown.items()
+        if key != "idle_lane_cycles"
+    }
+    total = sum(charged.values()) or 1.0
+    return {key: value / total for key, value in charged.items()}
+
+
+class TestBreakdownShape:
+    def test_plain_is_allocation_dominated(self, workload):
+        """Bottleneck #1: dynamic allocation dominates the plain port."""
+        result = GDroid(GDroidConfig.plain()).price(workload)
+        assert shares(result)["alloc_stall_cycles"] > 0.5
+
+    def test_mat_has_zero_allocation(self, workload):
+        result = GDroid(GDroidConfig.mat_only()).price(workload)
+        assert result.breakdown["alloc_stall_cycles"] == 0.0
+
+    def test_mat_is_memory_and_issue_bound(self, workload):
+        """After MAT, memory transactions + warp/sync overheads are the
+        budget -- the surface GRP and MER then optimize."""
+        result = GDroid(GDroidConfig.mat_only()).price(workload)
+        mix = shares(result)
+        assert mix["memory_cycles"] + mix["sync_cycles"] + mix["compute_cycles"] > 0.7
+
+    def test_grp_trades_divergence_for_sort(self, workload):
+        mat = GDroid(GDroidConfig.mat_only()).price(workload)
+        grp = GDroid(GDroidConfig.mat_grp()).price(workload)
+        assert grp.breakdown["divergence_cycles"] < mat.breakdown["divergence_cycles"]
+        assert grp.breakdown["sort_cycles"] > 0.0
+        assert mat.breakdown["sort_cycles"] == 0.0
+
+    def test_mer_curbs_redundant_visits(self, workload):
+        """MER deduplicates; on tiny apps the postponement can add a
+        few revisits, so the bound is approximate."""
+        grp = GDroid(GDroidConfig.mat_grp()).price(workload)
+        full = GDroid(GDroidConfig.all_optimizations()).price(workload)
+        assert full.visits <= grp.visits * 1.15
+
+    def test_idle_lanes_tracked(self, workload):
+        result = GDroid(GDroidConfig.mat_grp()).price(workload)
+        assert result.breakdown["idle_lane_cycles"] >= 0.0

@@ -1,0 +1,82 @@
+"""CLI smoke tests (argument wiring and output shape)."""
+
+import pytest
+
+from repro.apk.loader import save_gdx
+from repro.cli import main
+from tests.conftest import tiny_app
+
+
+@pytest.fixture
+def gdx_path(tmp_path):
+    path = tmp_path / "app.gdx"
+    save_gdx(tiny_app(0), path)
+    return str(path)
+
+
+def test_generate(tmp_path, capsys):
+    out = str(tmp_path / "generated.gdx")
+    assert main(["generate", "--seed", "3", "--scale", "0.06", "--out", out]) == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured and "methods" in captured
+
+
+def test_analyze_single_config(gdx_path, capsys):
+    assert main(["analyze", gdx_path, "--config", "mat"]) == 0
+    captured = capsys.readouterr().out
+    assert "mat" in captured and "IDFG" in captured
+
+
+def test_analyze_all_configs(gdx_path, capsys):
+    assert main(["analyze", gdx_path, "--all"]) == 0
+    captured = capsys.readouterr().out
+    for name in ("plain", "mat", "mat-grp", "full", "cpu"):
+        assert name in captured
+
+
+def test_vet_exit_codes(gdx_path, capsys, tmp_path):
+    code = main(["vet", gdx_path])
+    captured = capsys.readouterr().out
+    assert "verdict" in captured
+    assert code in (0, 2)
+
+    # A known-leaky app must exit 2.
+    from repro.ir.parser import parse_app
+    from tests.conftest import LEAKY_APP_SOURCE
+
+    leaky = tmp_path / "leaky.gdx"
+    save_gdx(parse_app(LEAKY_APP_SOURCE), leaky)
+    assert main(["vet", str(leaky)]) == 2
+
+
+def test_corpus_stats(capsys):
+    assert main(["corpus", "--apps", "3", "--scale", "0.06"]) == 0
+    captured = capsys.readouterr().out
+    assert "no. of CFG Nodes" in captured
+
+
+def test_bench_rows(capsys):
+    assert main(["bench", "--apps", "2", "--scale", "0.06"]) == 0
+    captured = capsys.readouterr().out
+    assert "MAT vs plain" in captured
+    assert "GDroid vs plain" in captured
+
+
+def test_analyze_timeline_export(gdx_path, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["analyze", gdx_path, "--config", "full", "--timeline", str(out)]) == 0
+    import json
+
+    document = json.loads(out.read_text())
+    assert document["traceEvents"]
+
+
+def test_tune(gdx_path, capsys):
+    assert main(["tune", gdx_path]) == 0
+    captured = capsys.readouterr().out
+    assert "optimum" in captured
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

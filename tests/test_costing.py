@@ -1,0 +1,152 @@
+"""Cost-adapter tests: the four bottleneck channels react correctly."""
+
+import pytest
+
+from repro.core.blockexec import BlockRunner
+from repro.core.blocks import BlockAssignment
+from repro.core.config import GDroidConfig
+from repro.core.costing import _SetCapacityModel, _sort_cycles, price_block, set_store_bytes
+from repro.core.gdroid_kernel import price_gdroid_block, select_trace
+from repro.core.plain_kernel import price_plain_block
+from repro.dataflow.lattice import INITIAL_CAPACITY
+from repro.gpu.spec import CostTable
+
+
+@pytest.fixture
+def block_result(demo_app):
+    from repro.cfg.environment import app_with_environments
+
+    analyzed = app_with_environments(demo_app)
+    helper = "com.demo.Main.helper(Ljava/lang/Object;)Ljava/lang/Object;"
+    main = "com.demo.Main.onCreate(Landroid/content/Intent;)V"
+    assignment = BlockAssignment(block_id=0, layer=0, methods=(helper, main))
+    return BlockRunner(analyzed, assignment, {}, record_mer=True).run()
+
+
+class TestCapacityModel:
+    def test_doubling_events(self):
+        model = _SetCapacityModel()
+        assert model.grow_to(0, INITIAL_CAPACITY) == 0
+        assert model.grow_to(0, INITIAL_CAPACITY + 1) == 1
+        # Already at 2x initial; reaching 8x needs two more doublings.
+        assert model.grow_to(0, INITIAL_CAPACITY * 8) == 2
+        # Shrinking never deallocates.
+        assert model.grow_to(0, 1) == 0
+
+    def test_independent_nodes(self):
+        model = _SetCapacityModel()
+        model.grow_to(0, 1000)
+        assert model.grow_to(1, INITIAL_CAPACITY + 1) == 1
+
+
+class TestSortCost:
+    def test_zero_for_trivial(self):
+        assert _sort_cycles(CostTable(), 0) == 0.0
+        assert _sort_cycles(CostTable(), 1) == 0.0
+
+    def test_minimum_network_width(self):
+        costs = CostTable()
+        # Short lists still pay the minimum tile.
+        assert _sort_cycles(costs, 2) == _sort_cycles(costs, 12)
+        assert _sort_cycles(costs, 64) > _sort_cycles(costs, 12)
+
+
+class TestPriceBlock:
+    def test_plain_pays_alloc_stalls(self, block_result):
+        cost = price_plain_block(block_result, GDroidConfig.plain())
+        assert cost.alloc_stall_cycles >= 0
+        assert cost.cycles > 0
+        assert cost.sort_cycles == 0.0
+
+    def test_mat_never_allocates(self, block_result):
+        cost = price_gdroid_block(block_result, GDroidConfig.mat_only())
+        assert cost.alloc_stall_cycles == 0.0
+
+    def test_grp_pays_sort(self, block_result):
+        cost = price_gdroid_block(block_result, GDroidConfig.mat_grp())
+        assert cost.sort_cycles > 0.0
+
+    def test_mat_cheaper_than_plain(self, block_result):
+        plain = price_plain_block(block_result, GDroidConfig.plain())
+        mat = price_gdroid_block(block_result, GDroidConfig.mat_only())
+        assert mat.cycles < plain.cycles
+
+    def test_mer_uses_merging_trace(self, block_result):
+        full = GDroidConfig.all_optimizations()
+        assert select_trace(block_result, full) is block_result.trace_mer
+        assert (
+            select_trace(block_result, GDroidConfig.mat_grp())
+            is block_result.trace_sync
+        )
+
+    def test_mer_without_trace_is_an_error(self, demo_app):
+        from repro.cfg.environment import app_with_environments
+
+        analyzed = app_with_environments(demo_app)
+        helper = "com.demo.Main.helper(Ljava/lang/Object;)Ljava/lang/Object;"
+        assignment = BlockAssignment(block_id=0, layer=0, methods=(helper,))
+        result = BlockRunner(analyzed, assignment, {}, record_mer=False).run()
+        with pytest.raises(ValueError, match="MER trace"):
+            price_gdroid_block(result, GDroidConfig.all_optimizations())
+
+    def test_visits_and_iterations_reported(self, block_result):
+        cost = price_plain_block(block_result, GDroidConfig.plain())
+        trace = block_result.trace_sync
+        # The fixture packs a caller with its callee, which the runner
+        # treats as a joint-fixed-point group: charged per round.
+        rounds = trace.summary_rounds
+        assert cost.iterations == trace.iteration_count * rounds
+        assert cost.node_visits == trace.visit_count * rounds
+
+    def test_divergence_lower_with_grp(self, block_result):
+        """GRP reduces per-warp branch classes (25-way -> 3-way)."""
+        mat = price_gdroid_block(block_result, GDroidConfig.mat_only())
+        grp = price_gdroid_block(block_result, GDroidConfig.mat_grp())
+        assert grp.divergence_cycles <= mat.divergence_cycles
+
+    def test_alloc_scales_with_cost_table(self, block_result):
+        cheap = GDroidConfig.plain(costs=CostTable().scaled(dynamic_alloc_cycles=1.0))
+        pricey = GDroidConfig.plain(costs=CostTable().scaled(dynamic_alloc_cycles=1e6))
+        low = price_plain_block(block_result, cheap)
+        high = price_plain_block(block_result, pricey)
+        if low.alloc_stall_cycles > 0:
+            assert high.cycles > low.cycles
+
+
+class TestGrpWarpHomogeneity:
+    def test_sorted_warps_minimize_group_transitions(self, block_result):
+        """After GRP's partial sort, group changes happen at most at
+        two warp-stream positions per iteration (one per group
+        boundary), so the per-warp divergent passes are minimal."""
+        from repro.core.costing import _lane_for_visit
+        from repro.gpu.warp import form_warps
+
+        config = GDroidConfig.mat_grp()
+        trace = block_result.trace_sync
+        meta = trace.node_meta
+        for iteration in trace.iterations:
+            visits = sorted(iteration.visits, key=lambda v: meta[v.node].group)
+            groups = [meta[v.node].group for v in visits]
+            transitions = sum(
+                1 for a, b in zip(groups, groups[1:]) if a != b
+            )
+            assert transitions <= 2  # at most 3 contiguous group runs
+            lanes = [_lane_for_visit(v, meta, config) for v in visits]
+            extra_passes = sum(
+                len({lane.branch_class for lane in warp}) - 1
+                for warp in form_warps(lanes, 32)
+            )
+            assert extra_passes <= transitions
+
+
+class TestSetStoreBytes:
+    def test_footprint_counts_headers_and_capacity(self, block_result):
+        nbytes = set_store_bytes(
+            block_result.trace_sync, block_result.seed_sizes
+        )
+        from repro.dataflow.lattice import BYTES_PER_ENTRY, SET_HEADER_BYTES
+
+        floor = block_result.trace_sync.node_count * (
+            SET_HEADER_BYTES + INITIAL_CAPACITY * BYTES_PER_ENTRY
+        )
+        assert nbytes >= floor

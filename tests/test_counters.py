@@ -1,0 +1,62 @@
+"""Derived performance-counter tests."""
+
+import pytest
+
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload, GDroid
+from repro.gpu.counters import kernel_counters, run_counters
+from repro.gpu.kernel import BlockCost, schedule_blocks
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def priced_pair():
+    workload = AppWorkload.build(tiny_app(17))
+    plain = GDroid(GDroidConfig.plain()).price(workload)
+    full = GDroid(GDroidConfig.all_optimizations()).price(workload)
+    return plain, full
+
+
+class TestKernelCounters:
+    def test_occupancy_bounds(self, priced_pair):
+        for result in priced_pair:
+            for kernel in result.kernels:
+                counters = kernel_counters(kernel)
+                assert 0.0 <= counters.achieved_occupancy <= 1.0
+                assert 0.0 <= counters.simd_efficiency <= 1.0
+
+    def test_bottleneck_mix_normalized(self, priced_pair):
+        plain, _ = priced_pair
+        counters = run_counters(plain.kernels)
+        assert sum(counters.bottleneck_mix.values()) == pytest.approx(1.0)
+
+    def test_plain_dominated_by_allocation(self, priced_pair):
+        plain, _ = priced_pair
+        counters = run_counters(plain.kernels)
+        assert counters.dominant_bottleneck() == "alloc_stall_cycles"
+
+    def test_gdroid_is_not_allocation_bound(self, priced_pair):
+        _, full = priced_pair
+        counters = run_counters(full.kernels)
+        assert counters.bottleneck_mix.get("alloc_stall_cycles", 0.0) == 0.0
+
+    def test_gdroid_throughput_beats_plain(self, priced_pair):
+        plain, full = priced_pair
+        plain_counters = run_counters(plain.kernels)
+        full_counters = run_counters(full.kernels)
+        assert (
+            full_counters.visits_per_kcycle > plain_counters.visits_per_kcycle
+        )
+
+    def test_empty_run(self):
+        counters = run_counters([])
+        assert counters.achieved_occupancy == 0.0
+        assert counters.bottleneck_mix == {}
+
+    def test_single_block_occupancy_is_low(self):
+        kernel = schedule_blocks(
+            [BlockCost(block_id=0, cycles=100.0, iterations=1, node_visits=10)]
+        )
+        counters = kernel_counters(kernel)
+        # One busy slot out of 120.
+        assert counters.achieved_occupancy < 0.05

@@ -1,0 +1,123 @@
+"""Engine tests: workload construction, config pricing, orderings."""
+
+import pytest
+
+from repro.core.config import GDroidConfig, TuningParameters
+from repro.core.engine import AppWorkload, GDroid
+from repro.dataflow.worklist import analyze_app_reference
+from tests.conftest import tiny_app
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AppWorkload.build(tiny_app(1))
+
+
+class TestConfig:
+    def test_variant_names(self):
+        assert GDroidConfig.plain().name == "plain"
+        assert GDroidConfig.mat_only().name == "MAT"
+        assert GDroidConfig.mat_grp().name == "MAT+GRP"
+        assert GDroidConfig.all_optimizations().name == "MAT+GRP+MER"
+
+    def test_tuning_validation(self):
+        with pytest.raises(ValueError):
+            TuningParameters(methods_per_block=0)
+        with pytest.raises(ValueError):
+            TuningParameters(blocks_per_sm=0)
+
+    def test_with_tuning(self):
+        config = GDroidConfig.plain().with_tuning(methods_per_block=2)
+        assert config.tuning.methods_per_block == 2
+
+
+class TestWorkload:
+    def test_idfg_matches_oracle(self, workload):
+        reference = analyze_app_reference(workload.app)
+        assert workload.idfg.equivalent_to(reference)
+
+    def test_profile_populated(self, workload):
+        profile = workload.profile
+        assert profile.cfg_nodes > 0
+        assert profile.methods == workload.analyzed_app.method_count()
+        assert profile.blocks == len(workload.block_results)
+        assert profile.iterations_sync > 0
+        assert profile.visits_sync >= profile.visits_mer > 0
+        assert len(profile.worklist_sizes_sync) == profile.iterations_sync
+
+    def test_partition_covers_every_method(self, workload):
+        assigned = [
+            method
+            for layer in workload.partition
+            for block in layer
+            for method in block.methods
+        ]
+        assert sorted(assigned) == sorted(workload.analyzed_app.method_table)
+        assert len(assigned) == len(set(assigned))
+
+    def test_blocks_track_methods_per_block_target(self):
+        """methods_per_block is an average target: the layer's block
+        count is ceil(methods / target); LPT balances load freely."""
+        workload = AppWorkload.build(
+            tiny_app(2), tuning=TuningParameters(methods_per_block=2)
+        )
+        layering = workload.layering
+        for layer_index, layer_blocks in enumerate(workload.partition):
+            methods = sum(len(scc) for scc in layering.layers[layer_index])
+            if methods:
+                expected = min(
+                    len(layering.layers[layer_index]), -(-methods // 2)
+                )
+                assert len(layer_blocks) == expected
+
+    def test_memory_footprints(self, workload):
+        assert 0 < workload.matrix_store_footprint() < workload.set_store_footprint()
+
+    def test_without_mer_recording(self):
+        workload = AppWorkload.build(tiny_app(1), record_mer=False)
+        assert all(r.trace_mer is None for r in workload.block_results)
+        assert workload.profile.iterations_mer == 0
+
+
+class TestPricing:
+    def test_all_configs_share_the_same_idfg(self, workload):
+        results = [
+            GDroid(config).price(workload)
+            for config in (
+                GDroidConfig.plain(),
+                GDroidConfig.mat_only(),
+                GDroidConfig.mat_grp(),
+                GDroidConfig.all_optimizations(),
+            )
+        ]
+        for result in results[1:]:
+            assert result.idfg is results[0].idfg
+
+    def test_mat_beats_plain(self, workload):
+        plain = GDroid(GDroidConfig.plain()).price(workload)
+        mat = GDroid(GDroidConfig.mat_only()).price(workload)
+        assert mat.total_cycles < plain.total_cycles
+        assert mat.memory_bytes < plain.memory_bytes
+
+    def test_result_fields(self, workload):
+        result = GDroid(GDroidConfig.all_optimizations()).price(workload)
+        assert result.modeled_time_s > 0
+        assert result.iterations > 0
+        assert result.visits > 0
+        assert result.kernels  # one launch per non-empty layer
+        assert set(result.breakdown) >= {"compute_cycles", "memory_cycles"}
+
+    def test_kernel_count_matches_layers(self, workload):
+        result = GDroid(GDroidConfig.plain()).price(workload)
+        non_empty_layers = sum(1 for layer in workload.partition if layer)
+        assert len(result.kernels) == non_empty_layers
+
+    def test_analyze_accepts_app_directly(self):
+        result = GDroid(GDroidConfig.mat_only()).analyze(tiny_app(5))
+        assert result.total_cycles > 0
+
+    def test_deterministic_pricing(self, workload):
+        config = GDroidConfig.all_optimizations()
+        first = GDroid(config).price(workload)
+        second = GDroid(config).price(workload)
+        assert first.total_cycles == second.total_cycles

@@ -1,0 +1,105 @@
+"""Warp-execution tests: divergence serialization and lane accounting."""
+
+import pytest
+
+from repro.gpu.memory import MemoryModel
+from repro.gpu.spec import CostTable
+from repro.gpu.warp import LaneWork, execute_warp, form_warps
+
+COSTS = CostTable()
+
+
+def lane(branch="a", compute=10.0, element=0, scattered=0):
+    return LaneWork(
+        branch_class=branch,
+        compute_cycles=compute,
+        node_element=element,
+        scattered_accesses=scattered,
+    )
+
+
+class TestDivergence:
+    def test_uniform_warp_single_pass(self):
+        execution = execute_warp(
+            [lane(element=i) for i in range(32)], COSTS, MemoryModel()
+        )
+        assert execution.divergent_passes == 1
+        assert execution.divergence_cycles == 0.0
+
+    def test_two_classes_two_passes(self):
+        lanes = [lane(branch="a" if i % 2 else "b", element=i) for i in range(8)]
+        execution = execute_warp(lanes, COSTS, MemoryModel())
+        assert execution.divergent_passes == 2
+        assert execution.divergence_cycles == COSTS.divergence_pass_cycles
+
+    def test_compute_is_sum_of_per_class_max(self):
+        lanes = [
+            lane(branch="a", compute=5, element=0),
+            lane(branch="a", compute=9, element=1),
+            lane(branch="b", compute=3, element=2),
+        ]
+        execution = execute_warp(lanes, COSTS, MemoryModel())
+        assert execution.compute_cycles == 9 + 3
+
+    def test_25_way_worst_case(self):
+        lanes = [lane(branch=str(i), element=i) for i in range(25)]
+        execution = execute_warp(lanes, COSTS, MemoryModel())
+        assert execution.divergent_passes == 25
+
+
+class TestMemoryCharging:
+    def test_adjacent_node_records_coalesce(self):
+        # 64B records: two per 128B segment.
+        lanes = [lane(element=i) for i in range(8)]
+        execution = execute_warp(lanes, COSTS, MemoryModel())
+        assert execution.transactions == 4
+
+    def test_scattered_accesses_added(self):
+        lanes = [lane(element=0, scattered=3), lane(element=1, scattered=2)]
+        execution = execute_warp(lanes, COSTS, MemoryModel())
+        # 1 record transaction (shared segment) + 5 scattered.
+        assert execution.transactions == 6
+
+    def test_fact_row_accesses(self):
+        memory = MemoryModel()
+        lanes = [
+            LaneWork(
+                branch_class="a",
+                compute_cycles=1.0,
+                node_element=i,
+                fact_accesses=((2, i, 32),),
+            )
+            for i in range(4)
+        ]
+        execution = execute_warp(lanes, COSTS, memory)
+        # 4 x 64B records -> 2 segments; 4 x 32B rows -> 1 segment.
+        assert execution.transactions == 3
+
+
+class TestEdgeCases:
+    def test_empty_warp(self):
+        execution = execute_warp([], COSTS, MemoryModel())
+        assert execution.total_cycles == 0.0
+        assert execution.active_lanes == 0
+
+    def test_total_is_sum_of_components(self):
+        execution = execute_warp([lane()], COSTS, MemoryModel())
+        assert execution.total_cycles == pytest.approx(
+            execution.compute_cycles
+            + execution.divergence_cycles
+            + execution.memory_cycles
+        )
+
+
+class TestFormWarps:
+    def test_partitioning(self):
+        lanes = [lane(element=i) for i in range(70)]
+        warps = form_warps(lanes, 32)
+        assert [len(w) for w in warps] == [32, 32, 6]
+
+    def test_exact_multiple(self):
+        warps = form_warps([lane()] * 64, 32)
+        assert [len(w) for w in warps] == [32, 32]
+
+    def test_empty(self):
+        assert form_warps([], 32) == []

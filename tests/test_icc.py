@@ -1,0 +1,89 @@
+"""ICC (inter-component communication) analysis tests."""
+
+import pytest
+
+from repro.core.engine import AppWorkload
+from repro.ir.parser import parse_app
+from repro.vetting.icc import IccAnalysis
+from repro.vetting.report import vet_workload
+
+SRC = "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;"
+START = "android.content.Context.startActivity(Landroid/content/Intent;)V"
+BCAST = "android.content.Context.sendBroadcast(Landroid/content/Intent;)V"
+
+ICC_APP = f"""
+app com.icc category tools
+component com.icc.Sender activity exported
+  callback onCreate com.icc.Sender.send()V
+end
+component com.icc.Stealer activity exported
+  filter android.intent.action.VIEW
+  callback onCreate com.icc.Sender.noop()V
+end
+component com.icc.Quiet service
+  callback onCreate com.icc.Sender.noop()V
+end
+method com.icc.Sender.send()V
+  local id: Ljava/lang/String;
+  local intent: Landroid/content/Intent;
+  L0: call id := {SRC}()
+  L1: intent := new android.content.Intent
+  L2: intent.fData := id
+  L3: call {START}(intent)
+  L4: return
+end
+method com.icc.Sender.noop()V
+  L0: return
+end
+"""
+
+
+def analyze(source: str):
+    app = parse_app(source)
+    workload = AppWorkload.build(app, record_mer=False)
+    return app, workload, IccAnalysis(workload.analyzed_app, workload.idfg).run()
+
+
+class TestIccDetection:
+    def test_tainted_intent_send_detected(self):
+        _, _, flows = analyze(ICC_APP)
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.target_kind == "activity"
+        assert SRC in flow.source_apis
+        assert flow.send_label == "L3"
+
+    def test_candidate_receivers_are_exported_matching_kind(self):
+        _, _, flows = analyze(ICC_APP)
+        receivers = flows[0].candidate_receivers
+        # Both activities are exported/filtered; the service is neither
+        # the right kind nor exported.
+        assert "com.icc.Stealer" in receivers
+        assert "com.icc.Quiet" not in receivers
+        assert flows[0].escapes_app
+
+    def test_untainted_intent_is_quiet(self):
+        clean = ICC_APP.replace(f"call id := {SRC}()", 'id := "static"')
+        _, _, flows = analyze(clean)
+        assert flows == []
+
+    def test_broadcast_targets_receivers(self):
+        source = ICC_APP.replace(START, BCAST)
+        app = parse_app(source)
+        workload = AppWorkload.build(app, record_mer=False)
+        flows = IccAnalysis(workload.analyzed_app, workload.idfg).run()
+        assert flows[0].target_kind == "receiver"
+        # No exported receiver components exist -> internal only.
+        assert not flows[0].escapes_app
+
+
+class TestReportIntegration:
+    def test_icc_raises_risk_without_direct_sink(self):
+        app = parse_app(ICC_APP)
+        workload = AppWorkload.build(app, record_mer=False)
+        report = vet_workload(app, workload)
+        assert not report.flows  # no direct exfiltration sink
+        assert report.icc_flows
+        assert report.risk_score >= 6
+        assert report.verdict == "suspicious"
+        assert "Intent" in report.summary()

@@ -1,0 +1,58 @@
+"""IDFG result-structure tests."""
+
+import pytest
+
+from repro.dataflow.idfg import IDFG, MethodFacts
+from repro.dataflow.worklist import analyze_app_reference
+
+
+class TestEquivalence:
+    def test_self_equivalence(self, demo_app):
+        idfg = analyze_app_reference(demo_app)
+        assert idfg.equivalent_to(idfg)
+        assert idfg.diff(idfg) == {}
+
+    def test_detects_missing_method(self, demo_app):
+        idfg = analyze_app_reference(demo_app)
+        partial = IDFG(
+            method_facts={
+                k: v
+                for i, (k, v) in enumerate(idfg.method_facts.items())
+                if i > 0
+            },
+            summaries=idfg.summaries,
+        )
+        assert not idfg.equivalent_to(partial)
+        assert partial.methods() != idfg.methods()
+
+    def test_detects_fact_difference(self, demo_app):
+        idfg = analyze_app_reference(demo_app)
+        signature = next(iter(idfg.method_facts))
+        original = idfg.method_facts[signature]
+        mutated_nodes = list(original.node_facts)
+        mutated_nodes[0] = frozenset(set(mutated_nodes[0]) | {99_999})
+        mutated = dict(idfg.method_facts)
+        mutated[signature] = MethodFacts(
+            space=original.space,
+            node_facts=tuple(mutated_nodes),
+            exit_facts=original.exit_facts,
+        )
+        other = IDFG(method_facts=mutated, summaries=idfg.summaries)
+        assert not idfg.equivalent_to(other)
+        assert idfg.diff(other)[signature] == (0,)
+
+    def test_counts(self, demo_app):
+        idfg = analyze_app_reference(demo_app)
+        assert idfg.node_count() == sum(
+            len(mf.node_facts) for mf in idfg.method_facts.values()
+        )
+        assert idfg.total_fact_count() == sum(
+            mf.fact_count() for mf in idfg.method_facts.values()
+        )
+
+    def test_decoded_facts_are_named(self, demo_app):
+        idfg = analyze_app_reference(demo_app)
+        signature = "com.demo.Main.onCreate(Landroid/content/Intent;)V"
+        facts = idfg.facts_of(signature)
+        for slot, instance in facts.decoded(0):
+            assert isinstance(slot, tuple) and isinstance(instance, tuple)

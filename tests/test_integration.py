@@ -1,0 +1,63 @@
+"""End-to-end integration: the complete vetting pipeline, on disk and off."""
+
+import pytest
+
+from repro.apk.loader import load_gdx, save_gdx
+from repro.bench.harness import evaluate_app
+from repro.core.config import GDroidConfig
+from repro.core.engine import AppWorkload, GDroid
+from repro.dataflow.worklist import analyze_app_reference
+from repro.ir.printer import print_app
+from repro.vetting.report import vet_workload
+from tests.conftest import tiny_app
+
+
+@pytest.mark.parametrize("seed", [8, 21])
+def test_full_pipeline_from_disk(tmp_path, seed):
+    """generate -> pack -> load -> analyze -> verify -> vet."""
+    app = tiny_app(seed)
+    path = tmp_path / "app.gdx"
+    save_gdx(app, path)
+    loaded = load_gdx(path)
+    assert print_app(loaded) == print_app(app)
+
+    workload = AppWorkload.build(loaded)
+    # Correctness: the GPU pipeline's IDFG equals the oracle's.
+    reference = analyze_app_reference(loaded)
+    assert workload.idfg.equivalent_to(reference)
+
+    # Every configuration prices the same workload; full GDroid wins.
+    plain = GDroid(GDroidConfig.plain()).price(workload)
+    full = GDroid(GDroidConfig.all_optimizations()).price(workload)
+    assert full.total_cycles < plain.total_cycles
+    assert full.memory_bytes < plain.memory_bytes
+
+    # The vetting plugin runs on the same IDFG.
+    report = vet_workload(loaded, workload, analysis_time_s=full.modeled_time_s)
+    assert report.verdict in ("clean", "low-risk", "suspicious", "likely-malicious")
+
+
+def test_paper_ordering_holds_on_average():
+    """Across a handful of apps, the cumulative optimizations keep the
+    paper's ordering: plain > MAT > MAT+GRP(~) > full, on average."""
+    ratios = {"mat": [], "grp": [], "mer": []}
+    for seed in range(6):
+        row = evaluate_app(tiny_app(seed + 50))
+        ratios["mat"].append(row.plain_s / row.mat_s)
+        ratios["grp"].append(row.mat_s / row.grp_s)
+        ratios["mer"].append(row.grp_s / row.full_s)
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(ratios["mat"]) > 3.0     # MAT is the big win
+    assert mean(ratios["mer"]) > 0.9     # MER helps or is neutral
+    assert 0.5 < mean(ratios["grp"]) < 3.0  # GRP is slight either way
+
+
+def test_modeled_times_scale_with_app_size():
+    small = evaluate_app(tiny_app(70))
+    from repro.apk.generator import AppGenerator
+    from tests.conftest import SMALL_PROFILE
+
+    big_app = AppGenerator(SMALL_PROFILE).generate(70)
+    big = evaluate_app(big_app)
+    assert big.cfg_nodes > small.cfg_nodes
+    assert big.ama_total_s > small.ama_total_s

@@ -1,0 +1,119 @@
+"""Unit tests for the 17 expression kinds."""
+
+import pytest
+
+from repro.ir.expressions import (
+    AccessExpr,
+    BinaryExpr,
+    CallRhs,
+    CastExpr,
+    CmpExpr,
+    ConstClassExpr,
+    EXPRESSION_KINDS,
+    ExceptionExpr,
+    IndexingExpr,
+    InstanceOfExpr,
+    LengthExpr,
+    LiteralExpr,
+    NewExpr,
+    NullExpr,
+    StaticFieldAccessExpr,
+    TupleExpr,
+    UnaryExpr,
+    VariableNameExpr,
+    expression_class,
+)
+from repro.ir.types import OBJECT, ObjectType
+
+
+def test_exactly_seventeen_kinds():
+    """The paper enumerates 17 assignment expression kinds."""
+    assert len(EXPRESSION_KINDS) == 17
+    assert len(set(EXPRESSION_KINDS)) == 17
+
+
+def test_every_kind_resolvable():
+    for kind in EXPRESSION_KINDS:
+        cls = expression_class(kind)
+        assert cls.kind == kind
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        expression_class("FrobExpr")
+
+
+class TestUses:
+    def test_variable(self):
+        assert VariableNameExpr(name="x").uses() == ("x",)
+
+    def test_access_reads_base_only(self):
+        assert AccessExpr(base="o", field_name="f").uses() == ("o",)
+
+    def test_indexing_reads_base_and_index(self):
+        assert IndexingExpr(base="a", index="i").uses() == ("a", "i")
+
+    def test_binary_reads_both(self):
+        assert BinaryExpr(op="+", left="a", right="b").uses() == ("a", "b")
+
+    def test_call_reads_args(self):
+        assert CallRhs(callee="m", args=("a", "b")).uses() == ("a", "b")
+
+    def test_constants_read_nothing(self):
+        for expr in (NullExpr(), LiteralExpr(value=3), ConstClassExpr(),
+                     ExceptionExpr(), NewExpr()):
+            assert expr.uses() == ()
+
+    def test_tuple_reads_elements(self):
+        assert TupleExpr(elements=("a", "b", "c")).uses() == ("a", "b", "c")
+
+
+class TestText:
+    def test_new(self):
+        assert NewExpr(allocated=ObjectType("a.B")).text() == "new a.B"
+
+    def test_access(self):
+        assert AccessExpr(base="o", field_name="f").text() == "o.f"
+
+    def test_static(self):
+        expr = StaticFieldAccessExpr(owner="a.B", field_name="g")
+        assert expr.text() == "@@a.B.g"
+        assert expr.global_slot == "a.B.g"
+
+    def test_indexing(self):
+        assert IndexingExpr(base="a", index="i").text() == "a[i]"
+
+    def test_string_literal_escaped(self):
+        assert LiteralExpr(value='say "hi"').text() == '"say \\"hi\\""'
+
+    def test_cast(self):
+        assert CastExpr(target=OBJECT, operand="x").text() == "(Ljava/lang/Object;) x"
+
+    def test_cmp(self):
+        assert CmpExpr(op="cmpl", left="a", right="b").text() == "cmpl(a, b)"
+
+    def test_instanceof(self):
+        expr = InstanceOfExpr(operand="x", tested=OBJECT)
+        assert expr.text() == "x instanceof Ljava/lang/Object;"
+
+    def test_length(self):
+        assert LengthExpr(operand="a").text() == "length(a)"
+
+    def test_unary(self):
+        assert UnaryExpr(op="-", operand="x").text() == "-x"
+
+    def test_call(self):
+        assert CallRhs(callee="a.B.m()V", args=("x",)).text() == "call a.B.m()V(x)"
+
+    def test_tuple(self):
+        assert TupleExpr(elements=("a", "b")).text() == "(a, b)"
+
+
+def test_expressions_are_immutable():
+    expr = VariableNameExpr(name="x")
+    with pytest.raises(AttributeError):
+        expr.name = "y"
+
+
+def test_expressions_hashable():
+    assert len({NullExpr(), NullExpr(), LiteralExpr(value=1)}) == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    INT,
+    ObjectType,
+    PRIMITIVE_NAMES,
+    PrimitiveType,
+    STRING,
+    VOID,
+    parse_descriptor,
+    primitive,
+)
+
+
+class TestPrimitiveType:
+    def test_all_nine_primitives_exist(self):
+        assert len(PRIMITIVE_NAMES) == 9
+        for name in PRIMITIVE_NAMES:
+            assert primitive(name).name == name
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError, match="unknown primitive"):
+            PrimitiveType("quux")
+
+    def test_descriptor(self):
+        assert INT.descriptor() == "I"
+        assert VOID.descriptor() == "V"
+        assert primitive("boolean").descriptor() == "Z"
+        assert primitive("long").descriptor() == "J"
+
+    def test_not_object(self):
+        assert not INT.is_object
+
+    def test_interning(self):
+        assert primitive("int") is primitive("int")
+
+
+class TestObjectType:
+    def test_descriptor_uses_slashes(self):
+        assert STRING.descriptor() == "Ljava/lang/String;"
+
+    def test_is_object(self):
+        assert STRING.is_object
+
+    def test_simple_name(self):
+        assert STRING.simple_name == "String"
+        assert ObjectType("Toplevel").simple_name == "Toplevel"
+
+    def test_equality_is_structural(self):
+        assert ObjectType("a.B") == ObjectType("a.B")
+        assert ObjectType("a.B") != ObjectType("a.C")
+
+
+class TestArrayType:
+    def test_descriptor(self):
+        assert ArrayType(INT).descriptor() == "[I"
+        assert ArrayType(STRING).descriptor() == "[Ljava/lang/String;"
+
+    def test_nested_dimensions(self):
+        assert ArrayType(ArrayType(INT)).dimensions == 2
+        assert ArrayType(INT).dimensions == 1
+
+    def test_arrays_are_heap_objects(self):
+        assert ArrayType(INT).is_object
+
+
+class TestParseDescriptor:
+    def test_primitives(self):
+        for name in PRIMITIVE_NAMES:
+            t = primitive(name)
+            assert parse_descriptor(t.descriptor()) == t
+
+    def test_object(self):
+        assert parse_descriptor("Ljava/lang/String;") == STRING
+
+    def test_array(self):
+        assert parse_descriptor("[[I") == ArrayType(ArrayType(INT))
+
+    def test_round_trip_everything(self):
+        for descriptor in ("I", "V", "Lx.y.Z;".replace(".", "/"), "[J", "[[Lcom/a/B;"):
+            assert parse_descriptor(descriptor).descriptor() == descriptor
+
+    @pytest.mark.parametrize("bad", ["", "Q", "Lfoo", "[", "II"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_descriptor(bad)

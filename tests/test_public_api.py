@@ -1,0 +1,68 @@
+"""Public-API surface tests: the documented imports all resolve."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_lazy_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_symbol
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+PACKAGES = [
+    "repro.ir",
+    "repro.apk",
+    "repro.cfg",
+    "repro.dataflow",
+    "repro.gpu",
+    "repro.core",
+    "repro.cpu",
+    "repro.vetting",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_all_is_accurate(package):
+    """Every name in __all__ exists and is importable."""
+    module = importlib.import_module(package)
+    assert module.__all__, f"{package} should export a public surface"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_has_docstring(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__) > 80
+
+
+def test_readme_quickstart_runs():
+    """The README's quickstart snippet must actually work."""
+    from repro import GDroid, GDroidConfig, generate_app
+    from repro.apk.generator import GeneratorProfile
+    from repro.core.engine import AppWorkload
+
+    app = generate_app(7, GeneratorProfile(scale=0.05))
+    workload = AppWorkload.build(app)
+    plain = GDroid(GDroidConfig.plain()).price(workload)
+    full = GDroid(GDroidConfig.all_optimizations()).price(workload)
+    assert plain.modeled_time_s > full.modeled_time_s
+    assert workload.idfg.total_fact_count() > 0

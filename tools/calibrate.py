@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Calibration harness: compare every headline statistic to the paper.
+
+Runs a corpus slice through all engines and prints paper-vs-measured
+rows for Figs. 1/4/8/9/10/11/12 and Tables I/II.  Used to tune the
+cost tables in repro.gpu.spec / repro.cpu.* and the generator profile;
+the benchmark suite prints the same rows from the same code paths.
+
+Usage: python tools/calibrate.py [n_apps] [scale]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile
+from repro.bench.harness import evaluate_app
+from repro.bench.stats import percent_between, percent_below
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    corpus = AppCorpus(size=n_apps, profile=GeneratorProfile(scale=scale))
+
+    rows = []
+    t0 = time.time()
+    for index in range(n_apps):
+        rows.append(evaluate_app(corpus.app(index)))
+    wall = time.time() - t0
+
+    def col(name):
+        return [getattr(r, name) for r in rows]
+
+    plain_vs_cpu = [r.cpu_s / r.plain_s for r in rows]
+    mat_x = [r.plain_s / r.mat_s for r in rows]
+    grp_x = [r.mat_s / r.grp_s for r in rows]
+    mer_x = [r.grp_s / r.full_s for r in rows]
+    all_x = [r.plain_s / r.full_s for r in rows]
+    mem_ratio = [r.mat_mem / r.set_mem for r in rows]
+    frac = [r.ama_idfg_s / r.ama_total_s for r in rows]
+
+    print(f"== calibration over {n_apps} apps (scale {scale}), wall {wall:.1f}s ==")
+    print(f"{'metric':34s} {'paper':>18s} {'measured':>24s}")
+
+    def row(name, paper, measured):
+        print(f"{name:34s} {paper:>18s} {measured:>24s}")
+
+    row("Table I cfg nodes (avg)", "6217",
+        f"{statistics.mean(col('cfg_nodes')):.0f}")
+    row("Table I methods (avg)", "268",
+        f"{statistics.mean(col('methods')):.0f}")
+    row("Table I variables (avg)", "116",
+        f"{statistics.mean(col('variables')):.0f}")
+    row("Table I max worklist (avg)", "74",
+        f"{statistics.mean(col('max_worklist')):.0f}")
+
+    row("Fig1 Amandroid max total", "~38 min",
+        f"{max(col('ama_total_s'))/60:.1f} min")
+    row("Fig1 IDFG fraction", "0.58-0.96",
+        f"{min(frac):.2f}-{max(frac):.2f} (avg {statistics.mean(frac):.2f})")
+
+    row("Fig4 plain-vs-CPU avg", "1.81x",
+        f"{statistics.mean(plain_vs_cpu):.2f}x")
+    row("Fig4 plain-vs-CPU max", "3.39x",
+        f"{max(plain_vs_cpu):.2f}x")
+    row("Fig4 % slower than CPU", "7.3%",
+        f"{percent_below(plain_vs_cpu, 1.0):.1f}%")
+    row("Fig4 % below 2x", "65.9%",
+        f"{percent_below(plain_vs_cpu, 2.0):.1f}%")
+
+    row("Fig9 MAT avg", "26.7x", f"{statistics.mean(mat_x):.1f}x")
+    row("Fig9 MAT min/max", "7.6x / 92.4x",
+        f"{min(mat_x):.1f}x / {max(mat_x):.1f}x")
+    row("Fig9 MAT % in 20-40x", "59.4%",
+        f"{percent_between(mat_x, 20, 40):.1f}%")
+
+    row("Fig10 mem ratio avg", "0.25",
+        f"{statistics.mean(mem_ratio):.3f}")
+    row("Fig10 mem ratio max", "0.34", f"{max(mem_ratio):.3f}")
+
+    row("Fig11 GRP % below 1.5x", "76.3%",
+        f"{percent_below(grp_x, 1.5):.1f}%")
+    row("Fig11 GRP % below 1x", "15.5%",
+        f"{percent_below(grp_x, 1.0):.1f}%")
+    row("Fig11 GRP typical", "~1.43x",
+        f"avg {statistics.mean(grp_x):.2f}x max {max(grp_x):.2f}x")
+
+    row("Fig12 MER avg", "1.94x", f"{statistics.mean(mer_x):.2f}x")
+    row("Fig12 MER max", "4.76x", f"{max(mer_x):.2f}x")
+    row("Fig12 MER % in 1.5-3x", "67.4%",
+        f"{percent_between(mer_x, 1.5, 3.0):.1f}%")
+
+    row("Fig8 all-opts avg", "71.3x", f"{statistics.mean(all_x):.1f}x")
+    row("Fig8 all-opts peak", "128x", f"{max(all_x):.1f}x")
+
+    iters_s = col("iterations_sync")
+    iters_m = col("iterations_mer")
+    row("TabII iters sync avg/max/min", "5.6K/6.8K/4.3K",
+        f"{statistics.mean(iters_s)/1e3:.1f}K/{max(iters_s)/1e3:.1f}K/{min(iters_s)/1e3:.1f}K")
+    row("TabII iters MER avg/max/min", "4.5K/5.8K/3.6K",
+        f"{statistics.mean(iters_m)/1e3:.1f}K/{max(iters_m)/1e3:.1f}K/{min(iters_m)/1e3:.1f}K")
+
+    def size_mix(rows, attr):
+        le32 = n3364 = gt64 = total = 0
+        for r in rows:
+            mix = getattr(r, attr)
+            le32 += mix[0]
+            n3364 += mix[1]
+            gt64 += mix[2]
+            total += sum(mix)
+        return tuple(100.0 * x / total for x in (le32, n3364, gt64))
+
+    s_mix = size_mix(rows, "wl_mix_sync")
+    m_mix = size_mix(rows, "wl_mix_mer")
+    row("TabII sizes sync <=32/33-64/>64", "87.6/4.3/8.1%",
+        f"{s_mix[0]:.1f}/{s_mix[1]:.1f}/{s_mix[2]:.1f}%")
+    row("TabII sizes MER  <=32/33-64/>64", "74.4/11.9/13.7%",
+        f"{m_mix[0]:.1f}/{m_mix[1]:.1f}/{m_mix[2]:.1f}%")
+
+
+if __name__ == "__main__":
+    main()
