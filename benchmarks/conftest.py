@@ -8,6 +8,8 @@ Environment knobs:
 
 * ``REPRO_BENCH_APPS``  -- corpus slice (default 60; paper used 1000).
 * ``REPRO_BENCH_SCALE`` -- generator scale (default 1.0).
+* ``REPRO_BENCH_JOBS``  -- evaluation worker processes (default 1).
+* ``REPRO_BENCH_CACHE`` -- set to 0 to disable the on-disk row cache.
 
 Each benchmark also writes its paper-vs-measured table to
 ``benchmarks/results/<name>.txt`` so results survive pytest's output
@@ -45,7 +47,11 @@ def corpus():
 
 @pytest.fixture(scope="session")
 def corpus_rows(corpus):
-    """Every app evaluated under every engine (cached per process)."""
+    """Every app evaluated under every engine (cached per process).
+
+    ``jobs`` defaults from ``REPRO_BENCH_JOBS`` inside the harness;
+    rows also persist to / resume from the on-disk evaluation cache.
+    """
     return evaluate_corpus(corpus)
 
 

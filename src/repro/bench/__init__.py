@@ -7,9 +7,19 @@
   benchmarks and the calibration tool.
 * :mod:`repro.bench.figures` -- ASCII rendering of paper-vs-measured
   tables and per-app series (the "figures" of a terminal reproduction).
+* :mod:`repro.bench.parallel` -- forked-worker corpus evaluation with
+  deterministic, index-ordered results.
+* :mod:`repro.bench.cache` -- incremental on-disk cache of finished
+  per-app evaluations (config-fingerprinted keys).
 """
 
-from repro.bench.harness import AppEvaluation, evaluate_app, evaluate_corpus
+from repro.bench.harness import (
+    AppEvaluation,
+    CorpusRunStats,
+    evaluate_app,
+    evaluate_corpus,
+    last_run_stats,
+)
 from repro.bench.report import collect_results, render_markdown_report
 from repro.bench.stats import (
     describe,
@@ -20,6 +30,8 @@ from repro.bench.stats import (
 
 __all__ = [
     "AppEvaluation",
+    "CorpusRunStats",
+    "last_run_stats",
     "collect_results",
     "render_markdown_report",
     "describe",

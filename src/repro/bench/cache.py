@@ -1,0 +1,149 @@
+"""Incremental on-disk cache of per-app harness evaluations.
+
+Corpus sweeps are embarrassingly resumable: an :class:`AppEvaluation`
+is a pure function of ``(corpus seed, size, scale, app index)`` and of
+the pricing configuration, so a finished row can be persisted and
+reused across processes and sessions.  Each row lives in its own JSON
+file named by a SHA-256 key over
+
+* the corpus identity ``(base_seed, size, scale, index)``,
+* a *config fingerprint* -- the full experiment matrix
+  (:data:`repro.bench.harness._CONFIGS` flattened to dicts, covering
+  GPU spec, cost table, tuning and optimization flags), and
+* the code version (``repro.__version__`` plus a cache schema tag),
+
+so any change to the model, the costs, or the row schema silently
+invalidates stale entries instead of serving them.
+
+Layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-gdroid``), one
+``<key>.json`` per row, written atomically (temp file + ``os.replace``)
+so concurrent workers never observe torn entries.  ``REPRO_BENCH_CACHE=0``
+or the ``gdroid bench --no-cache`` flag disables the cache entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import repro
+
+#: Bump when the on-disk row layout changes (invalidates old entries).
+CACHE_SCHEMA = 1
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def cache_enabled(no_cache: bool = False) -> bool:
+    """Cache policy: ``--no-cache`` flag, else ``REPRO_BENCH_CACHE``."""
+    if no_cache:
+        return False
+    return os.environ.get(
+        "REPRO_BENCH_CACHE", "1"
+    ).strip().lower() not in _FALSY
+
+
+def cache_dir() -> Path:
+    """Root directory for cached rows."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "repro-gdroid"
+
+
+def config_fingerprint(configs: Mapping[str, Any]) -> str:
+    """Digest of the full experiment matrix (spec, costs, flags)."""
+    payload = {
+        name: dataclasses.asdict(config)
+        for name, config in sorted(configs.items())
+    }
+    payload["__version__"] = repro.__version__
+    payload["__schema__"] = CACHE_SCHEMA
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def row_key(
+    base_seed: int,
+    size: int,
+    scale: float,
+    index: int,
+    fingerprint: str,
+) -> str:
+    """Cache key for one app of one corpus under one config matrix."""
+    blob = json.dumps(
+        [base_seed, size, repr(scale), index, fingerprint], sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class EvaluationCache:
+    """File-per-row JSON cache with hit/miss/store accounting."""
+
+    def __init__(
+        self, root: Optional[Path] = None, enabled: bool = True
+    ) -> None:
+        self.root = root or cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional["AppEvaluation"]:
+        """Fetch a row, or None on miss/corruption (counted as a miss)."""
+        if not self.enabled:
+            return None
+        try:
+            payload = json.loads(self._path(key).read_text())
+            row = _row_from_payload(payload)
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def store(self, key: str, row: "AppEvaluation") -> None:
+        """Persist a row atomically; failures are non-fatal (cache only)."""
+        if not self.enabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(dataclasses.asdict(row), sort_keys=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+
+def _row_from_payload(payload: Dict[str, Any]) -> "AppEvaluation":
+    """Rebuild an :class:`AppEvaluation` from its JSON dict.
+
+    JSON round-trips tuples as lists; the two worklist-mix fields are
+    restored so cached rows compare equal (``==``) to fresh ones.
+    """
+    from repro.bench.harness import AppEvaluation
+
+    fields = {field.name for field in dataclasses.fields(AppEvaluation)}
+    if set(payload) != fields:
+        raise KeyError("cache schema mismatch")
+    payload = dict(payload)
+    payload["wl_mix_sync"] = tuple(payload["wl_mix_sync"])
+    payload["wl_mix_mer"] = tuple(payload["wl_mix_mer"])
+    return AppEvaluation(**payload)

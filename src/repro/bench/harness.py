@@ -5,11 +5,23 @@ prices it under every platform -- the exact experiment matrix behind
 the paper's Figures 4 and 8-12 and Tables I-II.  Results are cached
 per (corpus identity, app index) inside a process so multiple
 benchmarks over the same corpus never repeat the functional run.
+
+:func:`evaluate_corpus` layers two more mechanisms on top:
+
+* an incremental on-disk cache (:mod:`repro.bench.cache`) keyed by the
+  corpus identity and the config-matrix fingerprint, so repeated
+  sweeps across processes resume instead of recompute, and
+* a ``jobs=N`` multiprocessing path (:mod:`repro.bench.parallel`) for
+  the rows that still need evaluating.
+
+Every run records a :class:`CorpusRunStats` (hits, misses, workers,
+per-stage wall time) retrievable via :func:`last_run_stats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.apk.corpus import AppCorpus
@@ -139,17 +151,144 @@ def evaluate_app(
 _CACHE: Dict[Tuple[int, int, float, int], AppEvaluation] = {}
 
 
+@dataclass
+class CorpusRunStats:
+    """Counters for one :func:`evaluate_corpus` call."""
+
+    apps: int = 0
+    #: Rows served from the in-process cache.
+    process_hits: int = 0
+    #: Rows served from the on-disk cache.
+    disk_hits: int = 0
+    #: Rows actually (re)evaluated this run.
+    evaluated: int = 0
+    #: Rows persisted to the on-disk cache this run.
+    disk_stores: int = 0
+    #: Requested worker count and what was actually used.
+    jobs: int = 1
+    workers: int = 1
+    cache_enabled: bool = True
+    #: Per-stage wall time (seconds).
+    lookup_s: float = 0.0
+    evaluate_s: float = 0.0
+    store_s: float = 0.0
+    total_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of rows served from either cache."""
+        if not self.apps:
+            return 0.0
+        return (self.process_hits + self.disk_hits) / self.apps
+
+    @property
+    def apps_per_second(self) -> float:
+        if self.total_s <= 0:
+            return 0.0
+        return self.apps / self.total_s
+
+    def summary(self) -> str:
+        """One-paragraph counter report for CLI / benchmark output."""
+        cache = "on" if self.cache_enabled else "off"
+        return (
+            f"corpus run: {self.apps} apps in {self.total_s:.2f}s "
+            f"({self.apps_per_second:.2f} apps/s)\n"
+            f"  cache [{cache}]: {self.process_hits} process hits, "
+            f"{self.disk_hits} disk hits, {self.evaluated} misses "
+            f"(hit rate {self.hit_rate:.0%}), {self.disk_stores} stored\n"
+            f"  workers: {self.workers}/{self.jobs} used/requested\n"
+            f"  stages: lookup {self.lookup_s:.2f}s, "
+            f"evaluate {self.evaluate_s:.2f}s, store {self.store_s:.2f}s"
+        )
+
+
+#: Counters from the most recent evaluate_corpus call in this process.
+_LAST_RUN_STATS: Optional[CorpusRunStats] = None
+
+
+def last_run_stats() -> Optional[CorpusRunStats]:
+    """Counters for the most recent :func:`evaluate_corpus` call."""
+    return _LAST_RUN_STATS
+
+
 def evaluate_corpus(
-    corpus: AppCorpus, limit: Optional[int] = None
+    corpus: AppCorpus,
+    limit: Optional[int] = None,
+    jobs: Optional[int] = None,
+    no_cache: bool = False,
 ) -> List[AppEvaluation]:
-    """Evaluate a corpus slice with process-level caching."""
+    """Evaluate a corpus slice with caching and optional parallelism.
+
+    Lookup order per app index: in-process cache, then the on-disk
+    cache (unless disabled), then evaluation -- serially, or fanned out
+    over ``jobs`` forked workers (default from ``REPRO_BENCH_JOBS``).
+    Rows are returned in index order either way, and newly computed
+    rows are persisted for the next run.
+    """
+    global _LAST_RUN_STATS
+    from repro.bench.cache import (
+        EvaluationCache,
+        cache_enabled,
+        config_fingerprint,
+        row_key,
+    )
+    from repro.bench.parallel import evaluate_parallel, resolve_jobs
+
     count = min(limit or corpus.size, corpus.size)
-    rows: List[AppEvaluation] = []
+    jobs = resolve_jobs(jobs)
+    disk = EvaluationCache(enabled=cache_enabled(no_cache))
+    stats = CorpusRunStats(
+        apps=count, jobs=jobs, cache_enabled=disk.enabled
+    )
+    started = time.perf_counter()
+
+    scale = corpus.profile.scale
+    fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
+    rows: Dict[int, AppEvaluation] = {}
+    missing: List[int] = []
+    disk_keys: Dict[int, str] = {}
     for index in range(count):
-        key = (corpus.base_seed, corpus.size, corpus.profile.scale, index)
+        key = (corpus.base_seed, corpus.size, scale, index)
         row = _CACHE.get(key)
-        if row is None:
-            row = evaluate_app(corpus.app(index))
-            _CACHE[key] = row
-        rows.append(row)
-    return rows
+        if row is not None:
+            rows[index] = row
+            stats.process_hits += 1
+            continue
+        if disk.enabled:
+            disk_keys[index] = row_key(
+                corpus.base_seed, corpus.size, scale, index, fingerprint
+            )
+            row = disk.load(disk_keys[index])
+            if row is not None:
+                rows[index] = row
+                _CACHE[key] = row
+                continue
+        missing.append(index)
+    stats.disk_hits = disk.hits
+    stats.lookup_s = time.perf_counter() - started
+
+    evaluated_at = time.perf_counter()
+    if missing:
+        if jobs > 1 and len(missing) > 1:
+            fresh = evaluate_parallel(corpus, missing, jobs)
+            stats.workers = min(jobs, len(missing))
+        else:
+            fresh = {
+                index: evaluate_app(corpus.app(index)) for index in missing
+            }
+        stats.evaluated = len(missing)
+        stats.evaluate_s = time.perf_counter() - evaluated_at
+
+        stored_at = time.perf_counter()
+        for index in missing:
+            row = fresh[index]
+            rows[index] = row
+            _CACHE[(corpus.base_seed, corpus.size, scale, index)] = row
+            if disk.enabled:
+                disk.store(disk_keys[index], row)
+        stats.disk_stores = disk.stores
+        stats.store_s = time.perf_counter() - stored_at
+
+    stats.total_s = time.perf_counter() - started
+    _LAST_RUN_STATS = stats
+    return [rows[index] for index in range(count)]

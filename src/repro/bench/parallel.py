@@ -1,0 +1,112 @@
+"""Parallel corpus evaluation (host-side performance layer).
+
+:func:`evaluate_parallel` fans an :func:`repro.bench.harness.evaluate_app`
+sweep out over a ``fork``-based worker pool.  The corpus is never
+pickled: each worker receives only ``(base_seed, size, scale)`` plus a
+chunk of app indices and regenerates its apps locally -- apps are pure
+functions of ``base_seed + index`` (see :mod:`repro.apk.corpus`), so a
+worker's rows are bit-identical to a serial run's no matter how chunks
+land on workers.
+
+Scheduling is chunked round-robin: index ``i`` goes to chunk
+``i % chunks`` so every worker sees a representative size mix (corpus
+app sizes vary with the seed, and contiguous runs of large apps would
+straggle).  Results are reassembled by index, so ordering is
+deterministic regardless of worker completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile
+
+#: Upper bound on worker count; corpus chunks beyond this only add
+#: pool overhead.
+MAX_JOBS = 32
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_BENCH_JOBS``.
+
+    A malformed environment value falls back to serial rather than
+    aborting a sweep.
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+        except ValueError:
+            jobs = 1
+    return max(1, min(int(jobs), MAX_JOBS))
+
+
+def plan_chunks(indices: Sequence[int], chunks: int) -> List[List[int]]:
+    """Deal indices round-robin into ``chunks`` non-empty lists."""
+    chunks = max(1, min(chunks, len(indices)))
+    plan: List[List[int]] = [[] for _ in range(chunks)]
+    for position, index in enumerate(indices):
+        plan[position % chunks].append(index)
+    return [chunk for chunk in plan if chunk]
+
+
+def _evaluate_chunk(
+    task: Tuple[int, int, float, Sequence[int]]
+) -> List[Tuple[int, "AppEvaluation"]]:
+    """Worker body: regenerate the corpus and evaluate one index chunk.
+
+    Re-seeds the module-level RNG per app from the corpus namespace so
+    any future global-random use inside evaluation stays deterministic
+    and independent of chunk placement (today all generator randomness
+    is instance-local already).
+    """
+    from repro.bench.harness import evaluate_app
+
+    base_seed, size, scale, indices = task
+    corpus = AppCorpus(
+        size=size, base_seed=base_seed, profile=GeneratorProfile(scale=scale)
+    )
+    rows = []
+    for index in indices:
+        random.seed(base_seed * 1_000_003 + index)
+        rows.append((index, evaluate_app(corpus.app(index))))
+    return rows
+
+
+def evaluate_parallel(
+    corpus: AppCorpus,
+    indices: Sequence[int],
+    jobs: int,
+) -> Dict[int, "AppEvaluation"]:
+    """Evaluate ``indices`` of ``corpus`` across ``jobs`` workers.
+
+    Returns ``{index: row}``.  Falls back to in-process evaluation when
+    a pool cannot be started (restricted environments) or the request
+    degenerates to a single worker/chunk.
+    """
+    jobs = resolve_jobs(jobs)
+    chunks = plan_chunks(indices, jobs)
+    scale = corpus.profile.scale
+    tasks = [
+        (corpus.base_seed, corpus.size, scale, tuple(chunk))
+        for chunk in chunks
+    ]
+    if jobs <= 1 or len(tasks) <= 1:
+        return _collect(map(_evaluate_chunk, tasks))
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=len(tasks)) as pool:
+            return _collect(pool.map(_evaluate_chunk, tasks))
+    except (OSError, ValueError):
+        return _collect(map(_evaluate_chunk, tasks))
+
+
+def _collect(chunk_results) -> Dict[int, "AppEvaluation"]:
+    rows: Dict[int, "AppEvaluation"] = {}
+    for chunk in chunk_results:
+        for index, row in chunk:
+            rows[index] = row
+    return rows

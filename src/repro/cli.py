@@ -72,6 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="headline figure rows")
     bench.add_argument("--apps", type=int, default=12)
     bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="evaluate apps across N worker processes "
+        "(default: REPRO_BENCH_JOBS or 1)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the on-disk evaluation cache",
+    )
 
     report = sub.add_parser(
         "report", help="aggregate persisted benchmark results to markdown"
@@ -152,12 +161,15 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.harness import evaluate_corpus
+    from repro.bench.harness import evaluate_corpus, last_run_stats
 
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
     )
-    rows = evaluate_corpus(corpus)
+    rows = evaluate_corpus(corpus, jobs=args.jobs, no_cache=args.no_cache)
+    stats = last_run_stats()
+    if stats is not None:
+        print(stats.summary())
     mean = statistics.mean
     print(f"headline rows over {len(rows)} apps (paper in parentheses):")
     print(f"  plain GPU vs CPU     {mean(r.plain_vs_cpu for r in rows):6.2f}x  (1.81x)")

@@ -37,11 +37,13 @@ from repro.core.grouping import (
     grouped_storage_order,
 )
 from repro.core.trace import BlockTrace, IterationRecord, NodeMeta, VisitRecord
-from repro.dataflow.facts import FactSpace
+from repro.dataflow.bitset import mask_to_set
+from repro.dataflow.facts import CalleeFootprint, FactSpace
 from repro.dataflow.idfg import MethodFacts
 from repro.dataflow.summaries import MethodSummary, SummaryBuilder
-from repro.dataflow.transfer import TransferFunctions
+from repro.dataflow.transfer import MaskTransfer, TransferFunctions
 from repro.ir.app import AndroidApp
+from repro.perf import host_perf_enabled
 
 #: CUDA warp size; the head-list granularity of MER.
 WARP_SIZE = 32
@@ -65,18 +67,42 @@ class BlockResult:
 class _MethodState:
     """Per-method analysis machinery inside a block."""
 
-    __slots__ = ("signature", "method", "cfg", "space", "transfer", "offset")
+    __slots__ = (
+        "signature",
+        "method",
+        "cfg",
+        "space",
+        "transfer",
+        "offset",
+        "_masked",
+    )
 
-    def __init__(self, app: AndroidApp, signature: str, summaries, offset: int):
+    def __init__(
+        self,
+        app: AndroidApp,
+        signature: str,
+        summaries,
+        offset: int,
+        footprints: Optional[Dict[str, CalleeFootprint]] = None,
+    ):
         self.signature = signature
         self.method = app.method_table[signature]
         self.cfg = build_intra_cfg(self.method)
-        footprints = {
-            sig: summary.footprint() for sig, summary in summaries.items()
-        }
+        if footprints is None:
+            footprints = {
+                sig: summary.footprint() for sig, summary in summaries.items()
+            }
         self.space = FactSpace(self.method, footprints)
         self.transfer = TransferFunctions(self.space, summaries)
         self.offset = offset
+        self._masked: Optional[MaskTransfer] = None
+
+    @property
+    def masked(self) -> MaskTransfer:
+        """Packed-bitset view of the transfer functions (lazy)."""
+        if self._masked is None:
+            self._masked = MaskTransfer(self.transfer)
+        return self._masked
 
 
 class BlockRunner:
@@ -110,10 +136,20 @@ class BlockRunner:
     def _build_states(
         self, summaries: Mapping[str, MethodSummary]
     ) -> List[_MethodState]:
+        # The callee footprints depend only on the summary table, which
+        # is identical for every method of the block: resolve them once
+        # per round instead of once per method state.
+        footprints = (
+            {sig: summary.footprint() for sig, summary in summaries.items()}
+            if host_perf_enabled()
+            else None
+        )
         states: List[_MethodState] = []
         offset = 0
         for signature in self.assignment.methods:
-            state = _MethodState(self.app, signature, summaries, offset)
+            state = _MethodState(
+                self.app, signature, summaries, offset, footprints=footprints
+            )
             states.append(state)
             offset += len(state.method.statements)
         return states
@@ -156,7 +192,148 @@ class BlockRunner:
         merging: bool,
         trace: BlockTrace,
     ) -> List[Set[int]]:
-        """Execute one fixed-point run; returns per-block-node fact sets."""
+        """Execute one fixed-point run; returns per-block-node fact sets.
+
+        Dispatches between the packed-bitset implementation (facts as
+        int masks, whole GEN/KILL batches per mask op) and the seed's
+        per-element set implementation.  Both record identical traces
+        and land on identical fixed points.
+        """
+        if host_perf_enabled():
+            return self._run_dynamics_masked(states, merging, trace)
+        return self._run_dynamics_sets(states, merging, trace)
+
+    def _run_dynamics_masked(
+        self,
+        states: Sequence[_MethodState],
+        merging: bool,
+        trace: BlockTrace,
+    ) -> List[Set[int]]:
+        """Packed-bitset dynamics: one int mask per block node.
+
+        Mirrors :meth:`_run_dynamics_sets` op for op -- including the
+        aliasing of each node's live IN set when its sizes are recorded
+        -- so the emitted trace is byte-identical.  The per-successor
+        union of a whole out-set becomes two int ops (``& ~`` and
+        ``|``) instead of a per-fact set update: the warp's GEN/KILL
+        lanes are applied as one batch.
+        """
+        node_count = sum(len(s.method.statements) for s in states)
+        facts: List[int] = [0] * node_count
+        visited = [False] * node_count
+        scheduled: Set[int] = set()
+
+        state_of: List[_MethodState] = []
+        local_of: List[int] = []
+        for state in states:
+            for local in range(len(state.method.statements)):
+                state_of.append(state)
+                local_of.append(local)
+
+        worklist: List[int] = []
+        for state in states:
+            if state.method.statements:
+                entry = state.offset
+                facts[entry] = state.masked.entry_mask()
+                worklist.append(entry)
+                scheduled.add(entry)
+
+        meta = trace.node_meta
+        sort_key = (lambda n: meta[n].group) if (merging and self.sort_mer_worklist) else None
+
+        while worklist:
+            if sort_key is not None:
+                worklist.sort(key=sort_key)
+            size = len(worklist)
+            head_count = min(size, WARP_SIZE) if merging else size
+            head = worklist[:head_count]
+            tail = worklist[head_count:]
+
+            visits: List[VisitRecord] = []
+            growth: Dict[int, int] = {}
+            destinations: List[int] = []
+            dest_seen: Set[int] = set(tail) if merging else set()
+            iter_new: Dict[int, int] = {}
+            iter_inserts: Dict[int, int] = {}
+            nondup_inserts = 0
+            dup_inserts = 0
+
+            for node in head:
+                scheduled.discard(node)
+                state = state_of[node]
+                local = local_of[node]
+                masked = state.masked
+                out = masked.out_mask(local, facts[node])
+                identity = masked.is_identity(local)
+                new_counts: List[int] = []
+                for succ in meta[node].successors:
+                    succ_mask = facts[succ]
+                    added_bits = out & ~succ_mask
+                    added = added_bits.bit_count()
+                    new_counts.append(added)
+                    if added:
+                        succ_mask |= added_bits
+                        facts[succ] = succ_mask
+                        growth[succ] = succ_mask.bit_count()
+                        iter_new[succ] = iter_new.get(succ, 0) + added
+                    concurrent_dup = (
+                        not added
+                        and succ in growth
+                        and iter_inserts.get(succ, 0)
+                        < min(6 * iter_new.get(succ, 0), 32)
+                    )
+                    if added or concurrent_dup or not visited[succ]:
+                        if merging:
+                            if succ not in dest_seen:
+                                dest_seen.add(succ)
+                                destinations.append(succ)
+                        else:
+                            if added or concurrent_dup or succ not in scheduled:
+                                destinations.append(succ)
+                                scheduled.add(succ)
+                                iter_inserts[succ] = iter_inserts.get(succ, 0) + 1
+                                if concurrent_dup:
+                                    dup_inserts += 1
+                                else:
+                                    nondup_inserts += 1
+                # The set implementation records len() of the *live*
+                # IN set (and, for identity nodes, the live OUT alias)
+                # after the successor unions: a self-looping node sees
+                # its own growth.  Re-read the masks accordingly.
+                in_size = facts[node].bit_count()
+                out_size = in_size if identity else out.bit_count()
+                visits.append(
+                    VisitRecord(
+                        node=node,
+                        in_size=in_size,
+                        out_size=out_size,
+                        new_facts=tuple(new_counts),
+                        first_visit=not visited[node],
+                    )
+                )
+                visited[node] = True
+
+            trace.iterations.append(
+                IterationRecord(
+                    worklist_size=size,
+                    visits=tuple(visits),
+                    growth=tuple(sorted(growth.items())),
+                    merged=len(destinations) if merging else 0,
+                )
+            )
+            if merging:
+                worklist = destinations + tail
+            else:
+                worklist = destinations
+        return [mask_to_set(mask) for mask in facts]
+
+    def _run_dynamics_sets(
+        self,
+        states: Sequence[_MethodState],
+        merging: bool,
+        trace: BlockTrace,
+    ) -> List[Set[int]]:
+        """The seed's per-element set dynamics (baseline / oracle)."""
         node_count = sum(len(s.method.statements) for s in states)
         facts: List[Set[int]] = [set() for _ in range(node_count)]
         visited = [False] * node_count

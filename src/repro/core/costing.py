@@ -31,6 +31,7 @@ from repro.gpu.kernel import BlockCost
 from repro.gpu.memory import MemoryModel
 from repro.gpu.spec import CostTable
 from repro.gpu.warp import LaneWork, REGION_FACTS, execute_warp, form_warps
+from repro.perf import host_perf_enabled
 
 #: Modeled bytes per fact-matrix row touched per visit (a handful of
 #: 64-bit mask words); rows of neighbouring nodes are adjacent, so
@@ -145,7 +146,182 @@ def price_block(
     config: GDroidConfig,
     seed_sizes: Sequence[Tuple[int, int]] = (),
 ) -> BlockCost:
-    """Price one block's trace under ``config``; see module docstring."""
+    """Price one block's trace under ``config``; see module docstring.
+
+    Dispatches between the fused replay loop (per-node lane data
+    precomputed once per trace, transaction segments counted inline)
+    and the seed's per-visit :class:`LaneWork` /
+    :func:`repro.gpu.warp.execute_warp` path.  Both produce identical
+    cycle counts -- the fast path replicates the scalar accumulation
+    order so even the float sums match bit for bit.
+    """
+    if host_perf_enabled():
+        return _price_block_fast(trace, config, seed_sizes)
+    return _price_block_scalar(trace, config, seed_sizes)
+
+
+def _price_block_fast(
+    trace: BlockTrace,
+    config: GDroidConfig,
+    seed_sizes: Sequence[Tuple[int, int]] = (),
+) -> BlockCost:
+    """Fused trace replay: one pass, no per-lane descriptor objects."""
+    costs = config.costs
+    spec = config.spec
+    warp_size = spec.warp_size
+    segment_bytes = spec.memory_segment_bytes
+    meta = trace.node_meta
+    use_mat = config.use_mat
+    use_grp = config.use_grp
+
+    record_bytes = costs.node_record_bytes
+    if (
+        record_bytes > segment_bytes
+        or MAT_ROW_BYTES > segment_bytes
+        or MemoryModel.REGION_STRIDE % segment_bytes
+    ):  # pragma: no cover - exotic spec; exactness over speed
+        return _price_block_scalar(trace, config, seed_sizes)
+
+    # -- per-node lane data, hoisted out of the per-visit loop ----------------
+    if use_grp:
+        branch_of = [str(m.group) for m in meta]
+        storage_of = [m.grouped_position for m in meta]
+    else:
+        branch_of = [str(m.branch_class) for m in meta]
+        storage_of = [m.node for m in meta]
+    if use_mat:
+        fact_elements_of = [
+            [storage_of[m.node]] + [storage_of[succ] for succ in m.successors]
+            for m in meta
+        ]
+        generates_always = [m.group != 0 for m in meta]
+
+    node_issue = costs.node_issue_cycles
+    mat_lookup = costs.mat_lookup_cycles
+    set_scan = costs.set_scan_cycles_per_entry
+    set_insert = costs.set_insert_cycles
+    transaction_cycles = costs.memory_transaction_cycles
+    divergence_pass = costs.divergence_pass_cycles
+    record_span = max(record_bytes, 1) - 1
+    row_span = MAT_ROW_BYTES - 1
+
+    compute_cycles = 0.0
+    divergence_cycles = 0.0
+    memory_cycles = 0.0
+    alloc_stall_cycles = 0.0
+    sort_cycles = 0.0
+    sync_cycles = 0.0
+    idle_lane_cycles = 0.0
+    warp_cycles = 0.0
+    total_visits = 0
+
+    capacity_model = _SetCapacityModel()
+    if not use_mat:
+        seed_events = 0
+        for node, size in seed_sizes:
+            seed_events += capacity_model.grow_to(node, size)
+        alloc_stall_cycles += seed_events * costs.dynamic_alloc_cycles
+
+    for iteration in trace.iterations:
+        visits: Sequence[VisitRecord] = iteration.visits
+        total_visits += len(visits)
+        if use_grp:
+            visits = sorted(visits, key=lambda v: meta[v.node].group)
+            sort_cycles += _sort_cycles(costs, iteration.worklist_size)
+
+        for start in range(0, len(visits), warp_size):
+            chunk = visits[start : start + warp_size]
+            by_class: Dict[str, float] = {}
+            scattered = 0
+            record_segments = set()
+            fact_segments = set()
+            for visit in chunk:
+                node = visit.node
+                new_total = sum(visit.new_facts)
+                if use_mat:
+                    gen_work = (
+                        visit.out_size
+                        if (generates_always[node] or visit.first_visit)
+                        else 0
+                    )
+                    compute = node_issue + mat_lookup * (gen_work + new_total)
+                    for element in fact_elements_of[node]:
+                        address = element * MAT_ROW_BYTES
+                        fact_segments.add(address // segment_bytes)
+                        fact_segments.add((address + row_span) // segment_bytes)
+                else:
+                    compute = (
+                        node_issue
+                        + set_scan
+                        * (
+                            visit.in_size
+                            + visit.out_size * max(len(visit.new_facts), 1)
+                        )
+                        + set_insert * new_total
+                    )
+                    scattered += 1 + (visit.in_size + new_total + 3) // 4
+                branch = branch_of[node]
+                current = by_class.get(branch)
+                if current is None or compute > current:
+                    by_class[branch] = compute
+                address = storage_of[node] * record_bytes
+                record_segments.add(address // segment_bytes)
+                if record_span:
+                    record_segments.add((address + record_span) // segment_bytes)
+
+            compute_cycles += sum(by_class.values())
+            divergence_cycles += (len(by_class) - 1) * divergence_pass
+            transactions = len(record_segments) + len(fact_segments) + scattered
+            memory_cycles += transactions * transaction_cycles
+            warp_cycles += costs.warp_base_cycles
+            idle_lane_cycles += (warp_size - len(chunk)) * node_issue
+
+        if not use_mat:
+            events = 0
+            for node, size in iteration.growth:
+                events += capacity_model.grow_to(node, size)
+            alloc_stall_cycles += events * costs.dynamic_alloc_cycles
+
+        sync_cycles += (
+            costs.iteration_sync_cycles
+            + costs.worklist_op_cycles * len(visits)
+        )
+        if config.use_mer and iteration.merged:
+            sync_cycles += costs.merge_op_cycles * iteration.merged
+
+    rounds = max(1, trace.summary_rounds)
+    factor = float(rounds)
+    total = (
+        compute_cycles
+        + divergence_cycles
+        + memory_cycles
+        + alloc_stall_cycles
+        + sort_cycles
+        + sync_cycles
+        + warp_cycles
+    ) * factor
+
+    return BlockCost(
+        block_id=trace.block_id,
+        cycles=total,
+        iterations=trace.iteration_count * rounds,
+        node_visits=total_visits * rounds,
+        compute_cycles=compute_cycles * factor,
+        divergence_cycles=divergence_cycles * factor,
+        memory_cycles=memory_cycles * factor,
+        alloc_stall_cycles=alloc_stall_cycles * factor,
+        sort_cycles=sort_cycles * factor,
+        sync_cycles=(sync_cycles + warp_cycles) * factor,
+        idle_lane_cycles=idle_lane_cycles * factor,
+    )
+
+
+def _price_block_scalar(
+    trace: BlockTrace,
+    config: GDroidConfig,
+    seed_sizes: Sequence[Tuple[int, int]] = (),
+) -> BlockCost:
+    """The seed's per-visit lane descriptor replay (baseline)."""
     costs = config.costs
     memory = MemoryModel(config.spec)
     warp_size = config.spec.warp_size

@@ -8,11 +8,15 @@ front from the pre-determined pools (:class:`repro.dataflow.facts.
 FactSpace`), so the store never reallocates -- the GPU kernel replaces
 set updates with constant-time entry lookups.
 
-Implementation: one NumPy boolean array of shape
-``(node_count, slot_count * instance_count)``.  A boolean array spends
-a byte per bit, which is fine for the host-side functional simulation;
-the *modeled device footprint* (Fig. 10) is computed at the paper's
-1-bit-per-cell packing in :meth:`memory_bytes`.
+Implementation: one NumPy ``uint64`` array of shape
+``(node_count, ceil(universe / 64))`` -- the paper's 1-bit-per-cell
+packing realized on the host, mutated with vectorized
+``bitwise_or`` / ``bitwise_count`` word operations.
+:class:`BooleanMatrixStore` keeps the seed's byte-per-bit boolean
+backing as the baseline leg of ``benchmarks/bench_host_perf.py`` and
+as the equivalence oracle in ``tests/test_stores.py``.  The *modeled
+device footprint* (Fig. 10) is identical for both and is computed at
+the paper's contiguous 1-bit-per-cell packing in :meth:`memory_bytes`.
 """
 
 from __future__ import annotations
@@ -21,22 +25,117 @@ from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.dataflow.bitset import (
+    pack_indices,
+    popcount_words,
+    unpack_indices,
+    words_for,
+)
 from repro.dataflow.facts import FactSpace
 
 
 class MatrixFactStore:
     """Bit-matrix fact store over a pre-determined fact universe."""
 
-    __slots__ = ("node_count", "universe", "_bits")
+    __slots__ = ("node_count", "universe", "_words")
 
     def __init__(self, node_count: int, universe: int) -> None:
         self.node_count = node_count
         #: Number of representable facts: slot_count * instance_count.
         self.universe = universe
-        self._bits = np.zeros((node_count, max(universe, 1)), dtype=bool)
+        self._words = np.zeros(
+            (node_count, words_for(universe)), dtype=np.uint64
+        )
 
     @classmethod
     def for_space(cls, space: FactSpace) -> "MatrixFactStore":
+        """Store sized for a method's pre-determined fact space."""
+        return cls(len(space.method.statements), space.fact_universe)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert_all(self, node: int, facts: Iterable[int]) -> bool:
+        """Mark facts at ``node``; True when any cell flipped 0 -> 1."""
+        row = self._words[node]
+        if isinstance(facts, (list, tuple)):
+            # Single-fact inserts dominate the worklist hot loop: test
+            # and set one bit without materializing index arrays.
+            if len(facts) == 1:
+                fact = facts[0]
+                word, bit = fact >> 6, np.uint64(1 << (fact & 63))
+                if row[word] & bit:
+                    return False
+                row[word] |= bit
+                return True
+            if not facts:
+                return False
+            mask = pack_indices(facts, row.shape[0])
+        else:
+            mask = pack_indices(facts, row.shape[0])
+            if not mask.any():
+                return False
+        fresh = mask & ~row
+        if not fresh.any():
+            return False
+        row |= mask
+        return True
+
+    def replace(self, node: int, facts: Iterable[int]) -> None:
+        """Overwrite ``node``'s facts with exactly ``facts``."""
+        self._words[node] = pack_indices(facts, self._words.shape[1])
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, node: int) -> Set[int]:
+        """The fact set stored for ``node``."""
+        return set(unpack_indices(self._words[node]))
+
+    def size(self, node: int) -> int:
+        """Number of facts stored for ``node``."""
+        return popcount_words(self._words[node])
+
+    def contains(self, node: int, fact: int) -> bool:
+        """Membership test for one (node, fact) pair."""
+        return bool(self._words[node, fact >> 6] & np.uint64(1 << (fact & 63)))
+
+    def snapshot(self) -> Tuple[FrozenSet[int], ...]:
+        """Immutable per-node copy of all stored facts."""
+        return tuple(
+            frozenset(unpack_indices(self._words[node]))
+            for node in range(self.node_count)
+        )
+
+    def total_fact_count(self) -> int:
+        """Total facts across all nodes."""
+        return popcount_words(self._words)
+
+    def memory_bytes(self) -> int:
+        """Modeled device footprint at 1 bit per (node, cell).
+
+        Masks are packed contiguously (cell 0's n bits, then cell 1's,
+        ...), so only the whole matrix rounds up to a byte boundary.
+        """
+        return (self.universe * self.node_count + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MatrixFactStore({self.node_count} nodes x {self.universe} cells, "
+            f"{self.total_fact_count()} facts)"
+        )
+
+
+class BooleanMatrixStore:
+    """The seed's byte-per-bit boolean backing (baseline / oracle)."""
+
+    __slots__ = ("node_count", "universe", "_bits")
+
+    def __init__(self, node_count: int, universe: int) -> None:
+        self.node_count = node_count
+        self.universe = universe
+        self._bits = np.zeros((node_count, max(universe, 1)), dtype=bool)
+
+    @classmethod
+    def for_space(cls, space: FactSpace) -> "BooleanMatrixStore":
         """Store sized for a method's pre-determined fact space."""
         return cls(len(space.method.statements), space.fact_universe)
 
@@ -88,15 +187,11 @@ class MatrixFactStore:
         return int(self._bits.sum())
 
     def memory_bytes(self) -> int:
-        """Modeled device footprint at 1 bit per (node, cell).
-
-        Masks are packed contiguously (cell 0's n bits, then cell 1's,
-        ...), so only the whole matrix rounds up to a byte boundary.
-        """
+        """Modeled device footprint at 1 bit per (node, cell)."""
         return (self.universe * self.node_count + 7) // 8
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"MatrixFactStore({self.node_count} nodes x {self.universe} cells, "
-            f"{self.total_fact_count()} facts)"
+            f"BooleanMatrixStore({self.node_count} nodes x "
+            f"{self.universe} cells, {self.total_fact_count()} facts)"
         )

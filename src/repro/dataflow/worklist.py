@@ -19,13 +19,15 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 from repro.cfg.callgraph import CallGraph, SBDALayering
 from repro.cfg.environment import app_with_environments
 from repro.cfg.intra import IntraCFG, build_intra_cfg
+from repro.dataflow.bitset import mask_to_frozenset
 from repro.dataflow.facts import CalleeFootprint, FactSpace
 from repro.dataflow.idfg import IDFG, MethodFacts
 from repro.dataflow.lattice import SetFactStore
 from repro.dataflow.summaries import MethodSummary, SummaryBuilder
-from repro.dataflow.transfer import TransferFunctions
+from repro.dataflow.transfer import MaskTransfer, TransferFunctions
 from repro.ir.app import AndroidApp
 from repro.ir.method import Method
+from repro.perf import host_perf_enabled
 
 
 class SequentialWorklist:
@@ -57,6 +59,8 @@ class SequentialWorklist:
         method = self.cfg.method
         if not method.statements:
             return MethodFacts(space=self.space, node_facts=(), exit_facts=frozenset())
+        if host_perf_enabled():
+            return self._run_masked()
 
         self.store.replace(0, self.space.entry_facts())
         worklist = deque([0])
@@ -89,6 +93,46 @@ class SequentialWorklist:
             space=self.space,
             node_facts=self.store.snapshot(),
             exit_facts=frozenset(exit_out),
+        )
+
+    def _run_masked(self) -> MethodFacts:
+        """Alg. 1 over int bitsets: same trajectory, batched set unions.
+
+        The worklist discipline is identical to the set-based loop --
+        a successor is (re)queued exactly when ``out & ~succ`` is
+        non-zero -- so visit counts and the fixed point match the
+        oracle bit for bit; only the per-fact set churn is replaced by
+        whole-set mask operations.
+        """
+        masked = MaskTransfer(self.transfer)
+        facts = [0] * len(self.cfg.method.statements)
+        facts[0] = masked.entry_mask()
+        worklist = deque([0])
+        queued = {0}
+        visited = [False] * len(facts)
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node)
+            visited[node] = True
+            self.visits += 1
+            self.iterations += 1
+            out = masked.out_mask(node, facts[node])
+            for successor in self.cfg.successors[node]:
+                added = out & ~facts[successor]
+                if added:
+                    facts[successor] |= added
+                if (added or not visited[successor]) and successor not in queued:
+                    worklist.append(successor)
+                    queued.add(successor)
+
+        self.store.seed_from_masks(facts)
+        exit_mask = 0
+        for exit_node in self.cfg.exits:
+            exit_mask |= masked.out_mask(exit_node, facts[exit_node])
+        return MethodFacts(
+            space=self.space,
+            node_facts=self.store.snapshot(),
+            exit_facts=mask_to_frozenset(exit_mask),
         )
 
 

@@ -1,0 +1,247 @@
+"""Host-side performance layer: bit-exactness and cache/parallel tests.
+
+The packed-bitset store, masked dynamics, fused pricing, parallel
+corpus pipeline and on-disk cache are all *transparent* accelerations:
+every observable number -- per-node fact sets, traces, and modeled
+cycle counts -- must be identical to the seed implementation's.  These
+tests pin that contract.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.bench.harness as harness
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile, generate_app
+from repro.bench.cache import EvaluationCache, config_fingerprint, row_key
+from repro.bench.parallel import plan_chunks, resolve_jobs
+from repro.dataflow.bitset import (
+    iter_bits,
+    mask_from,
+    mask_to_set,
+    pack_indices,
+    popcount_words,
+    unpack_indices,
+    words_for,
+)
+from repro.dataflow.matrix_store import BooleanMatrixStore, MatrixFactStore
+from repro.dataflow.transfer import MaskTransfer, TransferFunctions
+from repro.dataflow.worklist import SequentialWorklist, analyze_app_reference
+from repro.gpu.memory import transactions_for_addresses, _transactions_scalar
+from repro.perf import host_perf, host_perf_enabled, set_host_perf
+
+
+@pytest.fixture()
+def app():
+    return generate_app(31, GeneratorProfile(scale=0.5))
+
+
+# -- bitset primitives --------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=199), max_size=40))
+def test_pack_unpack_roundtrip(indices):
+    words = words_for(200)
+    row = pack_indices(indices, words)
+    assert unpack_indices(row) == sorted(set(indices))
+    assert popcount_words(row) == len(set(indices))
+    mask = mask_from(indices)
+    assert mask_to_set(mask) == set(indices)
+    assert list(iter_bits(mask)) == sorted(set(indices))
+
+
+# -- the three fact stores ----------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.lists(st.integers(min_value=0, max_value=149), max_size=10),
+        ),
+        max_size=40,
+    )
+)
+def test_packed_boolean_set_stores_agree(ops):
+    """Packed uint64 rows vs boolean rows vs plain sets, op by op."""
+    packed = MatrixFactStore(4, 150)
+    boolean = BooleanMatrixStore(4, 150)
+    shadow = [set() for _ in range(4)]
+    for node, facts in ops:
+        grew = len(set(facts) - shadow[node]) > 0
+        assert packed.insert_all(node, facts) == grew
+        assert boolean.insert_all(node, facts) == grew
+        shadow[node] |= set(facts)
+    for node in range(4):
+        assert packed.get(node) == boolean.get(node) == shadow[node]
+        assert packed.size(node) == boolean.size(node) == len(shadow[node])
+    assert packed.snapshot() == boolean.snapshot()
+    assert packed.memory_bytes() == boolean.memory_bytes()
+
+
+def test_single_fact_fast_path_reports_growth():
+    store = MatrixFactStore(1, 70)
+    assert store.insert_all(0, [64])
+    assert not store.insert_all(0, [64])
+    assert store.insert_all(0, [63])
+    assert store.get(0) == {63, 64}
+
+
+# -- masked transfer and the oracle worklist ----------------------------------
+
+
+def test_mask_transfer_matches_set_transfer(app):
+    for method in app.methods[:12]:
+        wl = SequentialWorklist(method)
+        masked = MaskTransfer(wl.transfer)
+        result = wl.run()
+        for node, facts in enumerate(result.node_facts):
+            in_mask = mask_from(facts)
+            out_set = wl.transfer.out_facts(node, set(facts))
+            assert mask_to_set(masked.out_mask(node, in_mask)) == out_set
+
+
+def test_masked_worklist_matches_legacy_oracle(app):
+    with host_perf(False):
+        legacy = analyze_app_reference(app)
+    with host_perf(True):
+        fast = analyze_app_reference(app)
+    assert set(legacy.method_facts) == set(fast.method_facts)
+    for signature, reference in legacy.method_facts.items():
+        assert fast.method_facts[signature].node_facts == reference.node_facts
+        assert fast.method_facts[signature].exit_facts == reference.exit_facts
+    assert legacy.summaries == fast.summaries
+
+
+# -- memory transaction model -------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=4096), min_size=1, max_size=32
+    ),
+    access_bytes=st.integers(min_value=1, max_value=128),
+)
+def test_transactions_fast_equals_scalar(addresses, access_bytes):
+    fast = transactions_for_addresses(addresses, access_bytes)
+    scalar = _transactions_scalar(addresses, access_bytes)
+    assert fast == scalar
+
+
+# -- end-to-end bit-exactness -------------------------------------------------
+
+
+def test_evaluate_app_bit_exact_vs_seed_path(app):
+    """The acceptance criterion: identical fact sets AND cycle counts.
+
+    AppEvaluation equality covers every modeled float time (plain,
+    MAT, GRP, full, CPU, Amandroid), the memory footprints and the
+    worklist profile -- any drift in facts, traces or accumulation
+    order shows up here.
+    """
+    with host_perf(False):
+        legacy = harness.evaluate_app(app)
+    with host_perf(True):
+        fast = harness.evaluate_app(app)
+    assert fast == legacy
+
+
+# -- parallel pipeline --------------------------------------------------------
+
+
+def test_plan_chunks_round_robin_and_total():
+    assert plan_chunks([0, 1, 2, 3, 4], 2) == [[0, 2, 4], [1, 3]]
+    assert plan_chunks([7], 4) == [[7]]
+    chunks = plan_chunks(list(range(10)), 3)
+    assert sorted(i for chunk in chunks for i in chunk) == list(range(10))
+
+
+def test_resolve_jobs_env_and_clamping(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(10_000) > 1
+
+
+def test_parallel_rows_identical_to_serial():
+    corpus = AppCorpus(size=3, profile=GeneratorProfile(scale=0.4))
+    harness._CACHE.clear()
+    serial = harness.evaluate_corpus(corpus, jobs=1, no_cache=True)
+    harness._CACHE.clear()
+    parallel = harness.evaluate_corpus(corpus, jobs=2, no_cache=True)
+    assert parallel == serial
+    stats = harness.last_run_stats()
+    assert stats.workers == 2
+    assert stats.evaluated == 3
+
+
+# -- on-disk cache ------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_warm_skip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+    corpus = AppCorpus(size=2, profile=GeneratorProfile(scale=0.4))
+
+    harness._CACHE.clear()
+    cold = harness.evaluate_corpus(corpus, jobs=1)
+    stats = harness.last_run_stats()
+    assert stats.evaluated == 2 and stats.disk_stores == 2
+    assert stats.hit_rate == 0.0
+
+    # A fresh process cache must resume entirely from disk.
+    harness._CACHE.clear()
+    warm = harness.evaluate_corpus(corpus, jobs=1)
+    stats = harness.last_run_stats()
+    assert stats.disk_hits == 2 and stats.evaluated == 0
+    assert stats.hit_rate == 1.0
+    assert warm == cold
+
+    # Rows restored from JSON must compare equal field by field.
+    for fresh, cached in zip(cold, warm):
+        assert dataclasses.asdict(fresh) == dataclasses.asdict(cached)
+        assert isinstance(cached.wl_mix_sync, tuple)
+
+    # --no-cache ignores the populated cache.
+    harness._CACHE.clear()
+    harness.evaluate_corpus(corpus, jobs=1, no_cache=True)
+    stats = harness.last_run_stats()
+    assert stats.evaluated == 2 and not stats.cache_enabled
+
+
+def test_cache_key_tracks_config_fingerprint(tmp_path):
+    fingerprint = config_fingerprint(harness._CONFIGS)
+    key = row_key(2020, 10, 1.0, 3, fingerprint)
+    assert key != row_key(2020, 10, 1.0, 4, fingerprint)
+    assert key != row_key(2020, 10, 1.0, 3, "other-config")
+    cache = EvaluationCache(root=tmp_path, enabled=True)
+    assert cache.load(key) is None
+    assert cache.misses == 1
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = EvaluationCache(root=tmp_path, enabled=True)
+    key = row_key(1, 1, 1.0, 0, "fp")
+    tmp_path.mkdir(exist_ok=True)
+    (tmp_path / f"{key}.json").write_text("{not json")
+    assert cache.load(key) is None
+    assert cache.misses == 1
+
+
+# -- the switch itself --------------------------------------------------------
+
+
+def test_host_perf_toggle_restores_state():
+    before = host_perf_enabled()
+    with host_perf(not before):
+        assert host_perf_enabled() is (not before)
+    assert host_perf_enabled() is before
+    set_host_perf(before)
