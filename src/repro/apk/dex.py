@@ -65,7 +65,20 @@ def _read_exact(src: BinaryIO, count: int) -> bytes:
 
 def _read_str(src: BinaryIO) -> str:
     (length,) = struct.unpack("<I", _read_exact(src, 4))
-    return _read_exact(src, length).decode("utf-8")
+    blob = _read_exact(src, length)
+    try:
+        return blob.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise GdxFormatError(
+            f"undecodable string at offset {src.tell()}: {error}"
+        ) from error
+
+
+def _rewrap(src: BinaryIO, what: str, error: Exception) -> GdxFormatError:
+    """Attach stream-offset context to a parse error, once."""
+    if isinstance(error, GdxFormatError):
+        return error
+    return GdxFormatError(f"{what} at offset {src.tell()}: {error}")
 
 
 def _write_u(out: BinaryIO, fmt: str, value: int) -> None:
@@ -158,13 +171,20 @@ def unpack_app(blob: bytes) -> AndroidApp:
     for _ in range(global_count):
         name = _read_str(src)
         descriptor = _read_str(src)
-        globals_.append(GlobalField(name=name, type=parse_descriptor(descriptor)))
+        try:
+            field_type = parse_descriptor(descriptor)
+        except ValueError as error:
+            raise _rewrap(src, f"global field '{name}'", error) from error
+        globals_.append(GlobalField(name=name, type=field_type))
 
     component_count = _read_u(src, "<I")
     components: List[Component] = []
     for _ in range(component_count):
         name = _read_str(src)
-        kind = ComponentKind(_read_str(src))
+        try:
+            kind = ComponentKind(_read_str(src))
+        except ValueError as error:
+            raise _rewrap(src, f"component '{name}' kind", error) from error
         exported = bool(_read_u(src, "<B"))
         filters = [_read_str(src) for _ in range(_read_u(src, "<H"))]
         callbacks = {}
@@ -184,19 +204,31 @@ def unpack_app(blob: bytes) -> AndroidApp:
     method_count = _read_u(src, "<I")
     methods: List[Method] = []
     for _ in range(method_count):
-        signature = parse_signature(_read_str(src))
+        signature_text = _read_str(src)
+        try:
+            signature = parse_signature(signature_text)
+        except ValueError as error:
+            raise _rewrap(
+                src, f"method signature '{signature_text}'", error
+            ) from error
         parameters = []
         for _ in range(_read_u(src, "<H")):
             pname = _read_str(src)
-            parameters.append(
-                Parameter(name=pname, type=parse_descriptor(_read_str(src)))
-            )
+            try:
+                parameters.append(
+                    Parameter(name=pname, type=parse_descriptor(_read_str(src)))
+                )
+            except ValueError as error:
+                raise _rewrap(src, f"parameter '{pname}'", error) from error
         locals_ = []
         for _ in range(_read_u(src, "<H")):
             lname = _read_str(src)
-            locals_.append(
-                Parameter(name=lname, type=parse_descriptor(_read_str(src)))
-            )
+            try:
+                locals_.append(
+                    Parameter(name=lname, type=parse_descriptor(_read_str(src)))
+                )
+            except ValueError as error:
+                raise _rewrap(src, f"local '{lname}'", error) from error
         handlers = []
         for _ in range(_read_u(src, "<H")):
             start = _read_str(src)
@@ -207,21 +239,33 @@ def unpack_app(blob: bytes) -> AndroidApp:
         statements = []
         for _ in range(_read_u(src, "<I")):
             label = _read_str(src)
-            statements.append(parse_statement(label, _read_str(src)))
-        methods.append(
-            Method(
-                signature=signature,
-                parameters=parameters,
-                locals=locals_,
-                statements=statements,
-                handlers=handlers,
+            text = _read_str(src)
+            try:
+                statements.append(parse_statement(label, text))
+            except ValueError as error:
+                raise _rewrap(
+                    src, f"statement '{label}: {text}'", error
+                ) from error
+        try:
+            methods.append(
+                Method(
+                    signature=signature,
+                    parameters=parameters,
+                    locals=locals_,
+                    statements=statements,
+                    handlers=handlers,
+                )
             )
-        )
+        except ValueError as error:
+            raise _rewrap(src, f"method {signature}", error) from error
 
-    return AndroidApp(
-        package=package,
-        components=components,
-        methods=methods,
-        global_fields=globals_,
-        category=category,
-    )
+    try:
+        return AndroidApp(
+            package=package,
+            components=components,
+            methods=methods,
+            global_fields=globals_,
+            category=category,
+        )
+    except ValueError as error:
+        raise _rewrap(src, f"app '{package}'", error) from error

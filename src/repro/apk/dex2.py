@@ -62,7 +62,25 @@ def _read_exact(src: BinaryIO, count: int) -> bytes:
 
 def _read_str(src: BinaryIO) -> str:
     (length,) = struct.unpack("<I", _read_exact(src, 4))
-    return _read_exact(src, length).decode("utf-8")
+    blob = _read_exact(src, length)
+    try:
+        return blob.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise BytecodeError(
+            f"undecodable string at offset {src.tell()}: {error}"
+        ) from error
+
+
+def _rewrap(src: BinaryIO, what: str, error: Exception) -> BytecodeError:
+    """Attach stream-offset context to a parse error, once.
+
+    Structured :class:`BytecodeError` instances (already carrying
+    context) pass through untouched; bare ``ValueError`` from the IR
+    constructors/parsers gains the section name and byte offset.
+    """
+    if isinstance(error, BytecodeError):
+        return error
+    return BytecodeError(f"{what} at offset {src.tell()}: {error}")
 
 
 def pack_app_v2(app: AndroidApp) -> bytes:
@@ -170,15 +188,20 @@ def unpack_app_v2(blob: bytes) -> AndroidApp:
     globals_: List[GlobalField] = []
     for _ in range(global_count):
         name = _read_str(src)
-        globals_.append(
-            GlobalField(name=name, type=parse_descriptor(_read_str(src)))
-        )
+        try:
+            field_type = parse_descriptor(_read_str(src))
+        except ValueError as error:
+            raise _rewrap(src, f"global field '{name}'", error) from error
+        globals_.append(GlobalField(name=name, type=field_type))
 
     (component_count,) = struct.unpack("<I", _read_exact(src, 4))
     components: List[Component] = []
     for _ in range(component_count):
         name = _read_str(src)
-        kind = ComponentKind(_read_str(src))
+        try:
+            kind = ComponentKind(_read_str(src))
+        except ValueError as error:
+            raise _rewrap(src, f"component '{name}' kind", error) from error
         exported = bool(_read_exact(src, 1)[0])
         (filter_count,) = struct.unpack("<H", _read_exact(src, 2))
         filters = [_read_str(src) for _ in range(filter_count)]
@@ -200,7 +223,13 @@ def unpack_app_v2(blob: bytes) -> AndroidApp:
     (method_count,) = struct.unpack("<I", _read_exact(src, 4))
     methods: List[Method] = []
     for _ in range(method_count):
-        signature = parse_signature(_read_str(src))
+        signature_text = _read_str(src)
+        try:
+            signature = parse_signature(signature_text)
+        except ValueError as error:
+            raise _rewrap(
+                src, f"method signature '{signature_text}'", error
+            ) from error
 
         def read_typed_names(count_fmt: str = "<H") -> List[Parameter]:
             (count,) = struct.unpack(count_fmt, _read_exact(src, 2))
@@ -208,12 +237,17 @@ def unpack_app_v2(blob: bytes) -> AndroidApp:
             for _ in range(count):
                 (name_idx,) = struct.unpack("<H", _read_exact(src, 2))
                 (desc_idx,) = struct.unpack("<H", _read_exact(src, 2))
-                out.append(
-                    Parameter(
-                        name=pools.lookup(name_idx),
-                        type=parse_descriptor(pools.lookup(desc_idx)),
+                try:
+                    out.append(
+                        Parameter(
+                            name=pools.lookup(name_idx),
+                            type=parse_descriptor(pools.lookup(desc_idx)),
+                        )
                     )
-                )
+                except ValueError as error:
+                    raise _rewrap(
+                        src, f"typed name in {signature}", error
+                    ) from error
             return out
 
         parameters = read_typed_names()
@@ -237,26 +271,39 @@ def unpack_app_v2(blob: bytes) -> AndroidApp:
         code = _read_exact(src, code_size)
 
         statements = disassemble_method(code, register_names, labels, pools)
-        handlers = [
-            ExceptionHandler(
-                start=labels[start], end=labels[end], handler=labels[handler]
+        handlers = []
+        for start, end, handler in handler_triples:
+            if max(start, end, handler) >= len(labels):
+                raise BytecodeError(
+                    f"handler triple ({start}, {end}, {handler}) of "
+                    f"{signature} indexes outside the {len(labels)}-entry "
+                    f"label table (near offset {src.tell()})"
+                )
+            handlers.append(
+                ExceptionHandler(
+                    start=labels[start], end=labels[end], handler=labels[handler]
+                )
             )
-            for start, end, handler in handler_triples
-        ]
-        methods.append(
-            Method(
-                signature=signature,
-                parameters=parameters,
-                locals=locals_,
-                statements=statements,
-                handlers=handlers,
+        try:
+            methods.append(
+                Method(
+                    signature=signature,
+                    parameters=parameters,
+                    locals=locals_,
+                    statements=statements,
+                    handlers=handlers,
+                )
             )
-        )
+        except ValueError as error:
+            raise _rewrap(src, f"method {signature}", error) from error
 
-    return AndroidApp(
-        package=package,
-        components=components,
-        methods=methods,
-        global_fields=globals_,
-        category=category,
-    )
+    try:
+        return AndroidApp(
+            package=package,
+            components=components,
+            methods=methods,
+            global_fields=globals_,
+            category=category,
+        )
+    except ValueError as error:
+        raise _rewrap(src, f"app '{package}'", error) from error

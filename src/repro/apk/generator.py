@@ -65,6 +65,7 @@ from repro.ir.statements import (
     Statement,
     SwitchStatement,
     ThrowStatement,
+    may_throw,
 )
 from repro.ir.types import (
     INT,
@@ -192,10 +193,22 @@ class _AppKnobs:
 
 
 class AppGenerator:
-    """Deterministic generator of one app per (seed, profile)."""
+    """Deterministic generator of one app per (seed, profile).
 
-    def __init__(self, profile: Optional[GeneratorProfile] = None) -> None:
+    With ``self_check=True`` every generated app is verified against
+    the full :mod:`repro.lint` pass suite before it leaves the
+    generator, and a :class:`repro.lint.LintError` is raised if any
+    finding (warnings included) survives -- the generator's contract
+    is a corpus that lints clean.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[GeneratorProfile] = None,
+        self_check: bool = False,
+    ) -> None:
         self.profile = profile or GeneratorProfile()
+        self.self_check = self_check
 
     def _sample_knobs(self, rng: random.Random) -> _AppKnobs:
         profile = self.profile
@@ -259,13 +272,20 @@ class AppGenerator:
         components = self._make_components(
             rng, package, methods, top_layer_count
         )
-        return AndroidApp(
+        app = AndroidApp(
             package=package,
             components=components,
             methods=methods,
             global_fields=globals_,
             category=category,
         )
+        if self.self_check:
+            from repro.lint import LintError, run_lint
+
+            report = run_lint(app)
+            if not report.is_clean:
+                raise LintError(report)
+        return app
 
     # -- structure -----------------------------------------------------------------
 
@@ -714,6 +734,7 @@ class _BodyBuilder:
         )
         self._wire_control()
         self._add_handlers()
+        self._repair_reachability()
         return self.statements
 
     def _add_handlers(self) -> None:
@@ -770,6 +791,87 @@ class _BodyBuilder:
             cursor_min = min(handler_index + 1, count - 4)
             if cursor_min >= count - 4:
                 break
+
+    def _repair_reachability(self) -> None:
+        """Make every statement reachable from the entry.
+
+        ``_wire_control`` can orphan a suffix: an unconditional goto or
+        a throw whose textual successor is targeted by nothing.  For
+        the smallest unreachable index ``u``, ``statements[u - 1]`` is
+        reachable and must be non-falling, i.e. a goto or a throw (the
+        return is always last, switches always reach their successor
+        through the default case).  Converting that blocker into a
+        conditional branch keeps its shape while restoring the
+        fall-through edge; repeating to a fixed point makes the whole
+        body live.  No RNG is drawn, so the statement stream stays
+        aligned with pre-repair seeds.
+        """
+        while True:
+            index = self._first_unreachable()
+            if index is None:
+                return
+            blocker = self.statements[index - 1]
+            condition = self.primitive_vars[0]
+            replacement: Statement
+            if isinstance(blocker, GotoStatement):
+                replacement = IfStatement(
+                    label=blocker.label,
+                    condition=condition,
+                    target=blocker.target,
+                )
+            elif isinstance(blocker, ThrowStatement):
+                replacement = IfStatement(
+                    label=blocker.label,
+                    condition=condition,
+                    target=self.statements[-1].label,
+                )
+            else:  # pragma: no cover - unreachable by construction
+                replacement = EmptyStatement(label=blocker.label)
+            self.statements[index - 1] = replacement
+
+    def _first_unreachable(self) -> Optional[int]:
+        """Smallest statement index unreachable in the body's CFG.
+
+        Replicates :func:`repro.cfg.intra.build_intra_cfg` edge
+        semantics (fall-through, jump targets, exceptional edges from
+        throwing statements inside handler ranges) without building
+        node objects, since this runs once per generated method.
+        """
+        count = len(self.statements)
+        if count == 0:
+            return None
+        label_index = {s.label: i for i, s in enumerate(self.statements)}
+        ranges = [
+            (
+                label_index[h.start],
+                label_index[h.end],
+                label_index[h.handler],
+            )
+            for h in self.handlers
+        ]
+        seen = [False] * count
+        seen[0] = True
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            statement = self.statements[node]
+            targets = set()
+            if statement.falls_through and node + 1 < count:
+                targets.add(node + 1)
+            for label in statement.jump_targets():
+                targets.add(label_index[label])
+            if may_throw(statement):
+                for start, end, handler in ranges:
+                    if start <= node <= end and handler != node:
+                        targets.add(handler)
+            for target in targets:
+                if not seen[target]:
+                    seen[target] = True
+                    frontier.append(target)
+        for index, live in enumerate(seen):
+            if not live:
+                return index
+        return None
 
     def _inject_leak(self) -> None:
         """Append a genuine source -> sink flow for the vetting layer."""
@@ -921,7 +1023,9 @@ def _split_params(blob: str) -> List[str]:
 
 
 def generate_app(
-    seed: int, profile: Optional[GeneratorProfile] = None
+    seed: int,
+    profile: Optional[GeneratorProfile] = None,
+    self_check: bool = False,
 ) -> AndroidApp:
     """Generate one deterministic synthetic app."""
-    return AppGenerator(profile).generate(seed)
+    return AppGenerator(profile, self_check=self_check).generate(seed)

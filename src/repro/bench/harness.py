@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.apk.corpus import AppCorpus
 from repro.bench.stats import size_mix
@@ -101,6 +101,30 @@ class AppEvaluation:
         return self.ama_idfg_s / self.ama_total_s if self.ama_total_s else 0.0
 
 
+@dataclass(frozen=True)
+class LintErrorRow:
+    """A corpus row for an app the strict lint gate rejected.
+
+    Produced by :func:`evaluate_corpus` under ``strict=True`` so one
+    malformed app becomes a structured result instead of aborting the
+    sweep.  Never cached: a strict run always re-verifies.
+    """
+
+    package: str
+    category: str
+    index: int
+    #: Sorted distinct rule ids that fired (e.g. ``("FP-002",)``).
+    rules: Tuple[str, ...]
+    #: Total error-severity findings.
+    error_count: int
+    #: The one-line ``LintError`` message.
+    message: str
+
+
+#: What one corpus index evaluates to under ``strict=True``.
+EvaluationRow = Union[AppEvaluation, LintErrorRow]
+
+
 #: The four GPU configurations of the cumulative evaluation.
 _CONFIGS = {
     "plain": GDroidConfig.plain(),
@@ -145,6 +169,35 @@ def evaluate_app(
         wl_mix_sync=size_mix(profile.worklist_sizes_sync),
         wl_mix_mer=size_mix(profile.worklist_sizes_mer),
     )
+
+
+def evaluate_or_lint_row(
+    app: AndroidApp, index: int, strict: bool
+) -> "EvaluationRow":
+    """Evaluate one app; under ``strict`` convert lint rejection to a row.
+
+    With ``strict=True`` the workload is built behind the lint gate: a
+    malformed app yields a :class:`LintErrorRow` carrying the fired
+    rules instead of propagating the exception (or worse, silently
+    mis-analyzing).
+    """
+    if not strict:
+        return evaluate_app(app)
+    from repro.lint import LintError
+
+    try:
+        workload = AppWorkload.build(app, lint_gate=True)
+    except LintError as error:
+        errors = error.report.errors()
+        return LintErrorRow(
+            package=app.package,
+            category=app.category,
+            index=index,
+            rules=tuple(sorted({d.rule for d in errors})),
+            error_count=len(errors),
+            message=str(error),
+        )
+    return evaluate_app(app, workload)
 
 
 #: Process-wide evaluation cache: (base_seed, size, scale, index) -> row.
@@ -216,7 +269,8 @@ def evaluate_corpus(
     limit: Optional[int] = None,
     jobs: Optional[int] = None,
     no_cache: bool = False,
-) -> List[AppEvaluation]:
+    strict: bool = False,
+) -> List[EvaluationRow]:
     """Evaluate a corpus slice with caching and optional parallelism.
 
     Lookup order per app index: in-process cache, then the on-disk
@@ -224,6 +278,10 @@ def evaluate_corpus(
     over ``jobs`` forked workers (default from ``REPRO_BENCH_JOBS``).
     Rows are returned in index order either way, and newly computed
     rows are persisted for the next run.
+
+    Under ``strict=True`` every freshly evaluated app passes the lint
+    gate first; a rejected app contributes a :class:`LintErrorRow` at
+    its index (never cached) and the sweep continues.
     """
     global _LAST_RUN_STATS
     from repro.bench.cache import (
@@ -244,7 +302,7 @@ def evaluate_corpus(
 
     scale = corpus.profile.scale
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
-    rows: Dict[int, AppEvaluation] = {}
+    rows: Dict[int, EvaluationRow] = {}
     missing: List[int] = []
     disk_keys: Dict[int, str] = {}
     for index in range(count):
@@ -270,11 +328,12 @@ def evaluate_corpus(
     evaluated_at = time.perf_counter()
     if missing:
         if jobs > 1 and len(missing) > 1:
-            fresh = evaluate_parallel(corpus, missing, jobs)
+            fresh = evaluate_parallel(corpus, missing, jobs, strict=strict)
             stats.workers = min(jobs, len(missing))
         else:
             fresh = {
-                index: evaluate_app(corpus.app(index)) for index in missing
+                index: evaluate_or_lint_row(corpus.app(index), index, strict)
+                for index in missing
             }
         stats.evaluated = len(missing)
         stats.evaluate_s = time.perf_counter() - evaluated_at
@@ -283,6 +342,8 @@ def evaluate_corpus(
         for index in missing:
             row = fresh[index]
             rows[index] = row
+            if not isinstance(row, AppEvaluation):
+                continue  # lint-error rows are never cached
             _CACHE[(corpus.base_seed, corpus.size, scale, index)] = row
             if disk.enabled:
                 disk.store(disk_keys[index], row)

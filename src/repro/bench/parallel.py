@@ -2,11 +2,13 @@
 
 :func:`evaluate_parallel` fans an :func:`repro.bench.harness.evaluate_app`
 sweep out over a ``fork``-based worker pool.  The corpus is never
-pickled: each worker receives only ``(base_seed, size, scale)`` plus a
-chunk of app indices and regenerates its apps locally -- apps are pure
-functions of ``base_seed + index`` (see :mod:`repro.apk.corpus`), so a
-worker's rows are bit-identical to a serial run's no matter how chunks
-land on workers.
+pickled: each worker receives only ``(base_seed, size, profile)`` plus
+a chunk of app indices and regenerates its apps locally -- apps are
+pure functions of ``base_seed + index`` (see :mod:`repro.apk.corpus`),
+so a worker's rows are bit-identical to a serial run's no matter how
+chunks land on workers.  The full generator profile travels with the
+task (not just its scale) so non-default layer bounds regenerate the
+same apps the serial path sees.
 
 Scheduling is chunked round-robin: index ``i`` goes to chunk
 ``i % chunks`` so every worker sees a representative size mix (corpus
@@ -54,25 +56,25 @@ def plan_chunks(indices: Sequence[int], chunks: int) -> List[List[int]]:
 
 
 def _evaluate_chunk(
-    task: Tuple[int, int, float, Sequence[int]]
-) -> List[Tuple[int, "AppEvaluation"]]:
+    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool]
+) -> List[Tuple[int, "EvaluationRow"]]:
     """Worker body: regenerate the corpus and evaluate one index chunk.
 
     Re-seeds the module-level RNG per app from the corpus namespace so
     any future global-random use inside evaluation stays deterministic
     and independent of chunk placement (today all generator randomness
-    is instance-local already).
+    is instance-local already).  Under ``strict`` each app passes the
+    lint gate and rejections come back as ``LintErrorRow`` entries,
+    exactly as in a serial run.
     """
-    from repro.bench.harness import evaluate_app
+    from repro.bench.harness import evaluate_or_lint_row
 
-    base_seed, size, scale, indices = task
-    corpus = AppCorpus(
-        size=size, base_seed=base_seed, profile=GeneratorProfile(scale=scale)
-    )
+    base_seed, size, profile, indices, strict = task
+    corpus = AppCorpus(size=size, base_seed=base_seed, profile=profile)
     rows = []
     for index in indices:
         random.seed(base_seed * 1_000_003 + index)
-        rows.append((index, evaluate_app(corpus.app(index))))
+        rows.append((index, evaluate_or_lint_row(corpus.app(index), index, strict)))
     return rows
 
 
@@ -80,7 +82,8 @@ def evaluate_parallel(
     corpus: AppCorpus,
     indices: Sequence[int],
     jobs: int,
-) -> Dict[int, "AppEvaluation"]:
+    strict: bool = False,
+) -> Dict[int, "EvaluationRow"]:
     """Evaluate ``indices`` of ``corpus`` across ``jobs`` workers.
 
     Returns ``{index: row}``.  Falls back to in-process evaluation when
@@ -89,9 +92,8 @@ def evaluate_parallel(
     """
     jobs = resolve_jobs(jobs)
     chunks = plan_chunks(indices, jobs)
-    scale = corpus.profile.scale
     tasks = [
-        (corpus.base_seed, corpus.size, scale, tuple(chunk))
+        (corpus.base_seed, corpus.size, corpus.profile, tuple(chunk), strict)
         for chunk in chunks
     ]
     if jobs <= 1 or len(tasks) <= 1:
@@ -104,8 +106,8 @@ def evaluate_parallel(
         return _collect(map(_evaluate_chunk, tasks))
 
 
-def _collect(chunk_results) -> Dict[int, "AppEvaluation"]:
-    rows: Dict[int, "AppEvaluation"] = {}
+def _collect(chunk_results) -> Dict[int, "EvaluationRow"]:
+    rows: Dict[int, "EvaluationRow"] = {}
     for chunk in chunk_results:
         for index, row in chunk:
             rows[index] = row

@@ -65,6 +65,25 @@ def _build_parser() -> argparse.ArgumentParser:
     vet = sub.add_parser("vet", help="security-vet an app")
     vet.add_argument("app", help="input .gdx path")
 
+    lint = sub.add_parser(
+        "lint", help="statically verify app IR before analysis"
+    )
+    lint.add_argument("apps", nargs="*", help="input .gdx paths")
+    lint.add_argument(
+        "--corpus", type=int, default=0, metavar="N",
+        help="also lint the first N generated corpus apps",
+    )
+    lint.add_argument(
+        "--scale", type=float, default=1.0, help="corpus generator scale"
+    )
+    lint.add_argument(
+        "--seed", type=int, default=2020, help="corpus base seed"
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report (stable ordering, sorted keys)",
+    )
+
     corpus = sub.add_parser("corpus", help="corpus statistics (Table I)")
     corpus.add_argument("--apps", type=int, default=20)
     corpus.add_argument("--scale", type=float, default=1.0)
@@ -80,6 +99,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-cache", action="store_true",
         help="ignore and do not update the on-disk evaluation cache",
+    )
+    bench.add_argument(
+        "--strict", action="store_true",
+        help="lint-gate every app; malformed apps become LintError rows",
     )
 
     report = sub.add_parser(
@@ -144,6 +167,42 @@ def _cmd_vet(args: argparse.Namespace) -> int:
     return 0 if not report.is_suspicious else 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import JSON_SCHEMA_VERSION, run_lint
+
+    targets = []
+    for path in args.apps:
+        try:
+            targets.append((path, load_gdx(path)))
+        except (OSError, ValueError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+    if args.corpus:
+        profile = GeneratorProfile(scale=args.scale)
+        for index in range(args.corpus):
+            app = generate_app(args.seed + index, profile)
+            targets.append((app.package, app))
+    if not targets:
+        print(
+            "error: nothing to lint (pass .gdx paths or --corpus N)",
+            file=sys.stderr,
+        )
+        return 2
+    reports = [run_lint(app) for _, app in targets]
+    if args.as_json:
+        payload = {
+            "schema": JSON_SCHEMA_VERSION,
+            "apps": [report.to_json() for report in reports],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return 0 if all(report.is_clean for report in reports) else 1
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
@@ -166,10 +225,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
     )
-    rows = evaluate_corpus(corpus, jobs=args.jobs, no_cache=args.no_cache)
+    all_rows = evaluate_corpus(
+        corpus, jobs=args.jobs, no_cache=args.no_cache, strict=args.strict
+    )
     stats = last_run_stats()
     if stats is not None:
         print(stats.summary())
+    from repro.bench.harness import AppEvaluation
+
+    rows = [r for r in all_rows if isinstance(r, AppEvaluation)]
+    rejected = [r for r in all_rows if not isinstance(r, AppEvaluation)]
+    for row in rejected:
+        print(f"  lint-rejected app {row.index} ({row.package}): {row.message}")
+    if not rows:
+        print("no apps survived the lint gate")
+        return 1
     mean = statistics.mean
     print(f"headline rows over {len(rows)} apps (paper in parentheses):")
     print(f"  plain GPU vs CPU     {mean(r.plain_vs_cpu for r in rows):6.2f}x  (1.81x)")
@@ -227,6 +297,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
         "vet": _cmd_vet,
+        "lint": _cmd_lint,
         "corpus": _cmd_corpus,
         "bench": _cmd_bench,
         "report": _cmd_report,

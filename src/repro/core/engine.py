@@ -16,6 +16,7 @@ simple API.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -57,6 +58,18 @@ class WorkloadProfile:
     def max_worklist(self) -> int:
         """Largest worklist observed (sync dynamics)."""
         return max(self.worklist_sizes_sync, default=0)
+
+
+def _lint_gate_enabled(explicit: Optional[bool]) -> bool:
+    """Strict-gate policy: explicit argument wins, else ``REPRO_LINT_GATE``."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_LINT_GATE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 class AppWorkload:
@@ -102,8 +115,21 @@ class AppWorkload:
         app: AndroidApp,
         tuning: Optional[TuningParameters] = None,
         record_mer: bool = True,
+        lint_gate: Optional[bool] = None,
     ) -> "AppWorkload":
-        """Run the functional analysis and record all dynamics traces."""
+        """Run the functional analysis and record all dynamics traces.
+
+        ``lint_gate=True`` verifies the app against :mod:`repro.lint`
+        first and raises :class:`repro.lint.LintError` on any
+        error-severity finding, so malformed IR is rejected before it
+        can corrupt the fact pools.  The default (``None``) consults
+        the ``REPRO_LINT_GATE`` environment variable; the gate is off
+        unless that is set to a truthy value.
+        """
+        if _lint_gate_enabled(lint_gate):
+            from repro.lint import check_app
+
+            check_app(app)
         tuning = tuning or TuningParameters()
         analyzed = app_with_environments(app) if app.components else app
         layering = SBDALayering(CallGraph(analyzed))

@@ -87,8 +87,15 @@ def parse_signature(text: str) -> MethodSignature:
     owner_and_name = match.group(1) + "." + match.group(2)
     owner, _, name = owner_and_name.rpartition(".")
     param_blob, return_blob = match.group(3), match.group(4)
-    params = tuple(parse_descriptor(d) for d in _split_descriptors(param_blob))
-    return MethodSignature(owner, name, params, parse_descriptor(return_blob))
+    try:
+        params = tuple(
+            parse_descriptor(d) for d in _split_descriptors(param_blob)
+        )
+        return MethodSignature(owner, name, params, parse_descriptor(return_blob))
+    except ValueError as error:
+        raise ValueError(
+            f"malformed method signature {text!r}: {error}"
+        ) from error
 
 
 def _split_descriptors(blob: str) -> List[str]:
@@ -97,10 +104,18 @@ def _split_descriptors(blob: str) -> List[str]:
     i = 0
     while i < len(blob):
         start = i
-        while blob[i] == "[":
+        while i < len(blob) and blob[i] == "[":
             i += 1
+        if i >= len(blob):
+            raise ValueError(
+                f"unterminated array descriptor at offset {start} in {blob!r}"
+            )
         if blob[i] == "L":
-            end = blob.index(";", i)
+            end = blob.find(";", i)
+            if end < 0:
+                raise ValueError(
+                    f"unterminated class descriptor at offset {i} in {blob!r}"
+                )
             i = end + 1
         else:
             i += 1
@@ -249,7 +264,8 @@ def parse_statement(label: str, text: str) -> Statement:
         )
     if text.startswith("call "):
         match = _CALL_STMT_RE.match(text)
-        assert match is not None
+        if match is None:
+            raise ValueError(f"malformed call statement: {text!r}")
         result, rest = match.group(1), match.group(2)
         callee, args = _parse_call_target(rest)
         return CallStatement(label=label, callee=callee, args=args, result=result)
@@ -293,8 +309,12 @@ def parse_app(source: str) -> AndroidApp:
             match = re.match(r"^global\s+(\S+):\s*(\S+)$", line)
             if match is None:
                 raise error(f"malformed global: {line!r}")
+            try:
+                global_type = parse_descriptor(match.group(2))
+            except ValueError as exc:
+                raise error(f"bad global descriptor: {exc}") from exc
             globals_.append(
-                GlobalField(name=match.group(1), type=parse_descriptor(match.group(2)))
+                GlobalField(name=match.group(1), type=global_type)
             )
             index += 1
             continue
@@ -324,7 +344,12 @@ def _parse_component(lines: List[str], index: int) -> Tuple[Component, int]:
     if len(header) < 3:
         raise IRSyntaxError(index + 1, f"malformed component header: {lines[index]!r}")
     name = header[1]
-    kind = ComponentKind(header[2])
+    try:
+        kind = ComponentKind(header[2])
+    except ValueError as error:
+        raise IRSyntaxError(
+            index + 1, f"unknown component kind {header[2]!r}"
+        ) from error
     exported = "exported" in header[3:]
     callbacks: Dict[str, str] = {}
     filters: List[str] = []
@@ -345,8 +370,12 @@ def _parse_component(lines: List[str], index: int) -> Tuple[Component, int]:
         if line.startswith("filter "):
             filters.append(line[len("filter "):].strip())
         elif line.startswith("callback "):
-            _, callback, signature = line.split(None, 2)
-            callbacks[callback] = signature.strip()
+            parts = line.split(None, 2)
+            if len(parts) != 3:
+                raise IRSyntaxError(
+                    index + 1, f"malformed callback: {line!r}"
+                )
+            callbacks[parts[1]] = parts[2].strip()
         elif line:
             raise IRSyntaxError(index + 1, f"unexpected component line: {line!r}")
         index += 1
@@ -354,7 +383,10 @@ def _parse_component(lines: List[str], index: int) -> Tuple[Component, int]:
 
 
 def _parse_method(lines: List[str], index: int) -> Tuple[Method, int]:
-    signature = parse_signature(lines[index].strip()[len("method "):])
+    try:
+        signature = parse_signature(lines[index].strip()[len("method "):])
+    except ValueError as exc:
+        raise IRSyntaxError(index + 1, str(exc)) from exc
     parameters: List[Parameter] = []
     locals_: List[Parameter] = []
     statements: List[Statement] = []
@@ -363,16 +395,19 @@ def _parse_method(lines: List[str], index: int) -> Tuple[Method, int]:
     while index < len(lines):
         line = lines[index].strip()
         if line == "end":
-            return (
-                Method(
+            try:
+                method = Method(
                     signature=signature,
                     parameters=parameters,
                     locals=locals_,
                     statements=statements,
                     handlers=handlers,
-                ),
-                index + 1,
-            )
+                )
+            except ValueError as exc:
+                raise IRSyntaxError(
+                    index + 1, f"invalid method {signature}: {exc}"
+                ) from exc
+            return method, index + 1
         if line.startswith("catch "):
             match = re.match(r"^catch\s+(\S+)\s+from\s+(\S+)\s+to\s+(\S+)$", line)
             if match is None:
@@ -390,16 +425,22 @@ def _parse_method(lines: List[str], index: int) -> Tuple[Method, int]:
             match = re.match(r"^param\s+(\S+):\s*(\S+)$", line)
             if match is None:
                 raise IRSyntaxError(index + 1, f"malformed param: {line!r}")
-            parameters.append(
-                Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
-            )
+            try:
+                parameters.append(
+                    Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
+                )
+            except ValueError as exc:
+                raise IRSyntaxError(index + 1, f"bad param descriptor: {exc}") from exc
         elif line.startswith("local "):
             match = re.match(r"^local\s+(\S+):\s*(\S+)$", line)
             if match is None:
                 raise IRSyntaxError(index + 1, f"malformed local: {line!r}")
-            locals_.append(
-                Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
-            )
+            try:
+                locals_.append(
+                    Parameter(name=match.group(1), type=parse_descriptor(match.group(2)))
+                )
+            except ValueError as exc:
+                raise IRSyntaxError(index + 1, f"bad local descriptor: {exc}") from exc
         elif line:
             match = re.match(r"^(\S+):\s*(.+)$", line)
             if match is None:

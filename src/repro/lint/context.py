@@ -1,0 +1,83 @@
+"""Shared, lazily-built state for one lint run.
+
+Several passes need the same derived structures (per-method CFGs,
+dominator trees, parsed callee signatures).  :class:`LintContext`
+builds each at most once per run so the pass suite stays close to a
+single traversal of the app.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.intra import IntraCFG, build_intra_cfg
+from repro.ir.app import AndroidApp
+from repro.ir.method import Method, MethodSignature
+from repro.ir.parser import parse_signature
+
+#: Sentinel distinguishing "parse failed" from "not yet parsed".
+_PARSE_FAILED = object()
+
+
+class LintContext:
+    """Caches derived per-method structures across passes."""
+
+    def __init__(self, app: AndroidApp) -> None:
+        self.app = app
+        self._cfgs: Dict[str, IntraCFG] = {}
+        self._dominators: Dict[str, DominatorTree] = {}
+        self._declared: Dict[str, FrozenSet[str]] = {}
+        self._objects: Dict[str, FrozenSet[str]] = {}
+        self._signatures: Dict[str, object] = {}
+
+    def cfg(self, method: Method) -> IntraCFG:
+        """The method's intra-procedural CFG (built once)."""
+        key = str(method.signature)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            cfg = build_intra_cfg(method)
+            self._cfgs[key] = cfg
+        return cfg
+
+    def dominators(self, method: Method) -> DominatorTree:
+        """The method's dominator tree (built once, over its CFG)."""
+        key = str(method.signature)
+        tree = self._dominators.get(key)
+        if tree is None:
+            tree = DominatorTree(self.cfg(method))
+            self._dominators[key] = tree
+        return tree
+
+    def declared(self, method: Method) -> FrozenSet[str]:
+        """All declared register names (parameters + locals)."""
+        key = str(method.signature)
+        names = self._declared.get(key)
+        if names is None:
+            names = frozenset(method.variable_names())
+            self._declared[key] = names
+        return names
+
+    def object_declared(self, method: Method) -> FrozenSet[str]:
+        """Registers declared with an object (reference) type."""
+        key = str(method.signature)
+        names = self._objects.get(key)
+        if names is None:
+            names = frozenset(method.object_variables())
+            self._objects[key] = names
+        return names
+
+    def primitive_declared(self, method: Method) -> FrozenSet[str]:
+        """Registers declared with a primitive type (no fact-pool slot)."""
+        return self.declared(method) - self.object_declared(method)
+
+    def parsed_signature(self, text: str) -> Optional[MethodSignature]:
+        """``parse_signature(text)``, memoized; ``None`` on parse failure."""
+        cached = self._signatures.get(text)
+        if cached is None:
+            try:
+                cached = parse_signature(text)
+            except ValueError:
+                cached = _PARSE_FAILED
+            self._signatures[text] = cached
+        return None if cached is _PARSE_FAILED else cached

@@ -1,0 +1,172 @@
+"""Diagnostic framework for the IR verifier.
+
+A :class:`Diagnostic` pins one finding to a rule id, a severity, and a
+location (method signature, statement label, body index).  Reports are
+canonically ordered so two runs over the same app -- in the same
+process, across processes, or inside forked bench workers -- render
+byte-identical JSON.  :class:`LintError` is the exception the strict
+engine/bench gates raise; it carries the full report so harnesses can
+turn a malformed app into a structured row instead of a crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: Diagnostic severities, in increasing order of importance.
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+#: rule id -> (severity, one-line description).  The single source of
+#: truth for the rule table rendered in README.md.
+RULES: Dict[str, Tuple[str, str]] = {
+    "CFG-001": (SEVERITY_ERROR, "control can fall off the end of the method body"),
+    "CFG-002": (SEVERITY_ERROR, "method body is empty"),
+    "EXC-001": (SEVERITY_ERROR, "exception handler lies inside its own protected range"),
+    "EXC-002": (SEVERITY_ERROR, "catch head does not bind the pending exception"),
+    "TY-001": (SEVERITY_ERROR, "call arity does not match the callee signature"),
+    "TY-002": (SEVERITY_ERROR, "result register bound on a void callee"),
+    "TY-003": (SEVERITY_ERROR, "monitor/throw operand is a primitive register"),
+    "TY-004": (SEVERITY_ERROR, "branch condition is an object register"),
+    "DBU-001": (SEVERITY_ERROR, "use of an undeclared register (defined but never declared)"),
+    "DBU-002": (SEVERITY_ERROR, "use of a register with no declaration and no dominating definition"),
+    "DEAD-001": (SEVERITY_WARNING, "statement is unreachable from the method entry"),
+    "CG-001": (SEVERITY_ERROR, "internal call target is missing from the app's method table"),
+    "CG-002": (SEVERITY_ERROR, "callee signature string is unparseable"),
+    "MAN-001": (SEVERITY_WARNING, "component declares no callbacks"),
+    "MAN-002": (SEVERITY_WARNING, "component has no lifecycle callback of its kind"),
+    "FP-001": (SEVERITY_ERROR, "compiled transfer plan indexes outside the fact pools"),
+    "FP-002": (SEVERITY_ERROR, "object value assigned to a register outside the fact pools"),
+    "FP-003": (SEVERITY_ERROR, "heap store through a base register outside the fact pools"),
+}
+
+#: Version tag for the machine-readable report layout.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding, pinned to a rule and a location.
+
+    ``method`` is the full signature string, or ``""`` for app-level
+    findings (components); ``label``/``index`` locate the statement
+    inside the method body (``""``/``-1`` when the finding is not tied
+    to a statement).
+    """
+
+    rule: str
+    severity: str
+    method: str
+    label: str
+    index: int
+    message: str
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str, str, str]:
+        """Canonical report order: location first, then rule, then text."""
+        return (self.method, self.index, self.rule, self.label, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict form used by ``gdroid lint --json``."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "method": self.method,
+            "label": self.label,
+            "index": self.index,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One human-readable line, ``severity rule location: message``."""
+        where = self.method or "<app>"
+        if self.label:
+            where = f"{where}:{self.label}"
+        line = f"{self.severity:7s} {self.rule} {where}: {self.message}"
+        if self.hint:
+            line += f"  [hint: {self.hint}]"
+        return line
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The full, canonically ordered result of linting one app."""
+
+    package: str
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no pass emitted anything (warnings included)."""
+        return not self.diagnostics
+
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """Only the error-severity findings (what the strict gate rejects)."""
+        return tuple(
+            d for d in self.diagnostics if d.severity == SEVERITY_ERROR
+        )
+
+    def rules(self) -> Tuple[str, ...]:
+        """Sorted distinct rule ids that fired."""
+        return tuple(sorted({d.rule for d in self.diagnostics}))
+
+    def counts(self) -> Dict[str, int]:
+        """``{severity: count}`` over all findings."""
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] = counts.get(diagnostic.severity, 0) + 1
+        return counts
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable report (see README for the schema)."""
+        return {
+            "schema": JSON_SCHEMA_VERSION,
+            "package": self.package,
+            "clean": self.is_clean,
+            "counts": self.counts(),
+            "rules": list(self.rules()),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def to_json_text(self) -> str:
+        """Stable serialized form: sorted keys, canonical diagnostic order."""
+        return json.dumps(self.to_json(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        if self.is_clean:
+            return f"{self.package}: clean"
+        lines = [
+            f"{self.package}: {len(self.diagnostics)} finding(s) "
+            f"({', '.join(f'{v} {k}' for k, v in sorted(self.counts().items()))})"
+        ]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+def finalize(package: str, diagnostics: Iterable[Diagnostic]) -> LintReport:
+    """Build a report with the canonical deterministic ordering."""
+    ordered: List[Diagnostic] = sorted(diagnostics, key=lambda d: d.sort_key)
+    return LintReport(package=package, diagnostics=tuple(ordered))
+
+
+class LintError(ValueError):
+    """Raised by the strict gates when an app fails verification.
+
+    Subclasses :class:`ValueError` so existing "malformed input"
+    handling (loader robustness tests, CLI error paths) classifies it
+    with the other structured input errors.
+    """
+
+    def __init__(self, report: LintReport) -> None:
+        errors = report.errors()
+        rules = sorted({d.rule for d in errors})
+        super().__init__(
+            f"{report.package}: {len(errors)} lint error(s) "
+            f"[{', '.join(rules)}]"
+        )
+        self.report = report

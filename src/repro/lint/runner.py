@@ -1,0 +1,80 @@
+"""The lint driver: registered passes + :func:`run_lint`.
+
+``run_lint`` executes every registered pass over one app and returns a
+canonically ordered :class:`~repro.lint.diagnostics.LintReport`.  The
+pass list is a plain tuple so downstream tools (tests, the mutation
+harness) can run a subset, and new passes register by appending here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.app import AndroidApp
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import (
+    RULES,
+    Diagnostic,
+    LintError,
+    LintReport,
+    finalize,
+)
+from repro.lint.factpool import FactPoolPass
+from repro.lint.passes import (
+    CallGraphPass,
+    CfgStructurePass,
+    DeadCodePass,
+    DefBeforeUsePass,
+    ExceptionPass,
+    LintPass,
+    ManifestPass,
+    TypeArityPass,
+)
+
+#: The registered pass suite, in execution order.
+PASSES: Sequence[LintPass] = (
+    CfgStructurePass(),
+    ExceptionPass(),
+    TypeArityPass(),
+    DefBeforeUsePass(),
+    DeadCodePass(),
+    CallGraphPass(),
+    ManifestPass(),
+    FactPoolPass(),
+)
+
+
+def run_lint(
+    app: AndroidApp, passes: Optional[Sequence[LintPass]] = None
+) -> LintReport:
+    """Run the pass suite over ``app`` and return the ordered report."""
+    context = LintContext(app)
+    found: List[Diagnostic] = []
+
+    def emit(
+        rule: str, method: str, label: str, index: int, message: str,
+        hint: str = "",
+    ) -> None:
+        severity, _ = RULES[rule]
+        found.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                method=method,
+                label=label,
+                index=index,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    for lint_pass in PASSES if passes is None else passes:
+        lint_pass.run(context, emit)
+    return finalize(app.package, found)
+
+
+def check_app(app: AndroidApp) -> None:
+    """Raise :class:`LintError` when ``app`` has error-severity findings."""
+    report = run_lint(app)
+    if report.errors():
+        raise LintError(report)

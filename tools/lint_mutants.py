@@ -1,0 +1,538 @@
+#!/usr/bin/env python3
+"""Mutation harness: measure `repro.lint` detector recall.
+
+For every defect class the pass suite claims to catch, inject exactly
+that defect into an otherwise-clean generated app and assert that the
+lint run fires *exactly* the expected rule -- no silence (a recall
+miss) and no collateral rules (an imprecise or overlapping pass).  The
+harness also asserts the clean seeded corpus produces zero diagnostics,
+so the mutants are measured against a genuinely quiet baseline.
+
+Everything is deterministic: mutators pick the first applicable site
+in generation order and draw no randomness, so a run is reproducible
+bit-for-bit from ``--base-seed``/``--apps``/``--scale``.
+
+FP-001 (compiled-plan bounds) has no IR-level mutator by design: it
+audits the *transfer compiler's* output against the fact pools, and
+well-formed IR cannot make the compiler emit an out-of-range id.  It
+is exercised by a corrupted-plan unit test instead (see
+``tests/test_lint.py``).
+
+Usage::
+
+    python tools/lint_mutants.py [--apps 12] [--scale 0.06] [--base-seed 2020]
+
+Exit code 0 iff the clean corpus is clean and every mutant is caught
+by exactly its expected rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apk.generator import AppGenerator, GeneratorProfile
+from repro.ir.app import AndroidApp
+from repro.ir.component import Component, ComponentKind
+from repro.ir.expressions import (
+    AccessExpr,
+    NewExpr,
+    VariableNameExpr,
+)
+from repro.ir.method import ExceptionHandler, Method, MethodSignature
+from repro.ir.statements import (
+    AssignmentStatement,
+    CallStatement,
+    EmptyStatement,
+    GotoStatement,
+    IfStatement,
+    MonitorStatement,
+    ReturnStatement,
+    Statement,
+    may_throw,
+)
+from repro.ir.types import OBJECT, VOID, ObjectType
+from repro.lint import run_lint
+
+#: Register name guaranteed unused by the generator (it emits v*/p*/a*).
+GHOST = "ghost_reg"
+
+
+# -- rebuild helpers ----------------------------------------------------------
+
+
+def _rebuild(
+    app: AndroidApp,
+    methods: Optional[Sequence[Method]] = None,
+    components: Optional[Sequence[Component]] = None,
+) -> AndroidApp:
+    return AndroidApp(
+        package=app.package,
+        components=list(app.components if components is None else components),
+        methods=list(app.methods if methods is None else methods),
+        global_fields=app.global_fields,
+        category=app.category,
+    )
+
+
+def _swap_method(app: AndroidApp, position: int, method: Method) -> AndroidApp:
+    methods = list(app.methods)
+    methods[position] = method
+    return _rebuild(app, methods=methods)
+
+
+def _with_statement(method: Method, index: int, statement: Statement) -> Method:
+    statements = list(method.statements)
+    statements[index] = statement
+    return Method(
+        signature=method.signature,
+        parameters=method.parameters,
+        locals=method.locals,
+        statements=statements,
+        handlers=method.handlers,
+    )
+
+
+def _with_handlers(method: Method, handlers: Sequence[ExceptionHandler]) -> Method:
+    return Method(
+        signature=method.signature,
+        parameters=method.parameters,
+        locals=method.locals,
+        statements=list(method.statements),
+        handlers=list(handlers),
+    )
+
+
+def _object_vars(method: Method) -> Tuple[str, ...]:
+    return method.object_variables()
+
+
+def _primitive_vars(method: Method) -> Tuple[str, ...]:
+    objects = set(method.object_variables())
+    return tuple(n for n in method.variable_names() if n not in objects)
+
+
+def _safe_sites(method: Method) -> Iterator[int]:
+    """Indices whose statement can be replaced without side effects.
+
+    Safe means: an ``EmptyStatement`` or a *non-throwing*
+    ``AssignmentStatement`` that is not a catch head.  Replacing such a
+    statement (keeping its label) with another non-throwing statement
+    changes no CFG edge, and replacing it with a throwing one only adds
+    exceptional edges -- either way reachability never shrinks, so no
+    unrelated rule can start or stop firing.
+    """
+    heads = {handler.handler for handler in method.handlers}
+    for index, statement in enumerate(method.statements):
+        if statement.label in heads:
+            continue
+        if isinstance(statement, EmptyStatement):
+            yield index
+        elif isinstance(statement, AssignmentStatement) and not may_throw(statement):
+            yield index
+
+
+def _internal_calls(app: AndroidApp, method: Method) -> Iterator[int]:
+    for index, statement in enumerate(method.statements):
+        if (
+            isinstance(statement, CallStatement)
+            and statement.callee in app.method_table
+        ):
+            yield index
+
+
+# -- mutators -----------------------------------------------------------------
+#
+# Each mutator takes a clean app and returns a mutated copy, or None
+# when the app has no applicable site (the harness then tries the next
+# app).  Mutators are deterministic: first applicable site wins.
+
+
+def mutate_fall_off_end(app: AndroidApp) -> Optional[AndroidApp]:
+    """Replace a final return with a nop: control falls off the end."""
+    for position, method in enumerate(app.methods):
+        if method.statements and isinstance(method.statements[-1], ReturnStatement):
+            last = len(method.statements) - 1
+            mutated = _with_statement(
+                method, last, EmptyStatement(label=method.statements[last].label)
+            )
+            return _swap_method(app, position, mutated)
+    return None
+
+
+def mutate_empty_body(app: AndroidApp) -> Optional[AndroidApp]:
+    """Add a method with no statements at all."""
+    ghost = Method(
+        signature=MethodSignature(f"{app.package}.Ghost", "empty", (), VOID),
+        parameters=[],
+        locals=[],
+        statements=[],
+        handlers=[],
+    )
+    return _rebuild(app, methods=list(app.methods) + [ghost])
+
+
+def mutate_handler_in_range(app: AndroidApp) -> Optional[AndroidApp]:
+    """Extend a protected range to swallow its own handler."""
+    for position, method in enumerate(app.methods):
+        if not method.handlers:
+            continue
+        handler = method.handlers[0]
+        widened = ExceptionHandler(
+            start=handler.start, end=handler.handler, handler=handler.handler
+        )
+        return _swap_method(
+            app, position, _with_handlers(method, [widened] + list(method.handlers[1:]))
+        )
+    return None
+
+
+def mutate_bad_catch_head(app: AndroidApp) -> Optional[AndroidApp]:
+    """Replace a catch head so it no longer binds the exception."""
+    for position, method in enumerate(app.methods):
+        if not method.handlers:
+            continue
+        head = method.index_of(method.handlers[0].handler)
+        mutated = _with_statement(
+            method, head, EmptyStatement(label=method.statements[head].label)
+        )
+        return _swap_method(app, position, mutated)
+    return None
+
+
+def mutate_arity_mismatch(app: AndroidApp) -> Optional[AndroidApp]:
+    """Pass one argument too many to an internal callee."""
+    for position, method in enumerate(app.methods):
+        objects = _object_vars(method)
+        if not objects:
+            continue
+        for index in _internal_calls(app, method):
+            call = method.statements[index]
+            mutated_call = CallStatement(
+                label=call.label,
+                callee=call.callee,
+                args=tuple(call.args) + (objects[0],),
+                result=call.result,
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated_call)
+            )
+    return None
+
+
+def mutate_void_result(app: AndroidApp) -> Optional[AndroidApp]:
+    """Bind a result register on a call to a void internal callee."""
+    for position, method in enumerate(app.methods):
+        objects = _object_vars(method)
+        if not objects:
+            continue
+        for index in _internal_calls(app, method):
+            call = method.statements[index]
+            callee = app.method_table[call.callee]
+            if call.result is not None or callee.signature.return_type != VOID:
+                continue
+            mutated_call = CallStatement(
+                label=call.label,
+                callee=call.callee,
+                args=tuple(call.args),
+                result=objects[0],
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated_call)
+            )
+    return None
+
+
+def mutate_monitor_primitive(app: AndroidApp) -> Optional[AndroidApp]:
+    """Point a monitor statement at a primitive register."""
+    for position, method in enumerate(app.methods):
+        primitives = _primitive_vars(method)
+        if not primitives:
+            continue
+        for index, statement in enumerate(method.statements):
+            if isinstance(statement, MonitorStatement):
+                mutated = MonitorStatement(
+                    label=statement.label,
+                    enter=statement.enter,
+                    operand=primitives[0],
+                )
+                return _swap_method(
+                    app, position, _with_statement(method, index, mutated)
+                )
+    return None
+
+
+def mutate_object_condition(app: AndroidApp) -> Optional[AndroidApp]:
+    """Branch on an object register."""
+    for position, method in enumerate(app.methods):
+        objects = _object_vars(method)
+        if not objects:
+            continue
+        for index, statement in enumerate(method.statements):
+            if isinstance(statement, IfStatement):
+                mutated = IfStatement(
+                    label=statement.label,
+                    condition=objects[0],
+                    target=statement.target,
+                )
+                return _swap_method(
+                    app, position, _with_statement(method, index, mutated)
+                )
+    return None
+
+
+def mutate_undeclared_use(app: AndroidApp) -> Optional[AndroidApp]:
+    """Read a register that is never declared nor defined."""
+    for position, method in enumerate(app.methods):
+        objects = _object_vars(method)
+        if not objects:
+            continue
+        for index in _safe_sites(method):
+            mutated = AssignmentStatement(
+                label=method.statements[index].label,
+                lhs=objects[0],
+                rhs=VariableNameExpr(name=GHOST),
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated)
+            )
+    return None
+
+
+def mutate_undeclared_def_use(app: AndroidApp) -> Optional[AndroidApp]:
+    """Define an undeclared register at the entry, then read it."""
+    for position, method in enumerate(app.methods):
+        objects = _object_vars(method)
+        sites = [i for i in _safe_sites(method)]
+        if not objects or len(sites) < 2 or sites[0] != 0:
+            continue
+        define = AssignmentStatement(
+            label=method.statements[0].label,
+            lhs=GHOST,
+            rhs=NewExpr(allocated=ObjectType("java.lang.Object")),
+        )
+        use = AssignmentStatement(
+            label=method.statements[sites[1]].label,
+            lhs=objects[0],
+            rhs=VariableNameExpr(name=GHOST),
+        )
+        mutated = _with_statement(
+            _with_statement(method, 0, define), sites[1], use
+        )
+        return _swap_method(app, position, mutated)
+    return None
+
+
+def mutate_dead_code(app: AndroidApp) -> Optional[AndroidApp]:
+    """Insert an unconditional goto over the textual successor."""
+    for position, method in enumerate(app.methods):
+        count = len(method.statements)
+        targeted = {
+            label
+            for statement in method.statements
+            for label in statement.jump_targets()
+        }
+        targeted.update(handler.handler for handler in method.handlers)
+        for index in _safe_sites(method):
+            if index + 2 > count - 1:
+                continue
+            if method.statements[index + 1].label in targeted:
+                continue  # the skipped statement would stay reachable
+            mutated = GotoStatement(
+                label=method.statements[index].label,
+                target=method.statements[index + 2].label,
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated)
+            )
+    return None
+
+
+def mutate_dangling_callee(app: AndroidApp) -> Optional[AndroidApp]:
+    """Retarget an internal call at a method that does not exist."""
+    for position, method in enumerate(app.methods):
+        for index in _internal_calls(app, method):
+            call = method.statements[index]
+            params = OBJECT.descriptor() * len(call.args)
+            returns = OBJECT.descriptor() if call.result else "V"
+            mutated_call = CallStatement(
+                label=call.label,
+                callee=f"{app.package}.Ghost.m404({params}){returns}",
+                args=tuple(call.args),
+                result=call.result,
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated_call)
+            )
+    return None
+
+
+def mutate_bad_callee_signature(app: AndroidApp) -> Optional[AndroidApp]:
+    """Corrupt a callee signature string beyond parsing."""
+    for position, method in enumerate(app.methods):
+        for index in _internal_calls(app, method):
+            call = method.statements[index]
+            mutated_call = CallStatement(
+                label=call.label,
+                callee="???",
+                args=tuple(call.args),
+                result=call.result,
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated_call)
+            )
+    return None
+
+
+def mutate_dead_component(app: AndroidApp) -> Optional[AndroidApp]:
+    """Register a component with no callbacks at all."""
+    ghost = Component(
+        name=f"{app.package}.GhostComponent",
+        kind=ComponentKind.ACTIVITY,
+        callbacks={},
+    )
+    return _rebuild(app, components=list(app.components) + [ghost])
+
+
+def mutate_no_lifecycle(app: AndroidApp) -> Optional[AndroidApp]:
+    """Register a component whose callbacks skip the lifecycle set."""
+    if not app.methods:
+        return None
+    ghost = Component(
+        name=f"{app.package}.OrphanComponent",
+        kind=ComponentKind.ACTIVITY,
+        callbacks={"onClick": str(app.methods[0].signature)},
+    )
+    return _rebuild(app, components=list(app.components) + [ghost])
+
+
+def mutate_primitive_alloc(app: AndroidApp) -> Optional[AndroidApp]:
+    """Allocate an object into a primitive register (dropped GEN)."""
+    for position, method in enumerate(app.methods):
+        primitives = _primitive_vars(method)
+        if not primitives:
+            continue
+        for index in _safe_sites(method):
+            mutated = AssignmentStatement(
+                label=method.statements[index].label,
+                lhs=primitives[0],
+                rhs=NewExpr(allocated=ObjectType("java.lang.Object")),
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated)
+            )
+    return None
+
+
+def mutate_primitive_base_store(app: AndroidApp) -> Optional[AndroidApp]:
+    """Store through a primitive base register (dropped heap store)."""
+    for position, method in enumerate(app.methods):
+        primitives = _primitive_vars(method)
+        objects = _object_vars(method)
+        if not primitives or not objects:
+            continue
+        for index in _safe_sites(method):
+            mutated = AssignmentStatement(
+                label=method.statements[index].label,
+                lhs=primitives[0],
+                rhs=VariableNameExpr(name=objects[0]),
+                lhs_access=AccessExpr(base=primitives[0], field_name="fGhost"),
+            )
+            return _swap_method(
+                app, position, _with_statement(method, index, mutated)
+            )
+    return None
+
+
+#: (defect class, expected rule, mutator) -- one row per detector.
+MUTATORS: List[Tuple[str, str, Callable[[AndroidApp], Optional[AndroidApp]]]] = [
+    ("fall-off-end", "CFG-001", mutate_fall_off_end),
+    ("empty-body", "CFG-002", mutate_empty_body),
+    ("handler-in-range", "EXC-001", mutate_handler_in_range),
+    ("bad-catch-head", "EXC-002", mutate_bad_catch_head),
+    ("arity-mismatch", "TY-001", mutate_arity_mismatch),
+    ("void-result", "TY-002", mutate_void_result),
+    ("monitor-primitive", "TY-003", mutate_monitor_primitive),
+    ("object-condition", "TY-004", mutate_object_condition),
+    ("undeclared-def-use", "DBU-001", mutate_undeclared_def_use),
+    ("undeclared-use", "DBU-002", mutate_undeclared_use),
+    ("dead-code", "DEAD-001", mutate_dead_code),
+    ("dangling-callee", "CG-001", mutate_dangling_callee),
+    ("bad-callee-signature", "CG-002", mutate_bad_callee_signature),
+    ("dead-component", "MAN-001", mutate_dead_component),
+    ("no-lifecycle", "MAN-002", mutate_no_lifecycle),
+    ("primitive-alloc", "FP-002", mutate_primitive_alloc),
+    ("primitive-base-store", "FP-003", mutate_primitive_base_store),
+]
+
+
+# -- harness ------------------------------------------------------------------
+
+
+def run_harness(
+    apps: int = 12, scale: float = 0.06, base_seed: int = 2020
+) -> int:
+    """Run the full matrix; print a report; return a process exit code."""
+    profile = GeneratorProfile(scale=scale, layers_low=2, layers_high=4)
+    generator = AppGenerator(profile)
+    corpus = [generator.generate(base_seed + i) for i in range(apps)]
+
+    failures = 0
+    dirty = [app.package for app in corpus if not run_lint(app).is_clean]
+    if dirty:
+        failures += len(dirty)
+        print(f"FAIL clean-corpus: {len(dirty)} app(s) not clean: {dirty}")
+    else:
+        print(f"ok   clean-corpus: {apps} generated apps, zero diagnostics")
+
+    caught = 0
+    for name, expected, mutator in MUTATORS:
+        mutated = None
+        host = ""
+        for app in corpus:
+            mutated = mutator(app)
+            if mutated is not None:
+                host = app.package
+                break
+        if mutated is None:
+            failures += 1
+            print(f"FAIL {name}: no applicable site in {apps} apps")
+            continue
+        fired = set(run_lint(mutated).rules())
+        if fired == {expected}:
+            caught += 1
+            print(f"ok   {name}: caught by exactly {expected} (in {host})")
+        else:
+            failures += 1
+            print(
+                f"FAIL {name}: expected exactly {{{expected}}}, "
+                f"lint fired {sorted(fired) or '{}'} (in {host})"
+            )
+
+    total = len(MUTATORS)
+    recall = caught / total if total else 0.0
+    print(
+        f"recall: {caught}/{total} defect classes ({recall:.0%}); "
+        f"clean corpus {'clean' if not dirty else 'DIRTY'}"
+    )
+    return 0 if failures == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", type=int, default=12)
+    parser.add_argument("--scale", type=float, default=0.06)
+    parser.add_argument("--base-seed", type=int, default=2020)
+    args = parser.parse_args(argv)
+    return run_harness(args.apps, args.scale, args.base_seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
