@@ -6,7 +6,10 @@ the pricing configuration, so a finished row can be persisted and
 reused across processes and sessions.  Each row lives in its own JSON
 file named by a SHA-256 key over
 
-* the corpus identity ``(base_seed, size, scale, index)``,
+* the corpus identity ``(base_seed, size, profile fingerprint, index)``
+  -- the *full* :class:`repro.apk.generator.GeneratorProfile`, not just
+  its scale, so corpora that differ only in (say) layer bounds never
+  alias,
 * a *config fingerprint* -- the full experiment matrix
   (:data:`repro.bench.harness._CONFIGS` flattened to dicts, covering
   GPU spec, cost table, tuning and optimization flags), and
@@ -34,7 +37,9 @@ from typing import Any, Dict, Mapping, Optional
 import repro
 
 #: Bump when the on-disk row layout changes (invalidates old entries).
-CACHE_SCHEMA = 1
+#: 2: row keys carry the full generator-profile fingerprint, not just
+#: the scale (corpora differing only in layer bounds used to alias).
+CACHE_SCHEMA = 2
 
 _FALSY = {"0", "false", "off", "no"}
 
@@ -68,16 +73,26 @@ def config_fingerprint(configs: Mapping[str, Any]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def profile_fingerprint(profile: Any) -> str:
+    """Digest of a full :class:`GeneratorProfile` (every knob, not just
+    ``scale``): two corpora generate the same apps iff their profiles
+    fingerprint identically."""
+    payload = dataclasses.asdict(profile)
+    payload["__class__"] = type(profile).__name__
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def row_key(
     base_seed: int,
     size: int,
-    scale: float,
+    profile_fp: str,
     index: int,
     fingerprint: str,
 ) -> str:
     """Cache key for one app of one corpus under one config matrix."""
     blob = json.dumps(
-        [base_seed, size, repr(scale), index, fingerprint], sort_keys=True
+        [base_seed, size, profile_fp, index, fingerprint], sort_keys=True
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -93,19 +108,36 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt entries deleted on load failure.
+        self.purged = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional["AppEvaluation"]:
-        """Fetch a row, or None on miss/corruption (counted as a miss)."""
+        """Fetch a row, or None on miss/corruption (counted as a miss).
+
+        A file that exists but fails to parse is deleted so the next
+        sweep re-evaluates once instead of re-parsing the corpse every
+        run.
+        """
         if not self.enabled:
             return None
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
-            row = _row_from_payload(payload)
-        except (OSError, ValueError, TypeError, KeyError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
+            return None
+        try:
+            row = _row_from_payload(json.loads(text))
+        except (ValueError, TypeError, KeyError):
+            self.misses += 1
+            try:
+                path.unlink()
+                self.purged += 1
+            except OSError:
+                pass
             return None
         self.hits += 1
         return row

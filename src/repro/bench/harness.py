@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.apk.corpus import AppCorpus
 from repro.bench.stats import size_mix
 from repro.core.config import GDroidConfig
@@ -143,8 +144,10 @@ def evaluate_app(
         name: GDroid(config).price(workload)
         for name, config in _CONFIGS.items()
     }
-    cpu = MulticoreWorklist().analyze(workload)
-    amandroid = AmandroidModel().analyze(workload)
+    with obs.span(f"cpu.analyze:{app.package}", category="price"):
+        cpu = MulticoreWorklist().analyze(workload)
+    with obs.span(f"amandroid.analyze:{app.package}", category="price"):
+        amandroid = AmandroidModel().analyze(workload)
     profile = workload.profile
     return AppEvaluation(
         package=app.package,
@@ -171,6 +174,19 @@ def evaluate_app(
     )
 
 
+def _lint_error_row(app: AndroidApp, index: int, error) -> LintErrorRow:
+    """Structured row for one strict-gate rejection."""
+    errors = error.report.errors()
+    return LintErrorRow(
+        package=app.package,
+        category=app.category,
+        index=index,
+        rules=tuple(sorted({d.rule for d in errors})),
+        error_count=len(errors),
+        message=str(error),
+    )
+
+
 def evaluate_or_lint_row(
     app: AndroidApp, index: int, strict: bool
 ) -> "EvaluationRow":
@@ -188,20 +204,35 @@ def evaluate_or_lint_row(
     try:
         workload = AppWorkload.build(app, lint_gate=True)
     except LintError as error:
-        errors = error.report.errors()
-        return LintErrorRow(
-            package=app.package,
-            category=app.category,
-            index=index,
-            rules=tuple(sorted({d.rule for d in errors})),
-            error_count=len(errors),
-            message=str(error),
-        )
+        return _lint_error_row(app, index, error)
     return evaluate_app(app, workload)
 
 
-#: Process-wide evaluation cache: (base_seed, size, scale, index) -> row.
-_CACHE: Dict[Tuple[int, int, float, int], AppEvaluation] = {}
+def _relint_cached_row(
+    app: AndroidApp, index: int, row: AppEvaluation
+) -> "EvaluationRow":
+    """Re-verify a cache-served row under the strict gate.
+
+    Caches only ever hold :class:`AppEvaluation` rows, and nothing in a
+    cache key says the row passed the lint gate -- it may have been
+    written by a non-strict run, or the lint rules may have changed
+    since.  A strict run therefore re-lints every cached row; a
+    rejection replaces the row, upholding the "a strict run always
+    re-verifies" contract.
+    """
+    import repro.lint as lint_module
+
+    with obs.span(f"relint[{index}]", category="lint", index=index):
+        try:
+            lint_module.check_app(app)
+        except lint_module.LintError as error:
+            return _lint_error_row(app, index, error)
+    return row
+
+
+#: Process-wide evaluation cache:
+#: (base_seed, size, profile fingerprint, index) -> row.
+_CACHE: Dict[Tuple[int, int, str, int], AppEvaluation] = {}
 
 
 @dataclass
@@ -217,6 +248,10 @@ class CorpusRunStats:
     evaluated: int = 0
     #: Rows persisted to the on-disk cache this run.
     disk_stores: int = 0
+    #: Corrupt on-disk entries purged during lookup.
+    cache_purged: int = 0
+    #: Cache-served rows re-verified by the strict lint gate.
+    strict_relints: int = 0
     #: Requested worker count and what was actually used.
     jobs: int = 1
     workers: int = 1
@@ -243,12 +278,18 @@ class CorpusRunStats:
     def summary(self) -> str:
         """One-paragraph counter report for CLI / benchmark output."""
         cache = "on" if self.cache_enabled else "off"
+        extras = ""
+        if self.cache_purged:
+            extras += f", {self.cache_purged} corrupt purged"
+        if self.strict_relints:
+            extras += f", {self.strict_relints} strict re-lints"
         return (
             f"corpus run: {self.apps} apps in {self.total_s:.2f}s "
             f"({self.apps_per_second:.2f} apps/s)\n"
             f"  cache [{cache}]: {self.process_hits} process hits, "
             f"{self.disk_hits} disk hits, {self.evaluated} misses "
-            f"(hit rate {self.hit_rate:.0%}), {self.disk_stores} stored\n"
+            f"(hit rate {self.hit_rate:.0%}), {self.disk_stores} stored"
+            f"{extras}\n"
             f"  workers: {self.workers}/{self.jobs} used/requested\n"
             f"  stages: lookup {self.lookup_s:.2f}s, "
             f"evaluate {self.evaluate_s:.2f}s, store {self.store_s:.2f}s"
@@ -279,20 +320,29 @@ def evaluate_corpus(
     Rows are returned in index order either way, and newly computed
     rows are persisted for the next run.
 
-    Under ``strict=True`` every freshly evaluated app passes the lint
-    gate first; a rejected app contributes a :class:`LintErrorRow` at
+    Under ``strict=True`` every returned row has passed the lint gate
+    *this run*: freshly evaluated apps are gated before evaluation, and
+    cache-served rows are re-linted (a cached row proves nothing about
+    the gate).  A rejected app contributes a :class:`LintErrorRow` at
     its index (never cached) and the sweep continues.
+
+    An explicit ``limit=0`` evaluates nothing; ``limit=None`` means the
+    whole corpus.
     """
     global _LAST_RUN_STATS
     from repro.bench.cache import (
         EvaluationCache,
         cache_enabled,
         config_fingerprint,
+        profile_fingerprint,
         row_key,
     )
     from repro.bench.parallel import evaluate_parallel, resolve_jobs
 
-    count = min(limit or corpus.size, corpus.size)
+    if limit is None:
+        count = corpus.size
+    else:
+        count = max(0, min(limit, corpus.size))
     jobs = resolve_jobs(jobs)
     disk = EvaluationCache(enabled=cache_enabled(no_cache))
     stats = CorpusRunStats(
@@ -300,56 +350,73 @@ def evaluate_corpus(
     )
     started = time.perf_counter()
 
-    scale = corpus.profile.scale
+    profile_fp = profile_fingerprint(corpus.profile)
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
     rows: Dict[int, EvaluationRow] = {}
     missing: List[int] = []
     disk_keys: Dict[int, str] = {}
-    for index in range(count):
-        key = (corpus.base_seed, corpus.size, scale, index)
-        row = _CACHE.get(key)
-        if row is not None:
-            rows[index] = row
-            stats.process_hits += 1
-            continue
-        if disk.enabled:
-            disk_keys[index] = row_key(
-                corpus.base_seed, corpus.size, scale, index, fingerprint
-            )
-            row = disk.load(disk_keys[index])
+    with obs.span("corpus.lookup", category="lookup", apps=count):
+        for index in range(count):
+            key = (corpus.base_seed, corpus.size, profile_fp, index)
+            row = _CACHE.get(key)
             if row is not None:
-                rows[index] = row
-                _CACHE[key] = row
+                stats.process_hits += 1
+            elif disk.enabled:
+                disk_keys[index] = row_key(
+                    corpus.base_seed, corpus.size, profile_fp, index, fingerprint
+                )
+                row = disk.load(disk_keys[index])
+                if row is not None:
+                    _CACHE[key] = row
+            if row is None:
+                missing.append(index)
                 continue
-        missing.append(index)
+            if strict:
+                # The cache only proves the row was evaluated, not that
+                # it passed the (possibly newer) lint rules.
+                row = _relint_cached_row(corpus.app(index), index, row)
+                stats.strict_relints += 1
+            rows[index] = row
     stats.disk_hits = disk.hits
+    stats.cache_purged = disk.purged
     stats.lookup_s = time.perf_counter() - started
 
     evaluated_at = time.perf_counter()
     if missing:
-        if jobs > 1 and len(missing) > 1:
-            fresh = evaluate_parallel(corpus, missing, jobs, strict=strict)
-            stats.workers = min(jobs, len(missing))
-        else:
-            fresh = {
-                index: evaluate_or_lint_row(corpus.app(index), index, strict)
-                for index in missing
-            }
+        with obs.span(
+            "corpus.evaluate", category="evaluate", missing=len(missing)
+        ):
+            if jobs > 1 and len(missing) > 1:
+                fresh = evaluate_parallel(corpus, missing, jobs, strict=strict)
+                stats.workers = min(jobs, len(missing))
+            else:
+                fresh = {}
+                for index in missing:
+                    with obs.span(f"app[{index}]", category="app", index=index):
+                        fresh[index] = evaluate_or_lint_row(
+                            corpus.app(index), index, strict
+                        )
         stats.evaluated = len(missing)
         stats.evaluate_s = time.perf_counter() - evaluated_at
 
         stored_at = time.perf_counter()
-        for index in missing:
-            row = fresh[index]
-            rows[index] = row
-            if not isinstance(row, AppEvaluation):
-                continue  # lint-error rows are never cached
-            _CACHE[(corpus.base_seed, corpus.size, scale, index)] = row
-            if disk.enabled:
-                disk.store(disk_keys[index], row)
+        with obs.span("corpus.store", category="store"):
+            for index in missing:
+                row = fresh[index]
+                rows[index] = row
+                if not isinstance(row, AppEvaluation):
+                    continue  # lint-error rows are never cached
+                _CACHE[(corpus.base_seed, corpus.size, profile_fp, index)] = row
+                if disk.enabled:
+                    disk.store(disk_keys[index], row)
         stats.disk_stores = disk.stores
         stats.store_s = time.perf_counter() - stored_at
 
     stats.total_s = time.perf_counter() - started
+    obs.count("corpus.apps", count)
+    obs.count("corpus.process_hits", stats.process_hits)
+    obs.count("corpus.disk_hits", stats.disk_hits)
+    obs.count("corpus.evaluated", stats.evaluated)
+    obs.count("corpus.strict_relints", stats.strict_relints)
     _LAST_RUN_STATS = stats
     return [rows[index] for index in range(count)]

@@ -22,8 +22,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.apk.corpus import AppCorpus
 from repro.apk.generator import GeneratorProfile
 
@@ -55,27 +56,60 @@ def plan_chunks(indices: Sequence[int], chunks: int) -> List[List[int]]:
     return [chunk for chunk in plan if chunk]
 
 
+#: What one worker chunk returns: its ``(index, row)`` pairs plus the
+#: serialised tracer spans and counters it recorded (empty unless
+#: tracing).
+ChunkResult = Tuple[
+    List[Tuple[int, "EvaluationRow"]],
+    List[Mapping[str, Any]],
+    Dict[str, float],
+]
+
+
 def _evaluate_chunk(
-    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool]
-) -> List[Tuple[int, "EvaluationRow"]]:
+    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool, bool]
+) -> ChunkResult:
     """Worker body: regenerate the corpus and evaluate one index chunk.
 
     Re-seeds the module-level RNG per app from the corpus namespace so
     any future global-random use inside evaluation stays deterministic
     and independent of chunk placement (today all generator randomness
-    is instance-local already).  Under ``strict`` each app passes the
-    lint gate and rejections come back as ``LintErrorRow`` entries,
-    exactly as in a serial run.
+    is instance-local already).  The caller's global RNG state is saved
+    and restored, so the in-process fallback never perturbs the
+    parent's ``random`` module the way a forked worker trivially
+    wouldn't.  Under ``strict`` each app passes the lint gate and
+    rejections come back as ``LintErrorRow`` entries, exactly as in a
+    serial run.
+
+    With ``trace`` set, the chunk runs under its own private tracer and
+    ships the recorded spans home (a forked worker's tracer appends
+    would otherwise die with the fork).
     """
     from repro.bench.harness import evaluate_or_lint_row
 
-    base_seed, size, profile, indices, strict = task
+    base_seed, size, profile, indices, strict, trace = task
     corpus = AppCorpus(size=size, base_seed=base_seed, profile=profile)
-    rows = []
-    for index in indices:
-        random.seed(base_seed * 1_000_003 + index)
-        rows.append((index, evaluate_or_lint_row(corpus.app(index), index, strict)))
-    return rows
+    tracer = obs.Tracer() if trace else None
+    previous = obs.activate(tracer) if tracer is not None else None
+    rng_state = random.getstate()
+    rows: List[Tuple[int, "EvaluationRow"]] = []
+    try:
+        for index in indices:
+            random.seed(base_seed * 1_000_003 + index)
+            with obs.span(f"app[{index}]", category="app", index=index):
+                rows.append(
+                    (index, evaluate_or_lint_row(corpus.app(index), index, strict))
+                )
+    finally:
+        random.setstate(rng_state)
+        if tracer is not None:
+            if previous is not None:
+                obs.activate(previous)
+            else:
+                obs.deactivate()
+    if tracer is None:
+        return rows, [], {}
+    return rows, tracer.export_spans(), dict(tracer.counters)
 
 
 def evaluate_parallel(
@@ -88,27 +122,41 @@ def evaluate_parallel(
 
     Returns ``{index: row}``.  Falls back to in-process evaluation when
     a pool cannot be started (restricted environments) or the request
-    degenerates to a single worker/chunk.
+    degenerates to a single worker/chunk.  When a tracer is active the
+    workers' spans are merged back onto per-worker lanes.
     """
     jobs = resolve_jobs(jobs)
     chunks = plan_chunks(indices, jobs)
+    tracer = obs.active()
+    trace = tracer is not None
+    offset_s = tracer.now() if tracer is not None else 0.0
     tasks = [
-        (corpus.base_seed, corpus.size, corpus.profile, tuple(chunk), strict)
+        (
+            corpus.base_seed,
+            corpus.size,
+            corpus.profile,
+            tuple(chunk),
+            strict,
+            trace,
+        )
         for chunk in chunks
     ]
     if jobs <= 1 or len(tasks) <= 1:
-        return _collect(map(_evaluate_chunk, tasks))
-    try:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=len(tasks)) as pool:
-            return _collect(pool.map(_evaluate_chunk, tasks))
-    except (OSError, ValueError):
-        return _collect(map(_evaluate_chunk, tasks))
-
-
-def _collect(chunk_results) -> Dict[int, "EvaluationRow"]:
+        results = list(map(_evaluate_chunk, tasks))
+    else:
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=len(tasks)) as pool:
+                results = pool.map(_evaluate_chunk, tasks)
+        except (OSError, ValueError):
+            results = list(map(_evaluate_chunk, tasks))
     rows: Dict[int, "EvaluationRow"] = {}
-    for chunk in chunk_results:
-        for index, row in chunk:
+    for worker, (chunk_rows, spans, counters) in enumerate(results, start=1):
+        if tracer is not None:
+            if spans:
+                tracer.merge(spans, worker=worker, offset_s=offset_s)
+            for name, value in counters.items():
+                tracer.count(name, value)
+        for index, row in chunk_rows:
             rows[index] = row
     return rows

@@ -7,6 +7,7 @@ Subcommands::
     gdroid vet       app.gdx
     gdroid corpus    --apps 20 [--scale 1.0]      # Table I statistics
     gdroid bench     --apps 12 [--scale 1.0]      # headline figure rows
+    gdroid stats     --apps 8  [--scale 1.0]      # run-ledger profile
 
 All times are *modeled* seconds on the simulated Tesla P40 / Xeon
 hosts; see DESIGN.md for the substitution rationale.
@@ -103,6 +104,37 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--strict", action="store_true",
         help="lint-gate every app; malformed apps become LintError rows",
+    )
+    bench.add_argument(
+        "--profile", metavar="PREFIX", default=None,
+        help="trace the run; writes PREFIX.trace.json (chrome://tracing "
+        "/ Perfetto) and PREFIX.ledger.json (run-ledger stages/counters)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="profile a corpus sweep and print its run ledger"
+    )
+    stats.add_argument("--apps", type=int, default=8)
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument(
+        "--jobs", type=int, default=None,
+        help="evaluate apps across N worker processes",
+    )
+    stats.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the on-disk evaluation cache",
+    )
+    stats.add_argument(
+        "--strict", action="store_true",
+        help="lint-gate every app (cached rows are re-verified)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full run-ledger JSON instead of the summary",
+    )
+    stats.add_argument(
+        "--profile", metavar="PREFIX", default=None,
+        help="also write PREFIX.trace.json and PREFIX.ledger.json",
     )
 
     report = sub.add_parser(
@@ -219,18 +251,42 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile(tracer, prefix: str, run_stats) -> None:
+    """Export a finished tracer as Chrome-trace + run-ledger JSON."""
+    from repro.obs.export import export_chrome_trace, export_run_ledger
+
+    trace_path = f"{prefix}.trace.json"
+    ledger_path = f"{prefix}.ledger.json"
+    events = export_chrome_trace(tracer, trace_path)
+    ledger = export_run_ledger(tracer, ledger_path, run_stats=run_stats)
+    print(
+        f"wrote {trace_path} ({events} trace events), "
+        f"{ledger_path} ({ledger['span_count']} spans)"
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.bench.harness import evaluate_corpus, last_run_stats
 
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
     )
-    all_rows = evaluate_corpus(
-        corpus, jobs=args.jobs, no_cache=args.no_cache, strict=args.strict
-    )
+    tracer = obs.Tracer() if args.profile else None
+    if tracer is not None:
+        obs.activate(tracer)
+    try:
+        all_rows = evaluate_corpus(
+            corpus, jobs=args.jobs, no_cache=args.no_cache, strict=args.strict
+        )
+    finally:
+        if tracer is not None:
+            obs.deactivate()
     stats = last_run_stats()
     if stats is not None:
         print(stats.summary())
+    if tracer is not None:
+        _write_profile(tracer, args.profile, stats)
     from repro.bench.harness import AppEvaluation
 
     rows = [r for r in all_rows if isinstance(r, AppEvaluation)]
@@ -248,6 +304,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"  MER over MAT+GRP     {mean(r.mer_speedup for r in rows):6.2f}x  (1.94x)")
     print(f"  GDroid vs plain      {mean(r.gdroid_speedup for r in rows):6.1f}x  (71.3x)")
     print(f"  memory matrix/set    {mean(r.memory_ratio for r in rows):6.2f}   (0.25)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.bench.harness import evaluate_corpus, last_run_stats
+    from repro.obs.export import render_ledger, run_ledger
+
+    corpus = AppCorpus(
+        size=args.apps, profile=GeneratorProfile(scale=args.scale)
+    )
+    with obs.tracing() as tracer:
+        evaluate_corpus(
+            corpus, jobs=args.jobs, no_cache=args.no_cache, strict=args.strict
+        )
+    stats = last_run_stats()
+    ledger = run_ledger(tracer, run_stats=stats)
+    if args.as_json:
+        print(json.dumps(ledger, sort_keys=True, indent=2))
+    else:
+        if stats is not None:
+            print(stats.summary())
+        print(render_ledger(ledger))
+    if args.profile:
+        _write_profile(tracer, args.profile, stats)
     return 0
 
 
@@ -300,6 +383,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "corpus": _cmd_corpus,
         "bench": _cmd_bench,
+        "stats": _cmd_stats,
         "report": _cmd_report,
         "tune": _cmd_tune,
     }[args.command]

@@ -463,6 +463,22 @@ class BlockRunner:
 
     def run(self) -> BlockResult:
         """Execute to completion and return the results."""
+        from repro import obs
+
+        with obs.span(
+            f"block[{self.assignment.block_id}]",
+            category="block",
+            layer=self.assignment.layer,
+            methods=len(self.assignment.methods),
+            scc=self._is_scc,
+        ):
+            result = self._run()
+        obs.count("block.runs", 1)
+        obs.count("block.iterations", result.trace_sync.iteration_count)
+        obs.count("block.visits", result.trace_sync.visit_count)
+        return result
+
+    def _run(self) -> BlockResult:
         summaries = dict(self.base_summaries)
         if self._is_scc:
             for signature in self.assignment.methods:

@@ -20,6 +20,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.cfg.callgraph import CallGraph, SBDALayering
 from repro.cfg.environment import app_with_environments
 from repro.core.blockexec import BlockResult, BlockRunner
@@ -129,8 +130,23 @@ class AppWorkload:
         if _lint_gate_enabled(lint_gate):
             from repro.lint import check_app
 
-            check_app(app)
+            with obs.span(f"lint.gate:{app.package}", category="lint"):
+                check_app(app)
         tuning = tuning or TuningParameters()
+        with obs.span(
+            f"workload.build:{app.package}",
+            category="engine",
+            package=app.package,
+        ):
+            return cls._build(app, tuning, record_mer)
+
+    @classmethod
+    def _build(
+        cls,
+        app: AndroidApp,
+        tuning: TuningParameters,
+        record_mer: bool,
+    ) -> "AppWorkload":
         analyzed = app_with_environments(app) if app.components else app
         layering = SBDALayering(CallGraph(analyzed))
         partition = partition_layers(analyzed, layering, tuning)
@@ -184,6 +200,10 @@ class AppWorkload:
                 profile.worklist_sizes_mer.extend(
                     result.trace_mer.worklist_sizes() * mer_rounds
                 )
+        obs.count("engine.workloads", 1)
+        obs.count("engine.cfg_nodes", profile.cfg_nodes)
+        obs.count("engine.iterations_sync", profile.iterations_sync)
+        obs.count("engine.visits_sync", profile.visits_sync)
         return cls(
             app=app,
             analyzed_app=analyzed,
@@ -271,6 +291,22 @@ class GDroid:
 
     def price(self, workload: AppWorkload) -> AnalysisResult:
         """Price an already-built workload under this configuration."""
+        config = self.config
+        with obs.span(
+            f"gdroid.price:{workload.app.package}",
+            category="price",
+            package=workload.app.package,
+            use_mat=config.use_mat,
+            use_grp=config.use_grp,
+            use_mer=config.use_mer,
+        ):
+            result = self._price(workload)
+        obs.count("price.kernel_cycles", result.kernel_cycles)
+        obs.count("price.transfer_cycles", result.transfer_cycles)
+        obs.count("price.launches", len(result.kernels))
+        return result
+
+    def _price(self, workload: AppWorkload) -> AnalysisResult:
         from repro.gpu.occupancy import occupancy
 
         config = self.config

@@ -1,0 +1,133 @@
+"""Run-ledger observability: spans + counters for every pipeline stage.
+
+The paper's argument is quantitative (Figs. 4/8-12, Tables I-II are
+cycle-level numbers), so the reproduction needs to *see* where a sweep
+spends its time and to detect when a change silently shifts those
+numbers.  This package provides a lightweight tracer in the spirit of
+Daisen's simulated-GPU tracing (arXiv:2104.00828):
+
+* :class:`~repro.obs.tracer.Tracer` records *spans* (named, categorised
+  wall-time intervals, optionally on per-worker lanes) and monotonic
+  *counters*;
+* :mod:`repro.obs.export` turns a finished tracer into a structured
+  **run-ledger JSON** and a **Chrome trace-event JSON** loadable in
+  ``chrome://tracing`` / Perfetto.
+
+Instrumentation sites call the module-level :func:`span` / :func:`count`
+helpers, which are near-zero-cost no-ops unless a tracer has been
+activated (``gdroid bench --profile``, ``gdroid stats``, or the
+:func:`tracing` context manager).  Stage categories used by the
+pipeline:
+
+========== ====================================================
+category    recorded by
+========== ====================================================
+lookup      :func:`repro.bench.harness.evaluate_corpus` cache scan
+evaluate    the fresh-evaluation stage (serial or parallel)
+store       cache write-back
+app         one corpus row's evaluation (nested under evaluate)
+engine      :meth:`repro.core.engine.AppWorkload.build`
+block       one :class:`repro.core.blockexec.BlockRunner` fixed point
+price       :meth:`repro.core.engine.GDroid.price` + CPU models
+lint        strict-gate verification (fresh or cache re-verify)
+vetting     :func:`repro.vetting.report.vet_workload`
+========== ====================================================
+
+Span durations aggregate per category (:meth:`Tracer.stage_totals`);
+the top-level stages reconcile with :class:`repro.bench.harness.
+CorpusRunStats` (``lookup + evaluate + store ~= total``), which
+``tests/test_obs.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "active",
+    "count",
+    "deactivate",
+    "span",
+    "tracing",
+]
+
+#: The currently installed tracer (None = tracing disabled).
+_ACTIVE: Optional[Tracer] = None
+
+
+class _NullSpan:
+    """Reusable, re-entrant no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> Optional[Tracer]:
+    """Install ``tracer`` as the process tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def deactivate() -> Optional[Tracer]:
+    """Remove the installed tracer (no-op when none is installed)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+def span(name: str, category: str = "run", **args):
+    """Context manager timing one interval on the active tracer.
+
+    A no-op (shared, allocation-free) when tracing is disabled, so
+    instrumentation can stay on hot-ish paths unconditionally.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category, **args)
+
+
+def count(name: str, value: float = 1) -> None:
+    """Add ``value`` to a named counter on the active tracer."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.count(name, value)
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of the block.
+
+    >>> with tracing() as tracer:
+    ...     evaluate_corpus(corpus)
+    >>> tracer.stage_totals()
+    """
+    tracer = tracer or Tracer()
+    previous = activate(tracer)
+    try:
+        yield tracer
+    finally:
+        global _ACTIVE
+        _ACTIVE = previous

@@ -1,0 +1,143 @@
+"""The span/counter recorder behind :mod:`repro.obs`.
+
+A :class:`Tracer` is a flat, append-only event log: code wraps timed
+regions in :meth:`Tracer.span` and bumps :meth:`Tracer.count`; exports
+(:mod:`repro.obs.export`) and aggregations (:meth:`Tracer.stage_totals`)
+read the finished log.  Spans are plain frozen records so forked
+benchmark workers can serialise theirs (:meth:`Tracer.export_spans`)
+and the parent can :meth:`Tracer.merge` them onto numbered worker
+lanes, giving one coherent timeline across a multiprocess sweep.
+
+Timestamps come from ``time.perf_counter`` relative to the tracer's
+construction, so a tracer is its own epoch and merged worker spans
+need only a constant offset.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One named, categorised wall-time interval."""
+
+    name: str
+    category: str
+    #: Seconds since the tracer's epoch.
+    start_s: float
+    duration_s: float
+    #: Lane: 0 = the main process, 1..N = parallel workers.
+    worker: int = 0
+    #: Static annotations, stored sorted for deterministic exports.
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (picklable / JSON-ready)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "worker": self.worker,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            category=payload["category"],
+            start_s=payload["start_s"],
+            duration_s=payload["duration_s"],
+            worker=payload.get("worker", 0),
+            args=tuple(sorted(payload.get("args", {}).items())),
+        )
+
+
+class Tracer:
+    """Append-only span/counter log with per-category aggregation."""
+
+    __slots__ = ("_clock", "epoch", "spans", "counters")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return self._clock() - self.epoch
+
+    @contextmanager
+    def span(
+        self, name: str, category: str = "run", **args: Any
+    ) -> Iterator[None]:
+        """Record the wrapped region as one span (even on exception)."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start_s=start,
+                    duration_s=self.now() - start,
+                    args=tuple(sorted(args.items())),
+                )
+            )
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- aggregation -----------------------------------------------------------
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed span duration per category (the run-ledger stages)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.category] = totals.get(span.category, 0.0) + span.duration_s
+        return totals
+
+    def total_s(self) -> float:
+        """End of the last-finishing span (0.0 when empty)."""
+        return max((span.end_s for span in self.spans), default=0.0)
+
+    # -- worker round-trip -----------------------------------------------------
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Spans as plain dicts, ready to cross a process boundary."""
+        return [span.to_dict() for span in self.spans]
+
+    def merge(
+        self,
+        payloads: Iterable[Mapping[str, Any]],
+        worker: int,
+        offset_s: float = 0.0,
+    ) -> int:
+        """Absorb a worker's exported spans onto lane ``worker``.
+
+        ``offset_s`` shifts the worker's private epoch onto this
+        tracer's timeline (typically the parent's clock when the worker
+        started).  Returns the number of spans merged.
+        """
+        merged = 0
+        for payload in payloads:
+            span = Span.from_dict(payload)
+            self.spans.append(
+                replace(
+                    span, worker=worker, start_s=span.start_s + offset_s
+                )
+            )
+            merged += 1
+        return merged

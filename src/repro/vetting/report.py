@@ -106,6 +106,17 @@ def vet_workload(
     analysis_time_s: float = 0.0,
 ) -> VettingReport:
     """Vet an app whose IDFG has already been constructed."""
+    from repro import obs
+
+    with obs.span(f"vet:{app.package}", category="vetting"):
+        return _vet_workload(app, workload, analysis_time_s)
+
+
+def _vet_workload(
+    app: AndroidApp,
+    workload: AppWorkload,
+    analysis_time_s: float,
+) -> VettingReport:
     analysis = TaintAnalysis(workload.analyzed_app, workload.idfg)
     flows = tuple(analysis.run())
     icc_flows = tuple(

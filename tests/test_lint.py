@@ -284,7 +284,10 @@ class TestStrictGate:
         assert row.rules == ("FP-002",)
         assert row.error_count >= 1
         # Rejections are never cached, even in-process.
-        assert (corpus.base_seed, corpus.size, TINY_PROFILE.scale, 1) not in _CACHE
+        from repro.bench.cache import profile_fingerprint
+
+        key = (corpus.base_seed, corpus.size, profile_fingerprint(TINY_PROFILE), 1)
+        assert key not in _CACHE
 
     def test_non_strict_corpus_unaffected(self):
         corpus = AppCorpus(size=2, base_seed=991300, profile=TINY_PROFILE)

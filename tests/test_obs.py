@@ -1,0 +1,299 @@
+"""The ``repro.obs`` run-ledger layer: tracer, exports, reconciliation."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.apk.corpus import AppCorpus
+from repro.bench.harness import evaluate_corpus, last_run_stats
+from repro.core.engine import AppWorkload
+from repro.obs.export import (
+    HARNESS_STAGES,
+    chrome_trace_document,
+    export_chrome_trace,
+    export_run_ledger,
+    render_ledger,
+    run_ledger,
+)
+from repro.obs.tracer import Span, Tracer
+from repro.vetting.report import vet_workload
+from tests.conftest import TINY_PROFILE
+
+
+class _Clock:
+    """Deterministic clock for exact span assertions."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+# -- tracer core --------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_records_interval_and_args(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        clock.t = 1.0
+        with tracer.span("build", category="engine", package="com.a"):
+            clock.t = 3.5
+        (span,) = tracer.spans
+        assert span.name == "build"
+        assert span.category == "engine"
+        assert span.start_s == 1.0
+        assert span.duration_s == 2.5
+        assert span.end_s == 3.5
+        assert dict(span.args) == {"package": "com.a"}
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer(clock=_Clock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert len(tracer.spans) == 1
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("visits", 3)
+        tracer.count("visits", 4)
+        tracer.count("launches")
+        assert tracer.counters == {"visits": 7, "launches": 1}
+
+    def test_stage_totals_sum_per_category(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        for duration in (1.0, 2.0):
+            with tracer.span("a", category="lookup"):
+                clock.t += duration
+        with tracer.span("b", category="store"):
+            clock.t += 4.0
+        totals = tracer.stage_totals()
+        assert totals == {"lookup": 3.0, "store": 4.0}
+        assert tracer.total_s() == 7.0
+
+    def test_span_dict_round_trip(self):
+        span = Span("n", "c", 1.0, 2.0, worker=3, args=(("k", 5),))
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_merge_assigns_lane_and_offset(self):
+        clock = _Clock()
+        worker = Tracer(clock=clock)
+        with worker.span("chunk", category="app"):
+            clock.t = 2.0
+        parent = Tracer(clock=_Clock())
+        merged = parent.merge(worker.export_spans(), worker=2, offset_s=10.0)
+        assert merged == 1
+        (span,) = parent.spans
+        assert span.worker == 2
+        assert span.start_s == 10.0
+        assert span.duration_s == 2.0
+
+
+# -- module-level plumbing ----------------------------------------------------
+
+
+class TestModuleApi:
+    def test_span_is_noop_without_tracer(self):
+        assert obs.active() is None
+        with obs.span("nothing", category="x"):
+            obs.count("nothing", 5)
+        assert obs.active() is None
+
+    def test_tracing_installs_and_restores(self):
+        with obs.tracing() as tracer:
+            assert obs.active() is tracer
+            with obs.span("inner", category="y", k=1):
+                pass
+            obs.count("c", 2)
+        assert obs.active() is None
+        assert tracer.spans[0].name == "inner"
+        assert tracer.counters == {"c": 2}
+
+    def test_nested_tracing_restores_outer(self):
+        with obs.tracing() as outer:
+            with obs.tracing() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+
+    def test_activate_deactivate(self):
+        tracer = Tracer()
+        assert obs.activate(tracer) is None
+        assert obs.active() is tracer
+        assert obs.deactivate() is tracer
+        assert obs.active() is None
+
+
+# -- exports ------------------------------------------------------------------
+
+
+def _sample_tracer() -> Tracer:
+    clock = _Clock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("corpus.lookup", category="lookup", apps=2):
+        clock.t = 0.25
+    with tracer.span("app[0]", category="app", index=0):
+        clock.t = 1.0
+    tracer.count("corpus.apps", 2)
+    tracer.merge(
+        [
+            {
+                "name": "app[1]",
+                "category": "app",
+                "start_s": 0.0,
+                "duration_s": 0.5,
+                "args": {"index": 1},
+            }
+        ],
+        worker=1,
+        offset_s=0.25,
+    )
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_schema(self):
+        document = chrome_trace_document(_sample_tracer())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "metadata"}
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "C"}
+        # Every event is JSON-serialisable with the standard encoder.
+        json.dumps(document)
+
+    def test_spans_become_complete_events_in_microseconds(self):
+        events = chrome_trace_document(_sample_tracer())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        lookup = next(e for e in spans if e["name"] == "corpus.lookup")
+        assert lookup["ts"] == 0.0
+        assert lookup["dur"] == 0.25 * 1e6
+        assert lookup["cat"] == "lookup"
+        assert lookup["args"] == {"apps": 2}
+        worker = next(e for e in spans if e["name"] == "app[1]")
+        assert worker["tid"] == 1  # merged worker lane
+
+    def test_thread_lane_metadata(self):
+        events = chrome_trace_document(_sample_tracer())["traceEvents"]
+        names = {
+            event["tid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert names == {0: "main", 1: "worker 1"}
+
+    def test_counter_events(self):
+        events = chrome_trace_document(_sample_tracer())["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and counters[0]["args"] == {"corpus.apps": 2}
+
+    def test_export_writes_loadable_file(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        count = export_chrome_trace(_sample_tracer(), str(path))
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+
+
+class TestRunLedger:
+    def test_ledger_document(self):
+        tracer = _sample_tracer()
+        ledger = run_ledger(tracer, metadata={"apps": 2})
+        assert ledger["schema"] == 1
+        assert ledger["span_count"] == 3
+        assert ledger["stages"]["lookup"] == 0.25
+        assert ledger["stages"]["app"] == 0.75 + 0.5
+        assert ledger["counters"] == {"corpus.apps": 2}
+        assert ledger["metadata"] == {"apps": 2}
+        json.dumps(ledger)
+
+    def test_ledger_embeds_run_stats(self, tmp_path):
+        corpus = AppCorpus(size=1, base_seed=870100, profile=TINY_PROFILE)
+        with obs.tracing() as tracer:
+            evaluate_corpus(corpus, no_cache=True)
+        ledger = export_run_ledger(
+            tracer, str(tmp_path / "ledger.json"), run_stats=last_run_stats()
+        )
+        stored = json.loads((tmp_path / "ledger.json").read_text())
+        assert stored["run_stats"]["apps"] == 1
+        assert ledger["run_stats"]["evaluated"] == 1
+
+    def test_render_ledger_mentions_stages_and_counters(self):
+        text = render_ledger(run_ledger(_sample_tracer()))
+        assert "lookup" in text
+        assert "corpus.apps" in text
+        assert "worker 1" in text
+
+
+# -- pipeline integration -----------------------------------------------------
+
+
+class TestPipelineIntegration:
+    def test_stage_totals_reconcile_with_run_stats(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=3, base_seed=870200, profile=TINY_PROFILE)
+        with obs.tracing() as tracer:
+            rows = evaluate_corpus(corpus)
+        stats = last_run_stats()
+        assert len(rows) == 3 and stats.evaluated == 3
+        stages = tracer.stage_totals()
+        for stage, stopwatch in (
+            ("lookup", stats.lookup_s),
+            ("evaluate", stats.evaluate_s),
+            ("store", stats.store_s),
+        ):
+            assert abs(stages.get(stage, 0.0) - stopwatch) < 0.05
+        reconciled = sum(stages.get(stage, 0.0) for stage in HARNESS_STAGES)
+        assert abs(reconciled - stats.total_s) < 0.1
+
+    def test_engine_and_pricing_spans_recorded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=1, base_seed=870300, profile=TINY_PROFILE)
+        with obs.tracing() as tracer:
+            evaluate_corpus(corpus)
+        categories = {span.category for span in tracer.spans}
+        assert {"lookup", "evaluate", "store", "app", "engine", "block", "price"} <= categories
+        assert tracer.counters["engine.workloads"] == 1
+        assert tracer.counters["block.runs"] >= 1
+        assert tracer.counters["price.launches"] >= 1
+
+    def test_parallel_workers_merge_onto_lanes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=4, base_seed=870400, profile=TINY_PROFILE)
+        with obs.tracing() as tracer:
+            rows = evaluate_corpus(corpus, jobs=2, no_cache=True)
+        assert len(rows) == 4
+        lanes = {span.worker for span in tracer.spans if span.category == "app"}
+        assert lanes == {1, 2}
+        # Worker counters survive the process boundary.
+        assert tracer.counters["engine.workloads"] == 4
+
+    def test_warm_cache_run_has_no_evaluate_stage(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=2, base_seed=870500, profile=TINY_PROFILE)
+        evaluate_corpus(corpus)
+        with obs.tracing() as tracer:
+            evaluate_corpus(corpus)
+        stages = tracer.stage_totals()
+        assert "lookup" in stages
+        assert "evaluate" not in stages  # everything cache-served
+
+    def test_vetting_span(self, demo_app):
+        workload = AppWorkload.build(demo_app)
+        with obs.tracing() as tracer:
+            vet_workload(demo_app, workload)
+        vet_spans = [s for s in tracer.spans if s.category == "vetting"]
+        assert len(vet_spans) == 1
+        assert vet_spans[0].name == "vet:com.demo"
+
+    def test_strict_relint_spans_on_warm_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=2, base_seed=870600, profile=TINY_PROFILE)
+        evaluate_corpus(corpus)
+        with obs.tracing() as tracer:
+            evaluate_corpus(corpus, strict=True)
+        lint_spans = [s for s in tracer.spans if s.category == "lint"]
+        assert len(lint_spans) == 2

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Benchmark baseline recorder / regression comparator.
+
+The reproduction's argument is quantitative, so every PR needs to be
+judged against a recorded trajectory of the headline numbers: modeled
+per-config times, the paper's speedup ratios, sweep throughput, and
+cache effectiveness.  This tool maintains that trajectory:
+
+* ``record`` evaluates a corpus slice and writes the headline metrics
+  to a baseline JSON (default ``benchmarks/results/BENCH_baseline.json``);
+* ``compare`` re-evaluates the same slice and flags any *gating*
+  metric that drifted beyond ``--tolerance`` in its bad direction
+  (modeled times up, speedups down), exiting 1 so CI can surface the
+  regression.
+
+Gating metrics are means of *modeled* quantities -- pure functions of
+the corpus seeds and the cost model, so they are bit-stable across
+machines and any drift is a real model change.  Wall-clock throughput
+(``apps_per_second``) and cache ``hit_rate`` are machine- and
+state-dependent, so they are recorded as *informational*: reported,
+never gating.
+
+Usage::
+
+    python tools/bench_baseline.py record  [--apps 6] [--scale 0.1] [--out PATH]
+    python tools/bench_baseline.py compare [--baseline PATH] [--tolerance 0.02]
+
+``compare`` re-runs with the corpus parameters recorded in the
+baseline unless ``--apps``/``--scale`` override them.  Exit codes:
+0 = within tolerance, 1 = regression, 2 = usage/missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro  # noqa: F401
+
+#: Bump when the baseline JSON layout changes.
+BASELINE_SCHEMA = 1
+
+DEFAULT_BASELINE = "benchmarks/results/BENCH_baseline.json"
+
+#: Gating metrics and the direction that counts as a regression.
+#: "lower": higher-than-baseline is a regression (modeled times).
+#: "higher": lower-than-baseline is a regression (speedups).
+METRICS = {
+    "plain_s": "lower",
+    "mat_s": "lower",
+    "grp_s": "lower",
+    "full_s": "lower",
+    "cpu_s": "lower",
+    "plain_vs_cpu": "higher",
+    "mat_speedup": "higher",
+    "grp_speedup": "higher",
+    "mer_speedup": "higher",
+    "gdroid_speedup": "higher",
+    "memory_ratio": "lower",
+}
+
+#: Machine/state-dependent metrics: recorded and reported, never gating.
+INFORMATIONAL = ("apps_per_second", "hit_rate")
+
+
+def collect_metrics(rows: Sequence[Any], stats: Any) -> Dict[str, Any]:
+    """Headline metric means over one evaluated corpus slice."""
+    from repro.bench.harness import AppEvaluation
+
+    evaluations = [row for row in rows if isinstance(row, AppEvaluation)]
+    if not evaluations:
+        raise ValueError("no evaluated rows to record")
+    metrics = {
+        name: statistics.mean(getattr(row, name) for row in evaluations)
+        for name in METRICS
+    }
+    informational = {
+        "apps_per_second": stats.apps_per_second if stats else 0.0,
+        "hit_rate": stats.hit_rate if stats else 0.0,
+    }
+    return {"metrics": metrics, "informational": informational}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's baseline-vs-current comparison."""
+
+    metric: str
+    baseline: float
+    current: float
+    #: Signed relative change: (current - baseline) / baseline.
+    relative: float
+    direction: str
+    regressed: bool
+    improved: bool
+
+    def describe(self) -> str:
+        state = (
+            "REGRESSION"
+            if self.regressed
+            else ("improved" if self.improved else "ok")
+        )
+        return (
+            f"{self.metric:16s} {self.baseline:12.6g} -> "
+            f"{self.current:12.6g}  ({self.relative:+.2%})  {state}"
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Full comparator result for one baseline/current pair."""
+
+    deltas: List[Delta]
+    tolerance: float
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.improved]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_metrics(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Comparison:
+    """Flag gating metrics that drifted beyond ``tolerance``.
+
+    Drift in the *bad* direction (per :data:`METRICS`) beyond the
+    tolerance is a regression; drift in the good direction beyond the
+    tolerance is reported as an improvement (a hint to re-record the
+    baseline) but never fails the comparison.
+    """
+    deltas: List[Delta] = []
+    for metric, direction in METRICS.items():
+        if metric not in baseline or metric not in current:
+            continue
+        base = float(baseline[metric])
+        now = float(current[metric])
+        relative = (now - base) / base if base else 0.0
+        bad = relative > tolerance if direction == "lower" else relative < -tolerance
+        good = relative < -tolerance if direction == "lower" else relative > tolerance
+        deltas.append(
+            Delta(
+                metric=metric,
+                baseline=base,
+                current=now,
+                relative=relative,
+                direction=direction,
+                regressed=bad,
+                improved=good,
+            )
+        )
+    return Comparison(deltas=deltas, tolerance=tolerance)
+
+
+def _evaluate(apps: int, scale: float, jobs: Optional[int], no_cache: bool):
+    from repro.apk.corpus import AppCorpus
+    from repro.apk.generator import GeneratorProfile
+    from repro.bench.harness import evaluate_corpus, last_run_stats
+
+    corpus = AppCorpus(size=apps, profile=GeneratorProfile(scale=scale))
+    rows = evaluate_corpus(corpus, jobs=jobs, no_cache=no_cache)
+    return rows, last_run_stats()
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    rows, stats = _evaluate(args.apps, args.scale, args.jobs, args.no_cache)
+    collected = collect_metrics(rows, stats)
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "version": repro.__version__,
+        "corpus": {"apps": args.apps, "scale": args.scale},
+        "metrics": collected["metrics"],
+        "informational": collected["informational"],
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(baseline, sort_keys=True, indent=2) + "\n")
+    print(f"recorded baseline of {len(METRICS)} gating metrics to {out}")
+    for name, value in sorted(baseline["metrics"].items()):
+        print(f"  {name:16s} {value:12.6g}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    path = Path(args.baseline)
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load baseline {path}: {error}", file=sys.stderr)
+        return 2
+    corpus = baseline.get("corpus", {})
+    apps = args.apps or int(corpus.get("apps", 6))
+    scale = args.scale or float(corpus.get("scale", 0.1))
+
+    rows, stats = _evaluate(apps, scale, args.jobs, args.no_cache)
+    collected = collect_metrics(rows, stats)
+    comparison = compare_metrics(
+        baseline.get("metrics", {}), collected["metrics"], args.tolerance
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "tolerance": comparison.tolerance,
+                    "ok": comparison.ok,
+                    "deltas": [vars(delta) for delta in comparison.deltas],
+                    "informational": {
+                        "baseline": baseline.get("informational", {}),
+                        "current": collected["informational"],
+                    },
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"baseline {path} ({apps} apps, scale {scale}), "
+            f"tolerance {args.tolerance:.1%}:"
+        )
+        for delta in comparison.deltas:
+            print(f"  {delta.describe()}")
+        base_info = baseline.get("informational", {})
+        for name in INFORMATIONAL:
+            print(
+                f"  {name:16s} {base_info.get(name, 0.0):12.6g} -> "
+                f"{collected['informational'][name]:12.6g}  (informational)"
+            )
+        if comparison.regressions:
+            names = ", ".join(d.metric for d in comparison.regressions)
+            print(f"REGRESSION beyond {args.tolerance:.1%}: {names}")
+        elif comparison.improvements:
+            names = ", ".join(d.metric for d in comparison.improvements)
+            print(f"ok (improvements worth re-recording: {names})")
+        else:
+            print("ok: all gating metrics within tolerance")
+    return 0 if comparison.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_baseline",
+        description="record / compare the benchmark headline baseline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("record", "compare"):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--apps", type=int, default=6 if name == "record" else 0)
+        cmd.add_argument(
+            "--scale", type=float, default=0.1 if name == "record" else 0.0
+        )
+        cmd.add_argument("--jobs", type=int, default=None)
+        cmd.add_argument("--no-cache", action="store_true")
+    sub.choices["record"].add_argument("--out", default=DEFAULT_BASELINE)
+    compare = sub.choices["compare"]
+    compare.add_argument("--baseline", default=DEFAULT_BASELINE)
+    compare.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="relative drift allowed before a gating metric regresses",
+    )
+    compare.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"record": cmd_record, "compare": cmd_compare}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
