@@ -8,6 +8,8 @@ Subcommands::
     gdroid corpus    --apps 20 [--scale 1.0]      # Table I statistics
     gdroid bench     --apps 12 [--scale 1.0]      # headline figure rows
     gdroid stats     --apps 8  [--scale 1.0]      # run-ledger profile
+    gdroid serve     --soak --apps 24 --inject worker-crash,oom
+    gdroid submit    app.gdx [more.gdx ...] --json
 
 All times are *modeled* seconds on the simulated Tesla P40 / Xeon
 hosts; see DESIGN.md for the substitution rationale.
@@ -16,8 +18,10 @@ hosts; see DESIGN.md for the substitution rationale.
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.apk.corpus import AppCorpus
@@ -136,6 +140,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PREFIX", default=None,
         help="also write PREFIX.trace.json and PREFIX.ledger.json",
     )
+    stats.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="render an existing run-ledger JSON instead of sweeping",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the async sharded vetting service over a corpus"
+    )
+    serve.add_argument("--apps", type=int, default=24)
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument(
+        "--workers", type=int, default=4, help="simulated device workers"
+    )
+    serve.add_argument(
+        "--soak", action="store_true",
+        help="soak mode: exit non-zero unless zero jobs were lost or "
+        "duplicated (fault-injection endurance run)",
+    )
+    serve.add_argument(
+        "--inject", default="", metavar="KINDS",
+        help="comma-separated fault kinds to inject "
+        "(worker-crash, oom, corrupt-apk, stall)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=2020,
+        help="seed of the deterministic fault schedule",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=32,
+        help="admission window (pending jobs before backpressure)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=4,
+        help="processing attempts per job before it fails",
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-job wall-clock timeout (default: none)",
+    )
+    serve.add_argument(
+        "--strict", action="store_true",
+        help="lint-gate every app (rejections become structured rows)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full JSON job records instead of the summary",
+    )
+    serve.add_argument(
+        "--profile", metavar="PREFIX", default=None,
+        help="trace the run; writes PREFIX.trace.json and "
+        "PREFIX.ledger.json with every retry/fallback counter",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit .gdx files to an inline vetting service"
+    )
+    submit.add_argument("apps", nargs="+", help="input .gdx paths")
+    submit.add_argument("--workers", type=int, default=2)
+    submit.add_argument("--max-attempts", type=int, default=4)
+    submit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print JSON job records instead of one line per job",
+    )
 
     report = sub.add_parser(
         "report", help="aggregate persisted benchmark results to markdown"
@@ -251,18 +318,28 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_profile(tracer, prefix: str, run_stats) -> None:
-    """Export a finished tracer as Chrome-trace + run-ledger JSON."""
+def _write_profile(tracer, prefix: str, run_stats) -> bool:
+    """Export a finished tracer as Chrome-trace + run-ledger JSON.
+
+    Returns False (after an error message, not a traceback) when the
+    profile destination is unwritable; the caller decides the exit
+    code so the run's own output still lands first.
+    """
     from repro.obs.export import export_chrome_trace, export_run_ledger
 
     trace_path = f"{prefix}.trace.json"
     ledger_path = f"{prefix}.ledger.json"
-    events = export_chrome_trace(tracer, trace_path)
-    ledger = export_run_ledger(tracer, ledger_path, run_stats=run_stats)
+    try:
+        events = export_chrome_trace(tracer, trace_path)
+        ledger = export_run_ledger(tracer, ledger_path, run_stats=run_stats)
+    except OSError as error:
+        print(f"error: cannot write profile: {error}", file=sys.stderr)
+        return False
     print(
         f"wrote {trace_path} ({events} trace events), "
         f"{ledger_path} ({ledger['span_count']} spans)"
     )
+    return True
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -285,8 +362,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     stats = last_run_stats()
     if stats is not None:
         print(stats.summary())
-    if tracer is not None:
-        _write_profile(tracer, args.profile, stats)
+    if tracer is not None and not _write_profile(tracer, args.profile, stats):
+        return 1
     from repro.bench.harness import AppEvaluation
 
     rows = [r for r in all_rows if isinstance(r, AppEvaluation)]
@@ -314,6 +391,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.bench.harness import evaluate_corpus, last_run_stats
     from repro.obs.export import render_ledger, run_ledger
 
+    if args.ledger is not None:
+        # Offline mode: render a previously exported run ledger.
+        try:
+            document = json.loads(Path(args.ledger).read_text())
+        except OSError as error:
+            print(f"error: {args.ledger}: {error}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            print(
+                f"error: {args.ledger}: corrupt ledger JSON ({error})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            rendered = (
+                json.dumps(document, sort_keys=True, indent=2)
+                if args.as_json
+                else render_ledger(document)
+            )
+        except (KeyError, TypeError, AttributeError):
+            print(
+                f"error: {args.ledger}: not a run-ledger document "
+                "(missing stages/spans/counters)",
+                file=sys.stderr,
+            )
+            return 2
+        print(rendered)
+        return 0
+
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
     )
@@ -329,9 +435,83 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if stats is not None:
             print(stats.summary())
         print(render_ledger(ledger))
-    if args.profile:
-        _write_profile(tracer, args.profile, stats)
+    if args.profile and not _write_profile(tracer, args.profile, stats):
+        return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.serve import ServeConfig, parse_inject, run_soak
+
+    try:
+        inject = parse_inject(args.inject)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_attempts=args.max_attempts,
+        timeout_s=args.timeout_s,
+        strict=args.strict,
+    )
+    corpus = AppCorpus(
+        size=args.apps, profile=GeneratorProfile(scale=args.scale)
+    )
+    tracer = obs.Tracer() if args.profile else None
+    if tracer is not None:
+        obs.activate(tracer)
+    try:
+        report = run_soak(
+            corpus, config=config, inject=inject, fault_seed=args.fault_seed
+        )
+    finally:
+        if tracer is not None:
+            obs.deactivate()
+    if args.as_json:
+        print(json.dumps(report.to_json(), sort_keys=True, indent=2))
+    else:
+        print(report.summary())
+    if tracer is not None and not _write_profile(tracer, args.profile, None):
+        return 1
+    if args.soak and not report.ok:
+        print(
+            f"error: soak failed: {report.lost} lost, "
+            f"{report.duplicates} duplicated jobs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeConfig, submit_paths
+
+    config = ServeConfig(
+        workers=args.workers, max_attempts=args.max_attempts
+    )
+    report = submit_paths(args.apps, config=config)
+    if args.as_json:
+        print(json.dumps(report.to_json(), sort_keys=True, indent=2))
+    else:
+        for job in report.jobs:
+            verdict = job.verdict or "-"
+            detail = (
+                f"risk {job.risk_score}/10"
+                if job.risk_score is not None
+                else (job.error or "no result")
+            )
+            print(
+                f"{job.job_id}  {job.package:24s} {job.state:8s} "
+                f"{verdict:16s} {detail} "
+                f"[{job.engine or '-'}, {job.attempts} attempts]"
+            )
+    return 0 if report.ok and report.failed == 0 else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -384,10 +564,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "corpus": _cmd_corpus,
         "bench": _cmd_bench,
         "stats": _cmd_stats,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "report": _cmd_report,
         "tune": _cmd_tune,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an
+        # error worth a traceback.  Detach stdout so the interpreter's
+        # shutdown flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -36,6 +36,40 @@ SUMMARY_BYTES = 512
 EXCHANGE_LATENCY_S = 25e-6
 
 
+def lpt_assignment(
+    costs: List[float],
+    buckets: int,
+    initial_loads: Optional[List[float]] = None,
+) -> List[List[int]]:
+    """Longest-Processing-Time placement of ``costs`` into ``buckets``.
+
+    Returns, per bucket, the indices of the costs assigned to it:
+    items are taken heaviest-first and each goes to the currently
+    least-loaded bucket.  ``initial_loads`` seeds the bucket loads, so
+    callers can re-balance onto buckets that already carry work (the
+    serving sharder assigns new batches against live worker queues).
+    Shared by :class:`MultiGPUEngine` (blocks onto devices within one
+    layer), :func:`corpus_throughput_cycles` (whole apps onto devices),
+    and :mod:`repro.serve` (job batches onto device workers).
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    loads = list(initial_loads) if initial_loads else [0.0] * buckets
+    if len(loads) != buckets:
+        raise ValueError("initial_loads length must equal buckets")
+    heap: List[Tuple[float, int]] = [
+        (load, index) for index, load in enumerate(loads)
+    ]
+    heapq.heapify(heap)
+    assignment: List[List[int]] = [[] for _ in range(buckets)]
+    order = sorted(range(len(costs)), key=lambda i: costs[i], reverse=True)
+    for item in order:
+        load, bucket = heapq.heappop(heap)
+        assignment[bucket].append(item)
+        heapq.heappush(heap, (load + costs[item], bucket))
+    return assignment
+
+
 @dataclass(frozen=True)
 class MultiGPUResult:
     """Modeled multi-GPU run."""
@@ -78,20 +112,17 @@ class MultiGPUEngine:
             if not layer_blocks:
                 continue
             # Partition the layer's blocks across devices (LPT) ...
-            per_device: List[List] = [[] for _ in range(self.devices)]
-            heap: List[Tuple[float, int]] = [
-                (0.0, index) for index in range(self.devices)
-            ]
-            heapq.heapify(heap)
             priced = []
             for assignment in layer_blocks:
                 result = result_by_block[assignment.block_id]
                 trace = select_trace(result, config)
                 priced.append(price_block(trace, config, result.seed_sizes))
-            for cost in sorted(priced, key=lambda c: c.cycles, reverse=True):
-                load, device = heapq.heappop(heap)
-                per_device[device].append(cost)
-                heapq.heappush(heap, (load + cost.cycles, device))
+            placement = lpt_assignment(
+                [cost.cycles for cost in priced], self.devices
+            )
+            per_device: List[List] = [
+                [priced[item] for item in items] for items in placement
+            ]
             # ... each device schedules its share onto its own SMs; the
             # layer ends when the slowest device finishes.
             layer_makespan = 0.0
@@ -148,9 +179,9 @@ def corpus_throughput_cycles(
     """
     if devices < 1:
         raise ValueError("need at least one device")
-    heap: List[Tuple[float, int]] = [(0.0, index) for index in range(devices)]
-    heapq.heapify(heap)
-    for cycles in sorted(app_cycles, reverse=True):
-        load, device = heapq.heappop(heap)
-        heapq.heappush(heap, (load + cycles, device))
-    return max(load for load, _ in heap) if app_cycles else 0.0
+    if not app_cycles:
+        return 0.0
+    placement = lpt_assignment(list(app_cycles), devices)
+    return max(
+        sum(app_cycles[item] for item in items) for items in placement
+    )

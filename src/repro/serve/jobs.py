@@ -1,0 +1,101 @@
+"""Job records: the unit of work the vetting service tracks.
+
+A :class:`VetJob` is one app travelling through the service.  It is a
+mutable record: the service and its workers update the state machine
+
+    pending -> admitted -> assigned -> running -> done | failed
+                              ^                     |
+                              +---- retry-wait <----+  (retryable fault)
+
+and append to the audit fields (workers visited, faults hit, backoff
+delays slept) as the job progresses.  ``to_json`` renders the record
+for the ``gdroid serve`` / ``gdroid submit`` CLIs, so every field here
+is part of the service's machine-readable surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.harness import EvaluationRow
+
+
+class JobState:
+    """The job state machine's vocabulary (plain strings, JSON-ready)."""
+
+    PENDING = "pending"
+    ADMITTED = "admitted"
+    ASSIGNED = "assigned"
+    RUNNING = "running"
+    RETRY_WAIT = "retry-wait"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: States a job never leaves.
+    TERMINAL = (DONE, FAILED)
+
+
+@dataclass
+class VetJob:
+    """One app's journey through the vetting service."""
+
+    job_id: str
+    #: Index into the service's app source (corpus index / path ordinal).
+    index: int
+    package: str
+    #: ``"corpus"`` or the submitted file path.
+    source: str
+    #: Placement cost estimate (CFG nodes; file bytes for path jobs).
+    est_cost: float
+    #: Table-I size class: ``small`` / ``medium`` / ``large``.
+    size_class: str
+    state: str = JobState.PENDING
+    #: Processing attempts started (first run counts as attempt 1).
+    attempts: int = 0
+    max_attempts: int = 4
+    #: Worker id of every attempt, in order.
+    workers: List[int] = field(default_factory=list)
+    #: Fault kinds this job hit, in order (may repeat).
+    faults: List[str] = field(default_factory=list)
+    #: Backoff delays slept between attempts (seconds).
+    backoffs_s: List[float] = field(default_factory=list)
+    #: Engine that served the final result (degradation ladder rung).
+    engine: Optional[str] = None
+    #: The harness row (AppEvaluation or LintErrorRow) once evaluated.
+    row: Optional["EvaluationRow"] = None
+    #: Vetting verdict / risk when the service runs the taint plugin.
+    verdict: Optional[str] = None
+    risk_score: Optional[int] = None
+    #: Modeled single-app latency on the serving engine (seconds).
+    modeled_latency_s: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def to_json(self) -> Dict[str, Any]:
+        """The CLI's JSON job record (stable key set, sorted dumps)."""
+        return {
+            "job_id": self.job_id,
+            "index": self.index,
+            "package": self.package,
+            "source": self.source,
+            "size_class": self.size_class,
+            "state": self.state,
+            "attempts": self.attempts,
+            "workers": list(self.workers),
+            "faults": list(self.faults),
+            "backoffs_s": [round(b, 6) for b in self.backoffs_s],
+            "engine": self.engine,
+            "verdict": self.verdict,
+            "risk_score": self.risk_score,
+            "modeled_latency_s": self.modeled_latency_s,
+            "error": self.error,
+        }

@@ -1,0 +1,69 @@
+"""Bounded intake queue with admission control and backpressure.
+
+The service's front door.  Capacity is the service's *admission
+window*: jobs beyond it are either rejected immediately
+(:meth:`AdmissionQueue.try_submit`, for callers that must not block --
+the CLI reports the rejection) or absorbed by backpressure
+(:meth:`AdmissionQueue.submit`, which awaits a free slot -- the soak
+driver's steady drip).  The queue only covers *intake*: once the
+sharder drains a job and assigns it to a worker, its slot is free, so
+retries of already-admitted jobs never re-enter admission (a retry
+must not be lost to a full queue).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a non-blocking submit finds the queue full."""
+
+
+class AdmissionQueue:
+    """An ``asyncio.Queue`` with admission accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.admitted = 0
+        self.rejected = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def full(self) -> bool:
+        return self._queue.full()
+
+    def _record_admit(self) -> None:
+        self.admitted += 1
+        depth = self._queue.qsize()
+        if depth > self.high_water:
+            self.high_water = depth
+
+    async def submit(self, item: Any) -> None:
+        """Admit ``item``, awaiting a free slot (backpressure)."""
+        await self._queue.put(item)
+        self._record_admit()
+
+    def try_submit(self, item: Any) -> None:
+        """Admit ``item`` or raise :class:`AdmissionError` right away."""
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise AdmissionError(
+                f"admission window full ({self.capacity} jobs pending)"
+            ) from None
+        self._record_admit()
+
+    async def get(self) -> Any:
+        return await self._queue.get()
+
+    def get_nowait(self) -> Any:
+        return self._queue.get_nowait()

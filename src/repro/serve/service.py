@@ -1,0 +1,491 @@
+"""The asyncio batch-vetting service orchestrator.
+
+``VettingService`` fronts the existing analysis pipeline (loader ->
+lint gate -> GDroid kernel -> vetting report) with the robustness
+layer a long-running vetting deployment needs:
+
+* a bounded intake queue with admission control and backpressure
+  (:mod:`repro.serve.queue`);
+* a sharding dispatcher that batches small apps per Table-I size class
+  and LPT-places batches onto N simulated device workers
+  (:mod:`repro.serve.sharder`, reusing the multi-GPU placement);
+* per-job retry with exponential backoff + deterministic jitter, and
+  an optional per-job timeout;
+* pluggable fault injection (:mod:`repro.serve.faults`) driving the
+  crash / OOM / corrupt-APK / stall paths in tests and soak runs;
+* graceful degradation: an OOM marks a device unhealthy and its worker
+  falls down the engine ladder (GDroid -> plain GPU -> multicore CPU)
+  instead of going dark (:mod:`repro.serve.workers`).
+
+Everything is observable: the run is wrapped in :mod:`repro.obs` spans
+and counters, so ``gdroid serve --soak --profile P`` exports one
+timeline covering admissions, dispatches, retries and fallbacks.
+
+Accounting invariant: every submitted job reaches exactly one terminal
+state.  :class:`SoakReport` exposes ``lost`` and ``duplicates`` so a
+soak can assert both are zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from repro import obs
+from repro.apk.corpus import AppCorpus
+from repro.serve.faults import (
+    CORRUPT_APK,
+    DEVICE_OOM,
+    FaultInjector,
+    NULL_INJECTOR,
+    TIMEOUT,
+    WORKER_CRASH,
+    build_injector,
+)
+from repro.serve.jobs import JobState, VetJob
+from repro.serve.queue import AdmissionQueue
+from repro.serve.sharder import JobBatch, Sharder, classify, make_batches
+from repro.serve.workers import DeviceWorker, PipelineResult
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one service instance."""
+
+    workers: int = 4
+    #: Admission window: pending jobs the intake queue will hold.
+    queue_capacity: int = 32
+    #: Total processing attempts per job (first run included).
+    max_attempts: int = 4
+    #: Exponential backoff: base * 2^(attempt-1), capped, jittered.
+    backoff_base_s: float = 0.005
+    backoff_cap_s: float = 0.25
+    #: Jitter span as a fraction of the delay (0.5 => 50%..100%).
+    backoff_jitter: float = 0.5
+    #: Seed for the deterministic backoff jitter.
+    retry_seed: int = 7
+    #: Small-app batch width (Table-I size classes).
+    small_batch_max: int = 4
+    #: Per-job wall-clock timeout (None = no timeout).
+    timeout_s: Optional[float] = None
+    #: Crash-restart delay for a dead worker.
+    restart_delay_s: float = 0.002
+    #: Lint-gate every app (rejections become LintErrorRow results).
+    strict: bool = False
+    #: Run the taint/vetting plugin and record verdicts.
+    vet: bool = True
+
+
+class CorpusSource:
+    """App source backed by a deterministic generated corpus."""
+
+    def __init__(self, corpus: AppCorpus) -> None:
+        self.corpus = corpus
+        # The sharder needs sizes before evaluation and the worker the
+        # app itself; memoise so each corpus app generates once.
+        self._app = functools.lru_cache(maxsize=512)(corpus.app)
+
+    def jobs(self, count: Optional[int] = None) -> List[VetJob]:
+        count = self.corpus.size if count is None else count
+        jobs = []
+        for index in range(count):
+            app = self._app(index)
+            nodes = app.describe()["cfg_nodes"]
+            jobs.append(
+                VetJob(
+                    job_id=f"job-{index:04d}",
+                    index=index,
+                    package=app.package,
+                    source="corpus",
+                    est_cost=float(nodes),
+                    size_class=classify(nodes),
+                )
+            )
+        return jobs
+
+    def app_for(self, job: VetJob):
+        return self._app(job.index)
+
+
+class PathSource:
+    """App source backed by submitted ``.gdx`` files."""
+
+    def __init__(self, paths: Sequence[str]) -> None:
+        self.paths = [str(path) for path in paths]
+
+    def jobs(self) -> List[VetJob]:
+        jobs = []
+        for index, path in enumerate(self.paths):
+            try:
+                size = float(Path(path).stat().st_size)
+            except OSError:
+                size = 0.0
+            jobs.append(
+                VetJob(
+                    job_id=f"job-{index:04d}",
+                    index=index,
+                    package=Path(path).stem,
+                    source=path,
+                    # File bytes proxy CFG nodes well enough for LPT.
+                    est_cost=size,
+                    size_class=classify(size / 12.0),
+                )
+            )
+        return jobs
+
+    def app_for(self, job: VetJob):
+        from repro.apk.loader import load_gdx
+
+        return load_gdx(self.paths[job.index])
+
+
+@dataclass
+class SoakReport:
+    """Everything one service run produced."""
+
+    jobs: List[VetJob]
+    counters: Dict[str, float]
+    wall_s: float
+    workers: int
+
+    @property
+    def submitted(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for job in self.jobs if job.state == JobState.DONE)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for job in self.jobs if job.state == JobState.FAILED)
+
+    @property
+    def lost(self) -> int:
+        """Jobs that never reached a terminal state (must be zero)."""
+        return sum(1 for job in self.jobs if not job.terminal)
+
+    @property
+    def duplicates(self) -> int:
+        """Terminal transitions beyond the first (must be zero)."""
+        return int(self.counters.get("serve.duplicate_finishes", 0))
+
+    @property
+    def ok(self) -> bool:
+        return self.lost == 0 and self.duplicates == 0
+
+    def rows(self) -> Dict[int, Any]:
+        """Harness rows by job index (jobs that produced one)."""
+        return {
+            job.index: job.row for job in self.jobs if job.row is not None
+        }
+
+    def summary(self) -> str:
+        """Human-readable soak digest for the CLI."""
+        retries = int(self.counters.get("serve.retries", 0))
+        crashes = int(self.counters.get("serve.worker_crashes", 0))
+        ooms = int(self.counters.get("serve.oom_events", 0))
+        corrupt = int(self.counters.get("serve.corrupt_apks", 0))
+        timeouts = int(self.counters.get("serve.timeouts", 0))
+        degraded = sum(
+            int(value)
+            for name, value in self.counters.items()
+            if name.startswith("serve.fallback.")
+        )
+        latencies = [
+            job.modeled_latency_s
+            for job in self.jobs
+            if job.modeled_latency_s is not None
+        ]
+        modeled = sum(latencies)
+        lines = [
+            f"serve run: {self.submitted} jobs on {self.workers} workers "
+            f"in {self.wall_s:.2f}s wall",
+            f"  terminal: {self.completed} done, {self.failed} failed, "
+            f"{self.lost} lost, {self.duplicates} duplicated",
+            f"  faults: {crashes} worker crashes, {ooms} OOMs, "
+            f"{corrupt} corrupt APKs, {timeouts} timeouts -> "
+            f"{retries} retries",
+            f"  degraded serves: {degraded} "
+            f"(modeled device time {modeled * 1e3:.2f} ms"
+            + (
+                f", mean {modeled / len(latencies) * 1e3:.2f} ms/app)"
+                if latencies
+                else ")"
+            ),
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "jobs": [job.to_json() for job in self.jobs],
+            "counters": dict(sorted(self.counters.items())),
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "ok": self.ok,
+        }
+
+
+class VettingService:
+    """Asyncio orchestrator tying queue, sharder, workers and faults."""
+
+    def __init__(
+        self,
+        source,
+        config: Optional[ServeConfig] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.source = source
+        self.config = config or ServeConfig()
+        self.injector = injector or NULL_INJECTOR
+        self.counters: Dict[str, float] = {}
+        self.sharder = Sharder(self.config.workers)
+        self._workers: List[DeviceWorker] = []
+        self._intake: Optional[AdmissionQueue] = None
+        self._terminal = 0
+        self._total = 0
+        self._all_done: Optional[asyncio.Event] = None
+        self._retry_tasks: List[asyncio.Task] = []
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        obs.count(name, value)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self, jobs: Sequence[VetJob]) -> SoakReport:
+        """Synchronous front door: drive :meth:`serve` to completion."""
+        return asyncio.run(self.serve(jobs))
+
+    async def serve(self, jobs: Sequence[VetJob]) -> SoakReport:
+        """Admit, shard, process and retry ``jobs`` until all terminal."""
+        config = self.config
+        self._total = len(jobs)
+        self._terminal = 0
+        self._all_done = asyncio.Event()
+        if not jobs:
+            self._all_done.set()
+        self._intake = AdmissionQueue(config.queue_capacity)
+        self._workers = [
+            DeviceWorker(worker_id, self)
+            for worker_id in range(config.workers)
+        ]
+        started = time.perf_counter()
+        with obs.span(
+            "serve.run",
+            category="serve",
+            jobs=len(jobs),
+            workers=config.workers,
+        ):
+            worker_tasks = [
+                asyncio.ensure_future(worker.run())
+                for worker in self._workers
+            ]
+            dispatcher = asyncio.ensure_future(self._dispatch_loop())
+            try:
+                for job in jobs:
+                    # Backpressure: the submitter waits for window space.
+                    job.state = JobState.ADMITTED
+                    await self._intake.submit(job)
+                    self._count("serve.submitted")
+                await self._all_done.wait()
+            finally:
+                dispatcher.cancel()
+                for task in self._retry_tasks:
+                    task.cancel()
+                for worker in self._workers:
+                    worker.queue.put_nowait(None)
+                await asyncio.gather(*worker_tasks, return_exceptions=True)
+        self._count("serve.queue_high_water", self._intake.high_water)
+        if self._intake.rejected:
+            self._count("serve.rejected", self._intake.rejected)
+        return SoakReport(
+            jobs=list(jobs),
+            counters=dict(self.counters),
+            wall_s=time.perf_counter() - started,
+            workers=config.workers,
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain intake in waves, batch, and LPT-place onto workers."""
+        assert self._intake is not None
+        while True:
+            wave = [await self._intake.get()]
+            while True:
+                try:
+                    wave.append(self._intake.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            batches = make_batches(wave, self.config.small_batch_max)
+            self._count("serve.batches", len(batches))
+            self._place(batches)
+
+    def _place(self, batches: Sequence[JobBatch]) -> None:
+        loads = [worker.load for worker in self._workers]
+        placement = self.sharder.assign(batches, loads)
+        for worker, worker_batches in zip(self._workers, placement):
+            for batch in worker_batches:
+                for job in batch.jobs:
+                    job.state = JobState.ASSIGNED
+                    worker.load += job.est_cost
+                worker.queue.put_nowait(batch)
+                self._count("serve.dispatched", len(batch.jobs))
+
+    def _redispatch(self, job: VetJob) -> None:
+        """Re-place one retried job (already admitted: bypass intake)."""
+        self._place([JobBatch(jobs=[job])])
+
+    # -- outcome hooks (called by workers) -------------------------------------
+
+    def _finish(self, job: VetJob, state: str) -> None:
+        if job.terminal:
+            # A terminal job finishing again would be a duplicated
+            # result; count it loudly instead of silently overwriting.
+            self._count("serve.duplicate_finishes")
+            return
+        job.state = state
+        self._terminal += 1
+        self._count(
+            "serve.completed" if state == JobState.DONE else "serve.failed"
+        )
+        if self._terminal >= self._total and self._all_done is not None:
+            self._all_done.set()
+
+    def on_job_success(
+        self, job: VetJob, worker: DeviceWorker, result: PipelineResult
+    ) -> None:
+        job.row = result.row
+        job.verdict = result.verdict
+        job.risk_score = result.risk_score
+        job.modeled_latency_s = result.latency_s
+        job.engine = worker.engine
+        if not worker.healthy:
+            self._count(f"serve.fallback.{worker.engine}")
+        self._finish(job, JobState.DONE)
+
+    def on_corrupt_apk(
+        self, job: VetJob, worker: DeviceWorker, error: str
+    ) -> None:
+        """Corrupt container: deterministic, so fail without retrying."""
+        job.faults.append(CORRUPT_APK)
+        job.error = f"corrupt apk: {error}"
+        job.engine = worker.engine
+        self._count("serve.corrupt_apks")
+        self._finish(job, JobState.FAILED)
+
+    def on_device_oom(
+        self, job: VetJob, worker: DeviceWorker, engine: str, error: str
+    ) -> None:
+        """Device heap blew: degrade the worker, retry the job."""
+        self._count("serve.oom_events")
+        self._count("serve.degraded")
+        self._retry_or_fail(job, DEVICE_OOM, f"device OOM: {error}")
+
+    def on_job_fault(
+        self, job: VetJob, worker: DeviceWorker, kind: str, error: str
+    ) -> None:
+        if kind == TIMEOUT:
+            self._count("serve.timeouts")
+        self._retry_or_fail(job, kind, error)
+
+    def on_worker_crash(
+        self, worker: DeviceWorker, unfinished: Sequence[VetJob]
+    ) -> None:
+        """A worker died mid-batch: retry every job the batch still owns.
+
+        Jobs in ``retry-wait`` are *not* owned by the batch any more --
+        a pending retry task holds them, and retrying here too would
+        double-dispatch (duplicated results, early completion).
+        """
+        self._count("serve.worker_crashes")
+        for job in unfinished:
+            if job.state not in (JobState.ASSIGNED, JobState.RUNNING):
+                continue
+            self._retry_or_fail(
+                job, WORKER_CRASH, f"worker {worker.worker_id} crashed"
+            )
+
+    # -- retry policy ----------------------------------------------------------
+
+    def _retry_or_fail(self, job: VetJob, kind: str, error: str) -> None:
+        job.faults.append(kind)
+        if job.attempts >= self.config.max_attempts:
+            job.error = f"retries exhausted after {kind}: {error}"
+            self._finish(job, JobState.FAILED)
+            return
+        self._count("serve.retries")
+        job.state = JobState.RETRY_WAIT
+        task = asyncio.ensure_future(self._retry_later(job))
+        self._retry_tasks.append(task)
+
+    def backoff_s(self, job_id: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        ``base * 2^(attempt-1)`` capped at ``backoff_cap_s``, then
+        scaled into ``[1-jitter, 1]`` by an RNG seeded from
+        ``(retry_seed, job_id, attempt)`` -- reproducible, yet
+        decorrelated across jobs so retry storms spread out.
+        """
+        config = self.config
+        raw = config.backoff_base_s * (2 ** max(0, attempt - 1))
+        capped = min(config.backoff_cap_s, raw)
+        rng = random.Random(f"{config.retry_seed}:{job_id}:{attempt}")
+        jitter = 1.0 - config.backoff_jitter * rng.random()
+        return capped * jitter
+
+    async def _retry_later(self, job: VetJob) -> None:
+        delay = self.backoff_s(job.job_id, job.attempts)
+        job.backoffs_s.append(delay)
+        self._count("serve.backoff_s", delay)
+        await asyncio.sleep(delay)
+        self._redispatch(job)
+
+
+# -- high-level entry points ---------------------------------------------------
+
+
+def run_soak(
+    corpus: AppCorpus,
+    apps: Optional[int] = None,
+    config: Optional[ServeConfig] = None,
+    inject: FrozenSet[str] = frozenset(),
+    fault_seed: int = 2020,
+    **fault_overrides,
+) -> SoakReport:
+    """Push a corpus slice through a fresh service instance.
+
+    ``inject`` lists fault kinds (see :mod:`repro.serve.faults`); the
+    schedule is deterministic in ``fault_seed``, the corpus identity
+    and the worker count.
+    """
+    config = config or ServeConfig()
+    source = CorpusSource(corpus)
+    count = corpus.size if apps is None else min(apps, corpus.size)
+    jobs = source.jobs(count)
+    injector = (
+        build_injector(
+            inject, fault_seed, len(jobs), config.workers, **fault_overrides
+        )
+        if inject
+        else NULL_INJECTOR
+    )
+    service = VettingService(source, config=config, injector=injector)
+    return service.run(jobs)
+
+
+def submit_paths(
+    paths: Sequence[str], config: Optional[ServeConfig] = None
+) -> SoakReport:
+    """Vet submitted ``.gdx`` files through a fresh service instance."""
+    source = PathSource(paths)
+    service = VettingService(source, config=config or ServeConfig())
+    return service.run(source.jobs())

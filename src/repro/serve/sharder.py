@@ -1,0 +1,116 @@
+"""Sharding: size-class batching and LPT placement onto device workers.
+
+Two stages, both deterministic:
+
+* :func:`make_batches` coalesces *small* apps (Table-I size classes,
+  thresholds relative to the paper's mean of 6217 CFG nodes) into
+  multi-job batches so per-dispatch overhead amortises, while medium
+  and large apps ship alone -- one straggler must not pin a batch of
+  quick jobs behind it.
+* :class:`Sharder` places batches onto the N simulated device workers
+  with the same Longest-Processing-Time heuristic the multi-GPU model
+  uses (:func:`repro.core.multigpu.lpt_assignment`), seeded with each
+  worker's live queue load so rebalancing accounts for work already in
+  flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.multigpu import lpt_assignment
+from repro.serve.jobs import VetJob
+
+#: Table-I size-class thresholds on CFG nodes.  The paper's corpus
+#: averages 6217 nodes/app; apps below a third of that are "small"
+#: (batchable), apps above twice it are "large" (always solo).
+SMALL_MAX_NODES = 2072
+LARGE_MIN_NODES = 12434
+
+SIZE_SMALL = "small"
+SIZE_MEDIUM = "medium"
+SIZE_LARGE = "large"
+
+
+def classify(cfg_nodes: float) -> str:
+    """Table-I size class of an app with ``cfg_nodes`` CFG nodes."""
+    if cfg_nodes <= SMALL_MAX_NODES:
+        return SIZE_SMALL
+    if cfg_nodes >= LARGE_MIN_NODES:
+        return SIZE_LARGE
+    return SIZE_MEDIUM
+
+
+_BATCH_IDS = itertools.count(1)
+
+
+@dataclass
+class JobBatch:
+    """One dispatch unit: jobs that travel to a worker together."""
+
+    jobs: List[VetJob]
+    batch_id: int = field(default_factory=lambda: next(_BATCH_IDS))
+
+    @property
+    def cost(self) -> float:
+        """Placement cost: summed per-job estimates."""
+        return sum(job.est_cost for job in self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def make_batches(
+    jobs: Sequence[VetJob], small_batch_max: int = 4
+) -> List[JobBatch]:
+    """Group jobs into dispatch batches, in submission order.
+
+    Small jobs coalesce up to ``small_batch_max`` per batch; any
+    medium/large job flushes the open small batch and ships alone.
+    """
+    if small_batch_max < 1:
+        raise ValueError("small_batch_max must be >= 1")
+    batches: List[JobBatch] = []
+    open_small: List[VetJob] = []
+    for job in jobs:
+        if job.size_class == SIZE_SMALL:
+            open_small.append(job)
+            if len(open_small) >= small_batch_max:
+                batches.append(JobBatch(jobs=open_small))
+                open_small = []
+        else:
+            if open_small:
+                batches.append(JobBatch(jobs=open_small))
+                open_small = []
+            batches.append(JobBatch(jobs=[job]))
+    if open_small:
+        batches.append(JobBatch(jobs=open_small))
+    return batches
+
+
+class Sharder:
+    """LPT batch placement across the service's device workers."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+
+    def assign(
+        self,
+        batches: Sequence[JobBatch],
+        loads: Sequence[float],
+    ) -> List[List[JobBatch]]:
+        """Per-worker batch lists, balancing against current ``loads``."""
+        if len(loads) != self.workers:
+            raise ValueError("one load per worker required")
+        placement = lpt_assignment(
+            [batch.cost for batch in batches],
+            self.workers,
+            initial_loads=list(loads),
+        )
+        return [
+            [batches[item] for item in items] for items in placement
+        ]

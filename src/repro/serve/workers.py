@@ -1,0 +1,255 @@
+"""Simulated device workers: pipeline execution + degradation ladder.
+
+Each :class:`DeviceWorker` models one GPU-equipped vetting node.  It
+owns a real :class:`repro.gpu.allocator.DeviceAllocator` (so injected
+OOM is a genuine :class:`DeviceOutOfMemory` from the device-heap
+model) and a position on the **engine ladder**:
+
+    gdroid  ->  plain-gpu  ->  multicore-cpu
+
+A healthy device serves with the full GDroid kernel; every OOM marks
+the device unhealthy and drops it one rung, trading modeled latency
+for survival (the paper's plain kernel, then the 10-core CPU model).
+A crash-restart resets the ladder -- a fresh device is presumed
+healthy.
+
+The *functional* result is engine-independent: every attempt runs the
+same :func:`repro.bench.harness.evaluate_app` matrix, so a row served
+by a degraded worker is bit-identical to one served at full health.
+The rung only selects which modeled platform time is reported as the
+job's serving latency, exactly like re-pointing a request at a slower
+replica.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro import obs
+from repro.apk.dex import pack_app, unpack_app
+from repro.core.engine import AppWorkload
+from repro.gpu.allocator import DeviceAllocator, DeviceOutOfMemory
+from repro.serve.faults import WorkerCrash
+from repro.serve.jobs import JobState, VetJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.app import AndroidApp
+    from repro.serve.service import VettingService
+
+#: Degradation ladder, healthiest first.
+ENGINE_GDROID = "gdroid"
+ENGINE_PLAIN = "plain-gpu"
+ENGINE_CPU = "multicore-cpu"
+ENGINE_LADDER = (ENGINE_GDROID, ENGINE_PLAIN, ENGINE_CPU)
+
+
+def engine_latency_s(row, engine: str) -> Optional[float]:
+    """Modeled single-app serving latency of ``row`` on ``engine``."""
+    from repro.bench.harness import AppEvaluation
+
+    if not isinstance(row, AppEvaluation):
+        return None
+    return {
+        ENGINE_GDROID: row.full_s,
+        ENGINE_PLAIN: row.plain_s,
+        ENGINE_CPU: row.cpu_s,
+    }[engine]
+
+
+@dataclass
+class PipelineResult:
+    """What one successful pipeline pass produces."""
+
+    row: object
+    verdict: Optional[str]
+    risk_score: Optional[int]
+    latency_s: Optional[float]
+
+
+def run_pipeline(
+    app: "AndroidApp",
+    index: int,
+    engine: str,
+    strict: bool,
+    vet: bool,
+) -> PipelineResult:
+    """loader -> lint gate -> GDroid kernel -> vetting report, once.
+
+    Mirrors :func:`repro.bench.harness.evaluate_or_lint_row` exactly so
+    service rows are bit-identical to a direct ``evaluate_corpus``
+    sweep: the workload is built with default tuning, and under
+    ``strict`` a lint rejection becomes a structured row instead of an
+    exception.
+    """
+    from repro.bench.harness import _lint_error_row, evaluate_app
+
+    if strict:
+        from repro.lint import LintError
+
+        try:
+            workload = AppWorkload.build(app, lint_gate=True)
+        except LintError as error:
+            return PipelineResult(
+                row=_lint_error_row(app, index, error),
+                verdict=None,
+                risk_score=None,
+                latency_s=None,
+            )
+    else:
+        workload = AppWorkload.build(app)
+    row = evaluate_app(app, workload)
+    latency = engine_latency_s(row, engine)
+    verdict = risk = None
+    if vet:
+        from repro.vetting.report import vet_workload
+
+        report = vet_workload(app, workload, analysis_time_s=latency or 0.0)
+        verdict, risk = report.verdict, report.risk_score
+    return PipelineResult(
+        row=row, verdict=verdict, risk_score=risk, latency_s=latency
+    )
+
+
+def corrupt_roundtrip(app: "AndroidApp") -> None:
+    """Model a corrupt APK: container round-trip with flipped magic.
+
+    Raises the loader's structured :class:`repro.apk.dex.GdxFormatError`,
+    the same failure a damaged ``.gdx`` file produces on disk.
+    """
+    blob = bytearray(pack_app(app))
+    blob[0] ^= 0xFF
+    unpack_app(bytes(blob))
+
+
+class DeviceWorker:
+    """One simulated vetting device consuming batches from its queue."""
+
+    def __init__(self, worker_id: int, service: "VettingService") -> None:
+        self.worker_id = worker_id
+        self.service = service
+        self.queue: asyncio.Queue = asyncio.Queue()
+        #: Outstanding placement cost (the sharder balances against it).
+        self.load = 0.0
+        self.rung = 0
+        self.jobs_started = 0
+        self.jobs_done = 0
+        self.crashes = 0
+        self.allocator = DeviceAllocator()
+
+    @property
+    def engine(self) -> str:
+        return ENGINE_LADDER[self.rung]
+
+    @property
+    def healthy(self) -> bool:
+        return self.rung == 0
+
+    def degrade(self) -> str:
+        """Mark the device unhealthy: drop one ladder rung (floor: CPU)."""
+        self.rung = min(self.rung + 1, len(ENGINE_LADDER) - 1)
+        return self.engine
+
+    def inject_oom(self) -> None:
+        """Blow the device heap through the real allocator model."""
+        self.allocator.reserve(self.allocator.spec.global_memory_bytes + 1)
+
+    async def run(self) -> None:
+        """Main loop: drain batches until the service sends ``None``."""
+        while True:
+            batch = await self.queue.get()
+            if batch is None:
+                return
+            try:
+                for job in batch.jobs:
+                    if job.state != JobState.ASSIGNED:
+                        # Terminal, or no longer owned by this batch (a
+                        # crash rehomed it): never attempt it here.
+                        self.load = max(0.0, self.load - job.est_cost)
+                        continue
+                    await self._attempt(job)
+                    self.load = max(0.0, self.load - job.est_cost)
+            except WorkerCrash:
+                self.crashes += 1
+                unfinished = [j for j in batch.jobs if not j.terminal]
+                for job in unfinished:
+                    self.load = max(0.0, self.load - job.est_cost)
+                self.service.on_worker_crash(self, unfinished)
+                # Restart: fresh device, fresh heap, healthy ladder.
+                self.rung = 0
+                self.allocator.reset()
+                await asyncio.sleep(self.service.config.restart_delay_s)
+
+    async def _attempt(self, job: VetJob) -> None:
+        """One processing attempt; faults propagate to the service."""
+        service = self.service
+        injector = service.injector
+        self.jobs_started += 1
+        job.state = JobState.RUNNING
+        job.attempts += 1
+        job.workers.append(self.worker_id)
+        started = self.jobs_started
+        if injector.should_crash(self.worker_id, started):
+            # The crash takes the whole in-flight batch down; the run
+            # loop requeues every unfinished job, this one included.
+            raise WorkerCrash(
+                f"worker {self.worker_id} crashed on job start"
+            )
+        try:
+            await asyncio.wait_for(
+                self._process(job), timeout=service.config.timeout_s
+            )
+        except asyncio.TimeoutError:
+            service.on_job_fault(job, self, "timeout", "per-job timeout hit")
+        except DeviceOutOfMemory as error:
+            engine = self.degrade()
+            service.on_device_oom(job, self, engine, str(error))
+        except Exception as error:  # noqa: BLE001 - jobs must stay accounted
+            # An unexpected pipeline error must never strand a job in a
+            # non-terminal state (that would hang the whole run): treat
+            # it like any other retryable fault.
+            service.on_job_fault(
+                job, self, "error", f"{type(error).__name__}: {error}"
+            )
+        else:
+            self.jobs_done += 1
+
+    async def _process(self, job: VetJob) -> None:
+        service = self.service
+        injector = service.injector
+        stall = injector.stall_seconds(job.index)
+        if stall:
+            await asyncio.sleep(stall)
+        with obs.span(
+            f"serve.job[{job.job_id}]#a{job.attempts}",
+            category="serve",
+            worker=self.worker_id,
+            engine=self.engine,
+            attempt=job.attempts,
+        ):
+            from repro.apk.dex import GdxFormatError
+
+            try:
+                app = service.source.app_for(job)
+            except (OSError, GdxFormatError) as error:
+                # A genuinely unreadable/corrupt .gdx on disk fails the
+                # same structured way an injected corruption does.
+                service.on_corrupt_apk(job, self, str(error))
+                return
+            if injector.is_corrupt(job.index):
+                try:
+                    corrupt_roundtrip(app)
+                except GdxFormatError as error:
+                    service.on_corrupt_apk(job, self, str(error))
+                    return
+            if injector.should_oom(self.worker_id, self.jobs_started):
+                self.inject_oom()
+            result = run_pipeline(
+                app,
+                job.index,
+                self.engine,
+                service.config.strict,
+                service.config.vet,
+            )
+        service.on_job_success(job, self, result)

@@ -80,3 +80,136 @@ def test_tune(gdx_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- stats/bench error paths ---------------------------------------------------
+
+
+def test_stats_ledger_missing_file(tmp_path, capsys):
+    missing = tmp_path / "nope.ledger.json"
+    assert main(["stats", "--ledger", str(missing)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_stats_ledger_corrupt_json(tmp_path, capsys):
+    bad = tmp_path / "mangled.ledger.json"
+    bad.write_text('{"stages": {,,')
+    assert main(["stats", "--ledger", str(bad)]) == 2
+    assert "corrupt ledger JSON" in capsys.readouterr().err
+
+
+def test_stats_ledger_wrong_document_shape(tmp_path, capsys):
+    wrong = tmp_path / "other.json"
+    wrong.write_text('{"traceEvents": []}')
+    assert main(["stats", "--ledger", str(wrong)]) == 2
+    assert "not a run-ledger document" in capsys.readouterr().err
+
+
+def test_stats_ledger_empty_trace_renders(tmp_path, capsys):
+    """An exported-but-empty trace is valid input, not an error."""
+    import json
+
+    from repro.obs import Tracer
+    from repro.obs.export import run_ledger
+
+    empty = tmp_path / "empty.ledger.json"
+    empty.write_text(json.dumps(run_ledger(Tracer())))
+    assert main(["stats", "--ledger", str(empty)]) == 0
+    assert "0 spans" in capsys.readouterr().out
+
+
+def test_stats_ledger_offline_round_trip(tmp_path, capsys):
+    """stats --profile export feeds straight back into stats --ledger."""
+    prefix = str(tmp_path / "run")
+    assert (
+        main(["stats", "--apps", "2", "--scale", "0.06", "--profile", prefix])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["stats", "--ledger", f"{prefix}.ledger.json"]) == 0
+    assert "run ledger" in capsys.readouterr().out
+
+
+def test_bench_profile_unwritable_destination(tmp_path, capsys):
+    prefix = str(tmp_path / "no" / "such" / "dir" / "run")
+    code = main(
+        ["bench", "--apps", "2", "--scale", "0.06", "--profile", prefix]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "cannot write profile" in captured.err
+    # The run's own summary still lands before the failure.
+    assert "corpus run" in captured.out
+
+
+def test_stats_profile_unwritable_destination(tmp_path, capsys):
+    prefix = str(tmp_path / "absent" / "run")
+    code = main(
+        ["stats", "--apps", "2", "--scale", "0.06", "--profile", prefix]
+    )
+    assert code == 1
+    assert "cannot write profile" in capsys.readouterr().err
+
+
+# -- serve / submit ------------------------------------------------------------
+
+
+def test_serve_soak_with_injection_and_profile(tmp_path, capsys):
+    prefix = str(tmp_path / "soak")
+    code = main(
+        [
+            "serve",
+            "--soak",
+            "--apps",
+            "8",
+            "--scale",
+            "0.06",
+            "--workers",
+            "2",
+            "--inject",
+            "worker-crash,oom",
+            "--profile",
+            prefix,
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "soak" in captured and "0 lost" in captured
+    import json
+
+    ledger = json.loads((tmp_path / "soak.ledger.json").read_text())
+    assert ledger["counters"]["serve.submitted"] == 8
+    assert ledger["counters"]["serve.completed"] == 8
+    assert (tmp_path / "soak.trace.json").exists()
+
+
+def test_serve_rejects_unknown_fault_kind(capsys):
+    code = main(["serve", "--apps", "2", "--inject", "frobnicate"])
+    assert code == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_serve_json_output(capsys):
+    code = main(
+        ["serve", "--apps", "3", "--scale", "0.06", "--json"]
+    )
+    assert code == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert len(payload["jobs"]) == 3
+
+
+def test_submit_mixed_paths(gdx_path, tmp_path, capsys):
+    bad = tmp_path / "bad.gdx"
+    bad.write_bytes(b"junk")
+    code = main(["submit", gdx_path, str(bad)])
+    captured = capsys.readouterr().out
+    assert code == 1  # one job failed structurally
+    assert "done" in captured and "failed" in captured
+
+
+def test_submit_clean_path_exits_zero(gdx_path, capsys):
+    assert main(["submit", gdx_path]) == 0
+    assert "job-0000" in capsys.readouterr().out

@@ -23,7 +23,7 @@ class TestTopLevel:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
 
 PACKAGES = [
@@ -36,6 +36,7 @@ PACKAGES = [
     "repro.cpu",
     "repro.vetting",
     "repro.bench",
+    "repro.serve",
 ]
 
 

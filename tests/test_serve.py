@@ -1,0 +1,441 @@
+"""Vetting-service tests: queue, sharding, faults, retries, soak.
+
+The centrepiece is the soak acceptance test: 100 generated apps pushed
+through the service under worker-crash + OOM injection must finish
+with zero lost or duplicated jobs, rows bit-identical to a direct
+``evaluate_corpus`` sweep, and every retry/fallback visible as obs
+counters in the exported run ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.apk.corpus import AppCorpus
+from repro.apk.generator import GeneratorProfile
+from repro.bench.harness import AppEvaluation, evaluate_corpus
+from repro.serve import (
+    AdmissionError,
+    AdmissionQueue,
+    FaultConfig,
+    FaultInjector,
+    JobState,
+    ServeConfig,
+    Sharder,
+    VetJob,
+    build_injector,
+    classify,
+    make_batches,
+    parse_inject,
+    run_soak,
+    submit_paths,
+)
+from repro.serve.service import CorpusSource, VettingService
+from repro.serve.workers import (
+    ENGINE_CPU,
+    ENGINE_GDROID,
+    ENGINE_LADDER,
+    ENGINE_PLAIN,
+    engine_latency_s,
+)
+
+#: Small, fast corpus profile shared by the service tests.
+SERVE_PROFILE = GeneratorProfile(scale=0.06)
+
+
+def _job(index: int, cost: float = 100.0, size_class: str = "small") -> VetJob:
+    return VetJob(
+        job_id=f"job-{index:04d}",
+        index=index,
+        package=f"com.test.app{index}",
+        source="corpus",
+        est_cost=cost,
+        size_class=size_class,
+    )
+
+
+# -- admission queue -----------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_try_submit_rejects_when_full(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.try_submit("a")
+        queue.try_submit("b")
+        with pytest.raises(AdmissionError):
+            queue.try_submit("c")
+        assert queue.admitted == 2
+        assert queue.rejected == 1
+        assert queue.high_water == 2
+
+    def test_submit_applies_backpressure(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1)
+            await queue.submit("a")
+            waiter = asyncio.ensure_future(queue.submit("b"))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # blocked on the full window
+            assert await queue.get() == "a"
+            await waiter  # slot freed -> admitted
+            assert queue.admitted == 2
+
+        asyncio.run(scenario())
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+class TestSharder:
+    def test_size_classes(self):
+        assert classify(500) == "small"
+        assert classify(6217) == "medium"
+        assert classify(20000) == "large"
+
+    def test_small_jobs_coalesce_and_big_jobs_ship_alone(self):
+        jobs = [
+            _job(0), _job(1),
+            _job(2, cost=9000, size_class="medium"),
+            _job(3), _job(4), _job(5), _job(6), _job(7),
+        ]
+        batches = make_batches(jobs, small_batch_max=4)
+        sizes = [len(batch) for batch in batches]
+        # [0,1] flushed by the medium job, [2] alone, then [3..6], [7].
+        assert sizes == [2, 1, 4, 1]
+        assert all(
+            job.size_class == "small"
+            for batch in batches
+            for job in batch.jobs
+            if len(batch) > 1
+        )
+
+    def test_lpt_balances_against_existing_load(self):
+        jobs = [_job(i, cost=100.0) for i in range(4)]
+        batches = make_batches(jobs, small_batch_max=1)
+        sharder = Sharder(workers=2)
+        # Worker 0 is already heavily loaded: everything goes to 1.
+        placement = sharder.assign(batches, loads=[1e9, 0.0])
+        assert [len(b) for b in placement[0]] == []
+        assert len(placement[1]) == 4
+
+    def test_assignment_is_deterministic(self):
+        jobs = [_job(i, cost=50.0 * (i + 1)) for i in range(7)]
+        batches = make_batches(jobs, small_batch_max=2)
+        sharder = Sharder(workers=3)
+        first = sharder.assign(batches, loads=[0.0] * 3)
+        second = sharder.assign(batches, loads=[0.0] * 3)
+        ids = lambda placement: [  # noqa: E731
+            [batch.batch_id for batch in worker] for worker in placement
+        ]
+        assert ids(first) == ids(second)
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_parse_inject(self):
+        assert parse_inject("worker-crash,oom") == {"worker-crash", "oom"}
+        assert parse_inject("") == frozenset()
+        with pytest.raises(ValueError):
+            parse_inject("worker-crash,frobnicate")
+
+    def test_schedule_is_deterministic(self):
+        a = build_injector({"worker-crash", "oom"}, 11, jobs=40, workers=4)
+        b = build_injector({"worker-crash", "oom"}, 11, jobs=40, workers=4)
+        for worker in range(4):
+            for started in range(1, 12):
+                assert a.should_crash(worker, started) == b.should_crash(
+                    worker, started
+                )
+                assert a.should_oom(worker, started) == b.should_oom(
+                    worker, started
+                )
+
+    def test_disabled_kinds_never_fire(self):
+        injector = FaultInjector(
+            FaultConfig(kinds=frozenset({"oom"})), jobs=20, workers=2
+        )
+        assert not any(
+            injector.should_crash(w, n)
+            for w in range(2)
+            for n in range(1, 20)
+        )
+        assert any(
+            injector.should_oom(w, n) for w in range(2) for n in range(1, 20)
+        )
+        assert not injector.is_corrupt(0)
+        assert injector.stall_seconds(0) == 0.0
+
+    def test_every_enabled_worker_kind_fires_within_horizon(self):
+        injector = build_injector(
+            {"worker-crash"}, 5, jobs=12, workers=3
+        )
+        for worker in range(3):
+            assert any(
+                injector.should_crash(worker, started)
+                for started in range(1, 6)
+            )
+
+
+# -- engine ladder -------------------------------------------------------------
+
+
+class TestEngineLadder:
+    def test_ladder_order(self):
+        assert ENGINE_LADDER == (ENGINE_GDROID, ENGINE_PLAIN, ENGINE_CPU)
+
+    def test_latency_picks_the_engine_column(self, demo_app):
+        from repro.bench.harness import evaluate_app
+
+        row = evaluate_app(demo_app)
+        assert engine_latency_s(row, ENGINE_GDROID) == row.full_s
+        assert engine_latency_s(row, ENGINE_PLAIN) == row.plain_s
+        assert engine_latency_s(row, ENGINE_CPU) == row.cpu_s
+
+
+# -- service behaviour ---------------------------------------------------------
+
+
+class TestService:
+    def test_clean_run_completes_everything(self):
+        corpus = AppCorpus(size=6, base_seed=910100, profile=SERVE_PROFILE)
+        report = run_soak(corpus, config=ServeConfig(workers=2))
+        assert report.ok
+        assert report.completed == 6 and report.failed == 0
+        assert all(job.attempts == 1 for job in report.jobs)
+        assert all(job.engine == ENGINE_GDROID for job in report.jobs)
+        assert all(job.verdict is not None for job in report.jobs)
+        assert report.counters["serve.submitted"] == 6
+        assert report.counters["serve.completed"] == 6
+
+    def test_worker_crash_retries_without_loss(self):
+        corpus = AppCorpus(size=10, base_seed=910200, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(workers=3),
+            inject=frozenset({"worker-crash"}),
+        )
+        assert report.ok and report.failed == 0
+        assert report.counters["serve.worker_crashes"] >= 1
+        assert report.counters["serve.retries"] >= 1
+        retried = [job for job in report.jobs if "worker-crash" in job.faults]
+        assert retried, "the crash must have hit at least one job"
+        for job in retried:
+            assert job.state == JobState.DONE
+            assert job.backoffs_s, "retries must sleep a backoff"
+
+    def test_oom_degrades_down_the_ladder(self):
+        corpus = AppCorpus(size=10, base_seed=910300, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(workers=2),
+            inject=frozenset({"oom"}),
+            ooms_per_worker=2,
+        )
+        assert report.ok and report.failed == 0
+        assert report.counters["serve.oom_events"] >= 1
+        assert report.counters["serve.degraded"] >= 1
+        fallback = [
+            job for job in report.jobs if job.engine != ENGINE_GDROID
+        ]
+        assert fallback, "some jobs must have been served degraded"
+        for job in fallback:
+            assert job.engine in (ENGINE_PLAIN, ENGINE_CPU)
+            assert job.modeled_latency_s is not None
+
+    def test_degraded_rows_stay_bit_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        corpus = AppCorpus(size=5, base_seed=910400, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(workers=2),
+            inject=frozenset({"oom", "worker-crash"}),
+        )
+        assert report.ok
+        direct = evaluate_corpus(corpus)
+        for index, row in report.rows().items():
+            assert row == direct[index]
+
+    def test_corrupt_apk_fails_structurally_without_retry(self):
+        corpus = AppCorpus(size=8, base_seed=910500, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(workers=2),
+            inject=frozenset({"corrupt-apk"}),
+            corrupt_fraction=0.4,
+        )
+        assert report.ok
+        corrupt = [job for job in report.jobs if job.state == JobState.FAILED]
+        assert corrupt, "the corruption campaign must hit something"
+        assert report.counters["serve.corrupt_apks"] == len(corrupt)
+        for job in corrupt:
+            assert job.faults == ["corrupt-apk"]
+            assert job.attempts == 1  # deterministic fault: no retry burn
+            assert "corrupt apk" in job.error
+        clean = [job for job in report.jobs if job.state == JobState.DONE]
+        assert len(clean) + len(corrupt) == 8
+
+    def test_stall_trips_timeout_and_is_retried(self):
+        corpus = AppCorpus(size=4, base_seed=910600, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(
+                workers=2, timeout_s=0.05, max_attempts=2
+            ),
+            inject=frozenset({"stall"}),
+            stall_fraction=0.5,
+            stall_s=0.5,
+        )
+        assert report.ok
+        assert report.counters["serve.timeouts"] >= 1
+        stalled = [job for job in report.jobs if "timeout" in job.faults]
+        assert stalled
+        # A stall is deterministic per app index, so retries stall too
+        # and the job eventually exhausts its attempts.
+        for job in stalled:
+            assert job.state == JobState.FAILED
+            assert "retries exhausted" in job.error
+
+    def test_retries_exhaust_into_failure(self):
+        corpus = AppCorpus(size=4, base_seed=910700, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=ServeConfig(workers=1, max_attempts=2),
+            inject=frozenset({"worker-crash"}),
+            crashes_per_worker=6,
+        )
+        assert report.ok  # exhausted jobs FAIL, they are never lost
+        assert report.failed + report.completed == 4
+
+    def test_strict_mode_reuses_lint_gate(self):
+        corpus = AppCorpus(size=4, base_seed=910800, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus, config=ServeConfig(workers=2, strict=True)
+        )
+        assert report.ok
+        # The seeded corpus lints clean, so all rows are evaluations.
+        assert all(
+            isinstance(job.row, AppEvaluation) for job in report.jobs
+        )
+
+    def test_backoff_is_exponential_capped_and_jittered(self):
+        corpus = AppCorpus(size=1, base_seed=910900, profile=SERVE_PROFILE)
+        service = VettingService(
+            CorpusSource(corpus),
+            config=ServeConfig(
+                backoff_base_s=0.01, backoff_cap_s=0.05, backoff_jitter=0.5
+            ),
+        )
+        delays = [service.backoff_s("job-0000", a) for a in range(1, 7)]
+        # Deterministic for a given (seed, job, attempt) ...
+        assert delays == [
+            service.backoff_s("job-0000", a) for a in range(1, 7)
+        ]
+        # ... exponential-ish within the jitter band, capped at the top.
+        for attempt, delay in enumerate(delays, start=1):
+            raw = min(0.05, 0.01 * 2 ** (attempt - 1))
+            assert raw / 2 <= delay <= raw
+        assert max(delays) <= 0.05
+        # Jitter decorrelates jobs.
+        assert service.backoff_s("job-0001", 1) != delays[0]
+
+
+# -- path submissions ----------------------------------------------------------
+
+
+class TestSubmitPaths:
+    def test_mixed_good_and_corrupt_files(self, tmp_path):
+        from repro.apk.loader import save_gdx
+        from tests.conftest import tiny_app
+
+        good = tmp_path / "good.gdx"
+        save_gdx(tiny_app(3), good)
+        bad = tmp_path / "bad.gdx"
+        bad.write_bytes(b"not a gdx container")
+        report = submit_paths([str(good), str(bad)])
+        assert report.ok
+        by_source = {job.source: job for job in report.jobs}
+        assert by_source[str(good)].state == JobState.DONE
+        assert by_source[str(good)].verdict is not None
+        assert by_source[str(bad)].state == JobState.FAILED
+        assert "corrupt apk" in by_source[str(bad)].error
+
+    def test_missing_file_fails_the_job_not_the_service(self, tmp_path):
+        report = submit_paths([str(tmp_path / "nope.gdx")])
+        assert report.ok
+        assert report.jobs[0].state == JobState.FAILED
+
+
+# -- the soak acceptance test --------------------------------------------------
+
+
+class TestSoakAcceptance:
+    def test_hundred_app_soak_with_crash_and_oom(
+        self, tmp_path, monkeypatch
+    ):
+        """ISSUE 5 acceptance: 100 apps, crash+OOM, zero loss, identical
+        rows, retries/fallbacks visible in the exported run ledger."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        profile = GeneratorProfile(scale=0.04)
+        corpus = AppCorpus(size=100, base_seed=911000, profile=profile)
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            report = run_soak(
+                corpus,
+                config=ServeConfig(workers=4, queue_capacity=16, vet=False),
+                inject=frozenset({"worker-crash", "oom"}),
+            )
+        # Zero lost or duplicated jobs.
+        assert report.submitted == 100
+        assert report.lost == 0
+        assert report.duplicates == 0
+        assert report.completed == 100 and report.failed == 0
+        # Faults actually fired and were survived.
+        assert report.counters["serve.worker_crashes"] >= 1
+        assert report.counters["serve.oom_events"] >= 1
+        assert report.counters["serve.retries"] >= 1
+        assert any(
+            name.startswith("serve.fallback.") for name in report.counters
+        )
+        # Backpressure engaged: the window is far smaller than the run.
+        assert report.counters["serve.queue_high_water"] <= 16
+
+        # Results bit-identical to a direct evaluate_corpus sweep.
+        direct = evaluate_corpus(corpus)
+        rows = report.rows()
+        assert len(rows) == 100
+        for index in range(100):
+            assert rows[index] == direct[index]
+
+        # Every retry/fallback visible in the exported run ledger.
+        from repro.obs.export import run_ledger
+
+        ledger = run_ledger(tracer)
+        counters = ledger["counters"]
+        for name in (
+            "serve.submitted",
+            "serve.retries",
+            "serve.worker_crashes",
+            "serve.oom_events",
+            "serve.degraded",
+        ):
+            assert counters[name] == report.counters[name], name
+        assert any(
+            span["category"] == "serve" for span in ledger["spans"]
+        )
+
+    def test_soak_report_round_trips_to_json(self):
+        corpus = AppCorpus(size=3, base_seed=911100, profile=SERVE_PROFILE)
+        report = run_soak(corpus, config=ServeConfig(workers=2))
+        payload = json.loads(json.dumps(report.to_json(), sort_keys=True))
+        assert payload["ok"] is True
+        assert len(payload["jobs"]) == 3
+        assert payload["jobs"][0]["state"] == "done"
