@@ -39,7 +39,10 @@ import repro
 #: Bump when the on-disk row layout changes (invalidates old entries).
 #: 2: row keys carry the full generator-profile fingerprint, not just
 #: the scale (corpora differing only in layer bounds used to alias).
-CACHE_SCHEMA = 2
+#: 3: row keys carry the targeted-vetting fingerprint, so a row priced
+#: on a backward slice can never serve a full-vet request or vice
+#: versa (same aliasing class as the schema-2 fix).
+CACHE_SCHEMA = 3
 
 _FALSY = {"0", "false", "off", "no"}
 
@@ -89,10 +92,18 @@ def row_key(
     profile_fp: str,
     index: int,
     fingerprint: str,
+    targets_fp: str = "",
 ) -> str:
-    """Cache key for one app of one corpus under one config matrix."""
+    """Cache key for one app of one corpus under one config matrix.
+
+    ``targets_fp`` is the :meth:`repro.vetting.targeted.TargetSpec.
+    fingerprint` of a targeted sweep, or ``""`` for a full-IDFG sweep.
+    A targeted row's metrics are functions of the backward slice, not
+    of the whole app, so the two must never share a key.
+    """
     blob = json.dumps(
-        [base_seed, size, profile_fp, index, fingerprint], sort_keys=True
+        [base_seed, size, profile_fp, index, fingerprint, targets_fp],
+        sort_keys=True,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -122,8 +122,25 @@ class LintErrorRow:
     message: str
 
 
+@dataclass(frozen=True)
+class TargetedSkipRow:
+    """A corpus row for an app the targeted pre-scan skipped entirely.
+
+    Produced by targeted sweeps when none of the requested sinks is
+    called anywhere in the app: there is nothing to slice, no IDFG is
+    built, and the row records that (near-free) outcome.  Never
+    cached -- the pre-scan is cheaper than a cache round-trip.
+    """
+
+    package: str
+    category: str
+    index: int
+    #: The sink signatures that were asked about.
+    targets: Tuple[str, ...]
+
+
 #: What one corpus index evaluates to under ``strict=True``.
-EvaluationRow = Union[AppEvaluation, LintErrorRow]
+EvaluationRow = Union[AppEvaluation, LintErrorRow, TargetedSkipRow]
 
 
 #: The four GPU configurations of the cumulative evaluation.
@@ -188,7 +205,7 @@ def _lint_error_row(app: AndroidApp, index: int, error) -> LintErrorRow:
 
 
 def evaluate_or_lint_row(
-    app: AndroidApp, index: int, strict: bool
+    app: AndroidApp, index: int, strict: bool, targets=None
 ) -> "EvaluationRow":
     """Evaluate one app; under ``strict`` convert lint rejection to a row.
 
@@ -196,16 +213,40 @@ def evaluate_or_lint_row(
     malformed app yields a :class:`LintErrorRow` carrying the fired
     rules instead of propagating the exception (or worse, silently
     mis-analyzing).
+
+    With ``targets`` (a :class:`repro.vetting.targeted.TargetSpec`) the
+    experiment matrix is priced on the backward slice instead of the
+    whole app: an app calling none of the targets yields a
+    :class:`TargetedSkipRow` without building any IDFG.
     """
-    if not strict:
-        return evaluate_app(app)
+    if targets is None:
+        if not strict:
+            return evaluate_app(app)
+        from repro.lint import LintError
+
+        try:
+            workload = AppWorkload.build(app, lint_gate=True)
+        except LintError as error:
+            return _lint_error_row(app, index, error)
+        return evaluate_app(app, workload)
+
     from repro.lint import LintError
+    from repro.vetting.targeted import build_targeted_workload
 
     try:
-        workload = AppWorkload.build(app, lint_gate=True)
+        targeted = build_targeted_workload(
+            app, targets, lint_gate=True if strict else None
+        )
     except LintError as error:
         return _lint_error_row(app, index, error)
-    return evaluate_app(app, workload)
+    if targeted.workload is None:
+        return TargetedSkipRow(
+            package=app.package,
+            category=app.category,
+            index=index,
+            targets=targets.sinks,
+        )
+    return evaluate_app(targeted.sliced_app, targeted.workload)
 
 
 def _relint_cached_row(
@@ -231,8 +272,9 @@ def _relint_cached_row(
 
 
 #: Process-wide evaluation cache:
-#: (base_seed, size, profile fingerprint, index) -> row.
-_CACHE: Dict[Tuple[int, int, str, int], AppEvaluation] = {}
+#: (base_seed, size, profile fingerprint, index, targets fingerprint)
+#: -> row.  The targets fingerprint is "" for full-IDFG sweeps.
+_CACHE: Dict[Tuple[int, int, str, int, str], AppEvaluation] = {}
 
 
 @dataclass
@@ -311,6 +353,7 @@ def evaluate_corpus(
     jobs: Optional[int] = None,
     no_cache: bool = False,
     strict: bool = False,
+    targets=None,
 ) -> List[EvaluationRow]:
     """Evaluate a corpus slice with caching and optional parallelism.
 
@@ -325,6 +368,13 @@ def evaluate_corpus(
     cache-served rows are re-linted (a cached row proves nothing about
     the gate).  A rejected app contributes a :class:`LintErrorRow` at
     its index (never cached) and the sweep continues.
+
+    With ``targets`` (a :class:`repro.vetting.targeted.TargetSpec`)
+    every row is the *targeted* evaluation: the matrix priced on the
+    app's backward slice, or a :class:`TargetedSkipRow` when the
+    pre-scan finds no anchors.  Cache keys fingerprint the target set
+    (in-process and on disk), so targeted rows and full rows never
+    alias even for the same corpus index.
 
     An explicit ``limit=0`` evaluates nothing; ``limit=None`` means the
     whole corpus.
@@ -352,18 +402,24 @@ def evaluate_corpus(
 
     profile_fp = profile_fingerprint(corpus.profile)
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
+    targets_fp = targets.fingerprint() if targets is not None else ""
     rows: Dict[int, EvaluationRow] = {}
     missing: List[int] = []
     disk_keys: Dict[int, str] = {}
     with obs.span("corpus.lookup", category="lookup", apps=count):
         for index in range(count):
-            key = (corpus.base_seed, corpus.size, profile_fp, index)
+            key = (corpus.base_seed, corpus.size, profile_fp, index, targets_fp)
             row = _CACHE.get(key)
             if row is not None:
                 stats.process_hits += 1
             elif disk.enabled:
                 disk_keys[index] = row_key(
-                    corpus.base_seed, corpus.size, profile_fp, index, fingerprint
+                    corpus.base_seed,
+                    corpus.size,
+                    profile_fp,
+                    index,
+                    fingerprint,
+                    targets_fp,
                 )
                 row = disk.load(disk_keys[index])
                 if row is not None:
@@ -387,14 +443,16 @@ def evaluate_corpus(
             "corpus.evaluate", category="evaluate", missing=len(missing)
         ):
             if jobs > 1 and len(missing) > 1:
-                fresh = evaluate_parallel(corpus, missing, jobs, strict=strict)
+                fresh = evaluate_parallel(
+                    corpus, missing, jobs, strict=strict, targets=targets
+                )
                 stats.workers = min(jobs, len(missing))
             else:
                 fresh = {}
                 for index in missing:
                     with obs.span(f"app[{index}]", category="app", index=index):
                         fresh[index] = evaluate_or_lint_row(
-                            corpus.app(index), index, strict
+                            corpus.app(index), index, strict, targets
                         )
         stats.evaluated = len(missing)
         stats.evaluate_s = time.perf_counter() - evaluated_at
@@ -405,8 +463,10 @@ def evaluate_corpus(
                 row = fresh[index]
                 rows[index] = row
                 if not isinstance(row, AppEvaluation):
-                    continue  # lint-error rows are never cached
-                _CACHE[(corpus.base_seed, corpus.size, profile_fp, index)] = row
+                    continue  # lint-error / targeted-skip rows: never cached
+                _CACHE[
+                    (corpus.base_seed, corpus.size, profile_fp, index, targets_fp)
+                ] = row
                 if disk.enabled:
                     disk.store(disk_keys[index], row)
         stats.disk_stores = disk.stores

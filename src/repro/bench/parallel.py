@@ -67,7 +67,7 @@ ChunkResult = Tuple[
 
 
 def _evaluate_chunk(
-    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool, bool]
+    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool, bool, Any]
 ) -> ChunkResult:
     """Worker body: regenerate the corpus and evaluate one index chunk.
 
@@ -87,7 +87,8 @@ def _evaluate_chunk(
     """
     from repro.bench.harness import evaluate_or_lint_row
 
-    base_seed, size, profile, indices, strict, trace = task
+    base_seed, size, profile, indices, strict, trace, *rest = task
+    targets = rest[0] if rest else None
     corpus = AppCorpus(size=size, base_seed=base_seed, profile=profile)
     tracer = obs.Tracer() if trace else None
     previous = obs.activate(tracer) if tracer is not None else None
@@ -98,7 +99,12 @@ def _evaluate_chunk(
             random.seed(base_seed * 1_000_003 + index)
             with obs.span(f"app[{index}]", category="app", index=index):
                 rows.append(
-                    (index, evaluate_or_lint_row(corpus.app(index), index, strict))
+                    (
+                        index,
+                        evaluate_or_lint_row(
+                            corpus.app(index), index, strict, targets
+                        ),
+                    )
                 )
     finally:
         random.setstate(rng_state)
@@ -117,6 +123,7 @@ def evaluate_parallel(
     indices: Sequence[int],
     jobs: int,
     strict: bool = False,
+    targets=None,
 ) -> Dict[int, "EvaluationRow"]:
     """Evaluate ``indices`` of ``corpus`` across ``jobs`` workers.
 
@@ -138,6 +145,7 @@ def evaluate_parallel(
             tuple(chunk),
             strict,
             trace,
+            targets,
         )
         for chunk in chunks
     ]

@@ -69,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     vet = sub.add_parser("vet", help="security-vet an app")
     vet.add_argument("app", help="input .gdx path")
+    vet.add_argument(
+        "--targets", default=None, metavar="SINK[,SINK...]",
+        help="demand-driven vetting: only analyze flows into these sink "
+        "signatures or categories (e.g. SMS,NETWORK); apps calling none "
+        "of them are served clean from a bytecode pre-scan alone",
+    )
+    vet.add_argument(
+        "--targets-file", default=None, metavar="PATH",
+        help="read targeted sinks from a file (one per line, # comments)",
+    )
 
     lint = sub.add_parser(
         "lint", help="statically verify app IR before analysis"
@@ -184,6 +194,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lint-gate every app (rejections become structured rows)",
     )
     serve.add_argument(
+        "--targets", default=None, metavar="SINK[,SINK...]",
+        help="serve some jobs demand-driven: pre-scan + backward slice "
+        "restricted to these sink signatures or categories",
+    )
+    serve.add_argument(
+        "--targets-every", type=int, default=1, metavar="N",
+        help="with --targets, make every N-th job targeted and the rest "
+        "full vets (default 1: all targeted)",
+    )
+    serve.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full JSON job records instead of the summary",
     )
@@ -257,8 +277,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_targets(args: argparse.Namespace):
+    """Resolve --targets / --targets-file into a TargetSpec (or None)."""
+    from repro.vetting.targeted import TargetSpec, TargetSpecError
+
+    if getattr(args, "targets", None) and getattr(args, "targets_file", None):
+        raise TargetSpecError("pass --targets or --targets-file, not both")
+    if getattr(args, "targets", None):
+        return TargetSpec.parse(args.targets)
+    if getattr(args, "targets_file", None):
+        return TargetSpec.from_file(args.targets_file)
+    return None
+
+
 def _cmd_vet(args: argparse.Namespace) -> int:
+    from repro.vetting.targeted import TargetSpecError
+
+    try:
+        spec = _parse_targets(args)
+    except (TargetSpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     app = load_gdx(args.app)
+    if spec is not None:
+        from repro.vetting.targeted import vet_targeted
+
+        report, stats = vet_targeted(app, spec)
+        print(
+            f"targeted vet [{spec.describe()}]: {stats.anchors} anchor(s), "
+            f"slice {stats.slice_methods}/{stats.full_methods} methods"
+            + (" (IDFG skipped)" if stats.skipped_idfg else "")
+        )
+        print(report.summary())
+        return 0 if not report.is_suspicious else 2
     workload = AppWorkload.build(app)
     result = GDroid(GDroidConfig.all_optimizations()).price(workload)
     report = vet_workload(app, workload, analysis_time_s=result.modeled_time_s)
@@ -446,9 +497,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.serve import ServeConfig, parse_inject, run_soak
 
+    from repro.vetting.targeted import TargetSpecError
+
     try:
         inject = parse_inject(args.inject)
-    except ValueError as error:
+        targets = _parse_targets(args)
+    except (ValueError, TargetSpecError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     config = ServeConfig(
@@ -466,7 +520,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs.activate(tracer)
     try:
         report = run_soak(
-            corpus, config=config, inject=inject, fault_seed=args.fault_seed
+            corpus,
+            config=config,
+            inject=inject,
+            fault_seed=args.fault_seed,
+            targets=targets,
+            targeted_every=args.targets_every,
         )
     finally:
         if tracer is not None:

@@ -49,8 +49,12 @@ class VetJob:
     source: str
     #: Placement cost estimate (CFG nodes; file bytes for path jobs).
     est_cost: float
-    #: Table-I size class: ``small`` / ``medium`` / ``large``.
+    #: Table-I size class: ``small`` / ``medium`` / ``large``.  For a
+    #: targeted job this reflects the backward slice, not the full app:
+    #: the slice is what the device will actually analyze.
     size_class: str
+    #: Sink signatures for demand-driven vetting (None = full vet).
+    targets: Optional[List[str]] = None
     state: str = JobState.PENDING
     #: Processing attempts started (first run counts as attempt 1).
     attempts: int = 0
@@ -88,6 +92,7 @@ class VetJob:
             "package": self.package,
             "source": self.source,
             "size_class": self.size_class,
+            "targets": list(self.targets) if self.targets else None,
             "state": self.state,
             "attempts": self.attempts,
             "workers": list(self.workers),

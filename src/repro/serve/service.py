@@ -90,12 +90,32 @@ class CorpusSource:
         # app itself; memoise so each corpus app generates once.
         self._app = functools.lru_cache(maxsize=512)(corpus.app)
 
-    def jobs(self, count: Optional[int] = None) -> List[VetJob]:
+    def jobs(
+        self,
+        count: Optional[int] = None,
+        targets=None,
+        targeted_every: int = 1,
+    ) -> List[VetJob]:
+        """Job records for the first ``count`` corpus apps.
+
+        With ``targets`` (a :class:`repro.vetting.targeted.TargetSpec`)
+        every ``targeted_every``-th job is demand-driven: its placement
+        cost and Table-I size class come from the backward slice, since
+        the slice is all the device will analyze -- a targeted job on a
+        large app can land in the small band (or cost ~nothing, when
+        the pre-scan finds no targeted sink at all).
+        """
         count = self.corpus.size if count is None else count
         jobs = []
         for index in range(count):
             app = self._app(index)
             nodes = app.describe()["cfg_nodes"]
+            job_targets = None
+            if targets is not None and index % max(1, targeted_every) == 0:
+                from repro.vetting.targeted import slice_estimate
+
+                _, nodes = slice_estimate(app, targets)
+                job_targets = list(targets.sinks)
             jobs.append(
                 VetJob(
                     job_id=f"job-{index:04d}",
@@ -104,6 +124,7 @@ class CorpusSource:
                     source="corpus",
                     est_cost=float(nodes),
                     size_class=classify(nodes),
+                    targets=job_targets,
                 )
             )
         return jobs
@@ -459,18 +480,22 @@ def run_soak(
     config: Optional[ServeConfig] = None,
     inject: FrozenSet[str] = frozenset(),
     fault_seed: int = 2020,
+    targets=None,
+    targeted_every: int = 1,
     **fault_overrides,
 ) -> SoakReport:
     """Push a corpus slice through a fresh service instance.
 
     ``inject`` lists fault kinds (see :mod:`repro.serve.faults`); the
     schedule is deterministic in ``fault_seed``, the corpus identity
-    and the worker count.
+    and the worker count.  ``targets`` marks every ``targeted_every``-th
+    job demand-driven (see :meth:`CorpusSource.jobs`) so mixed
+    targeted/full soaks exercise both pipelines under the same faults.
     """
     config = config or ServeConfig()
     source = CorpusSource(corpus)
     count = corpus.size if apps is None else min(apps, corpus.size)
-    jobs = source.jobs(count)
+    jobs = source.jobs(count, targets=targets, targeted_every=targeted_every)
     injector = (
         build_injector(
             inject, fault_seed, len(jobs), config.workers, **fault_overrides

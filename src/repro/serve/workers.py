@@ -74,6 +74,7 @@ def run_pipeline(
     engine: str,
     strict: bool,
     vet: bool,
+    targets=None,
 ) -> PipelineResult:
     """loader -> lint gate -> GDroid kernel -> vetting report, once.
 
@@ -82,9 +83,17 @@ def run_pipeline(
     sweep: the workload is built with default tuning, and under
     ``strict`` a lint rejection becomes a structured row instead of an
     exception.
+
+    With ``targets`` (a :class:`repro.vetting.targeted.TargetSpec`) the
+    job goes down the demand-driven path: pre-scan for the targeted
+    sinks, analyze only the backward slice, and report only flows into
+    those sinks.  An app calling none of the targets is served clean
+    from the pre-scan alone (``TargetedSkipRow``, no IDFG).
     """
     from repro.bench.harness import _lint_error_row, evaluate_app
 
+    if targets is not None:
+        return _run_targeted_pipeline(app, index, engine, strict, vet, targets)
     if strict:
         from repro.lint import LintError
 
@@ -106,6 +115,64 @@ def run_pipeline(
         from repro.vetting.report import vet_workload
 
         report = vet_workload(app, workload, analysis_time_s=latency or 0.0)
+        verdict, risk = report.verdict, report.risk_score
+    return PipelineResult(
+        row=row, verdict=verdict, risk_score=risk, latency_s=latency
+    )
+
+
+def _run_targeted_pipeline(
+    app: "AndroidApp",
+    index: int,
+    engine: str,
+    strict: bool,
+    vet: bool,
+    targets,
+) -> PipelineResult:
+    """The demand-driven variant of :func:`run_pipeline`."""
+    from repro.bench.harness import (
+        TargetedSkipRow,
+        _lint_error_row,
+        evaluate_app,
+    )
+    from repro.lint import LintError
+    from repro.vetting.targeted import (
+        build_targeted_workload,
+        vet_targeted_report,
+    )
+
+    try:
+        targeted = build_targeted_workload(
+            app, targets, lint_gate=True if strict else None
+        )
+    except LintError as error:
+        return PipelineResult(
+            row=_lint_error_row(app, index, error),
+            verdict=None,
+            risk_score=None,
+            latency_s=None,
+        )
+    if targeted.workload is None:
+        verdict = risk = None
+        if vet:
+            report = vet_targeted_report(targeted)
+            verdict, risk = report.verdict, report.risk_score
+        return PipelineResult(
+            row=TargetedSkipRow(
+                package=app.package,
+                category=app.category,
+                index=index,
+                targets=targets.sinks,
+            ),
+            verdict=verdict,
+            risk_score=risk,
+            latency_s=0.0,
+        )
+    row = evaluate_app(targeted.sliced_app, targeted.workload)
+    latency = engine_latency_s(row, engine)
+    verdict = risk = None
+    if vet:
+        report = vet_targeted_report(targeted, analysis_time_s=latency or 0.0)
         verdict, risk = report.verdict, report.risk_score
     return PipelineResult(
         row=row, verdict=verdict, risk_score=risk, latency_s=latency
@@ -245,11 +312,17 @@ class DeviceWorker:
                     return
             if injector.should_oom(self.worker_id, self.jobs_started):
                 self.inject_oom()
+            targets = None
+            if job.targets:
+                from repro.vetting.targeted import TargetSpec
+
+                targets = TargetSpec(sinks=tuple(job.targets))
             result = run_pipeline(
                 app,
                 job.index,
                 self.engine,
                 service.config.strict,
                 service.config.vet,
+                targets,
             )
         service.on_job_success(job, self, result)

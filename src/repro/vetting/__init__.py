@@ -4,12 +4,14 @@ Amandroid's architecture -- which GDroid accelerates -- builds the
 IDFG once and then runs cheap *plugins* over it.  This package is that
 plugin layer:
 
-* :mod:`repro.vetting.sources_sinks` -- the Android source/sink API
-  table (SuSi-style categories).
+* :mod:`repro.vetting.sources_sinks` -- the queryable Android
+  source/sink API registry (SuSi-style categories).
 * :mod:`repro.vetting.ddg` -- the data-dependence graph derived from
   per-node points-to facts.
 * :mod:`repro.vetting.taint` -- interprocedural taint analysis: which
   sensitive sources can reach which exfiltration sinks.
+* :mod:`repro.vetting.targeted` -- demand-driven vetting: bytecode
+  pre-scan for sink anchors, backward ICFG slice, sliced IDFG.
 * :mod:`repro.vetting.report` -- vetting verdicts for an app.
 """
 
@@ -17,16 +19,30 @@ from repro.vetting.ddg import DataDependenceGraph, build_ddg
 from repro.vetting.icc import IccAnalysis, IccFlow
 from repro.vetting.report import VettingReport, vet_app, vet_workload
 from repro.vetting.sources_sinks import (
+    DEFAULT_REGISTRY,
     ICC_SEND_APIS,
     SINK_CATEGORIES,
     SOURCE_CATEGORIES,
+    ApiEntry,
+    ApiRegistry,
     is_icc_send,
     is_sink,
     is_source,
 )
 from repro.vetting.taint import TaintAnalysis, TaintFlow
+from repro.vetting.targeted import (
+    TargetSpec,
+    TargetedWorkload,
+    build_targeted_workload,
+    find_anchors,
+    scan_blob,
+    vet_targeted,
+)
 
 __all__ = [
+    "ApiEntry",
+    "ApiRegistry",
+    "DEFAULT_REGISTRY",
     "DataDependenceGraph",
     "ICC_SEND_APIS",
     "IccAnalysis",
@@ -35,11 +51,16 @@ __all__ = [
     "SOURCE_CATEGORIES",
     "TaintAnalysis",
     "TaintFlow",
+    "TargetSpec",
+    "TargetedWorkload",
     "VettingReport",
     "build_ddg",
+    "build_targeted_workload",
+    "find_anchors",
     "is_icc_send",
     "is_sink",
     "is_source",
+    "scan_blob",
     "vet_app",
     "vet_workload",
 ]

@@ -1,39 +1,205 @@
-"""Android source/sink API table (SuSi-style categories).
+"""Android security-API registry (SuSi-style sources and sinks).
 
 A *source* produces sensitive data (device identifiers, location,
 accounts, content-provider rows); a *sink* moves data off the device
-or into an observable channel (SMS, network, logs, files).  The table
+or into an observable channel (SMS, network, logs, files); an *ICC
+send* carries an Intent across component boundaries.  The registry
 keys on the fully qualified method signature strings the IR uses for
 external calls, so lookup is exact.
+
+:class:`ApiRegistry` is the queryable single source of truth shared by
+the taint plugin, the ICC analysis, targeted vetting
+(:mod:`repro.vetting.targeted`) and future rule packs: entries can be
+enumerated, looked up by signature, and filtered by kind or category.
+The historical module-level tables (``SOURCE_CATEGORIES`` et al.) and
+predicate helpers are derived views over :data:`DEFAULT_REGISTRY` and
+remain the stable compatibility surface.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+#: Entry kinds.
+KIND_SOURCE = "source"
+KIND_SINK = "sink"
+KIND_ICC_SEND = "icc-send"
+
+
+@dataclass(frozen=True)
+class ApiEntry:
+    """One registered security-relevant framework API."""
+
+    #: Fully qualified method signature (exact-match key).
+    signature: str
+    #: ``source`` / ``sink`` / ``icc-send``.
+    kind: str
+    #: Sensitive-data category (sources), exfiltration channel (sinks),
+    #: or target component kind (ICC sends).
+    category: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.kind}:{self.category}] {self.signature}"
+
+
+class ApiRegistry:
+    """Queryable table of security-relevant APIs.
+
+    Lookup is exact on signature; enumeration can be filtered by kind
+    and/or category.  Registries are immutable after construction so a
+    registry instance can be shared freely across analyses.
+    """
+
+    def __init__(self, entries: Iterable[ApiEntry]) -> None:
+        self._by_signature: Dict[str, ApiEntry] = {}
+        for entry in entries:
+            if entry.signature in self._by_signature:
+                raise ValueError(
+                    f"duplicate registry signature: {entry.signature}"
+                )
+            self._by_signature[entry.signature] = entry
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, signature: str) -> Optional[ApiEntry]:
+        """The entry registered for ``signature``, or None."""
+        return self._by_signature.get(signature)
+
+    def kind_of(self, signature: str) -> Optional[str]:
+        """The kind registered for ``signature``, or None."""
+        entry = self._by_signature.get(signature)
+        return entry.kind if entry else None
+
+    def category_of(self, signature: str) -> Optional[str]:
+        """The category registered for ``signature``, or None."""
+        entry = self._by_signature.get(signature)
+        return entry.category if entry else None
+
+    def is_kind(self, signature: str, kind: str) -> bool:
+        """True when ``signature`` is registered with ``kind``."""
+        entry = self._by_signature.get(signature)
+        return entry is not None and entry.kind == kind
+
+    # -- enumeration -----------------------------------------------------------
+
+    def entries(
+        self, kind: Optional[str] = None, category: Optional[str] = None
+    ) -> Tuple[ApiEntry, ...]:
+        """All entries, optionally filtered by kind and/or category."""
+        return tuple(
+            entry
+            for entry in self._by_signature.values()
+            if (kind is None or entry.kind == kind)
+            and (category is None or entry.category == category)
+        )
+
+    def signatures(
+        self, kind: Optional[str] = None, category: Optional[str] = None
+    ) -> Tuple[str, ...]:
+        """Sorted signature strings of :meth:`entries`, same filters."""
+        return tuple(
+            sorted(e.signature for e in self.entries(kind, category))
+        )
+
+    def categories(self, kind: Optional[str] = None) -> Tuple[str, ...]:
+        """Sorted distinct categories, optionally of one kind."""
+        return tuple(
+            sorted({e.category for e in self.entries(kind=kind)})
+        )
+
+    def __iter__(self) -> Iterator[ApiEntry]:
+        return iter(self._by_signature.values())
+
+    def __len__(self) -> int:
+        return len(self._by_signature)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._by_signature
+
+
+#: The built-in source/sink/ICC table (the SuSi-style default pack).
+DEFAULT_REGISTRY = ApiRegistry(
+    [
+        # Sources: sensitive-data producers.
+        ApiEntry(
+            "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;",
+            KIND_SOURCE,
+            "UNIQUE_IDENTIFIER",
+        ),
+        ApiEntry(
+            "android.location.LocationManager.getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;",
+            KIND_SOURCE,
+            "LOCATION",
+        ),
+        ApiEntry(
+            "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;",
+            KIND_SOURCE,
+            "ACCOUNT",
+        ),
+        ApiEntry(
+            "android.content.ContentResolver.query(Landroid/net/Uri;)Landroid/database/Cursor;",
+            KIND_SOURCE,
+            "DATABASE",
+        ),
+        # Sinks: exfiltration channels.
+        ApiEntry(
+            "android.telephony.SmsManager.sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V",
+            KIND_SINK,
+            "SMS",
+        ),
+        ApiEntry(
+            "java.net.HttpURLConnection.connect(Ljava/lang/String;)V",
+            KIND_SINK,
+            "NETWORK",
+        ),
+        ApiEntry(
+            "android.util.Log.d(Ljava/lang/String;Ljava/lang/String;)I",
+            KIND_SINK,
+            "LOG",
+        ),
+        ApiEntry(
+            "java.io.FileOutputStream.write(Ljava/lang/String;)V",
+            KIND_SINK,
+            "FILE",
+        ),
+        # ICC sends: data put into an Intent here leaves the component
+        # boundary (IccTA / DialDroid's analysis target).  The category
+        # names the component kind the Intent is delivered to.
+        ApiEntry(
+            "android.content.Context.startActivity(Landroid/content/Intent;)V",
+            KIND_ICC_SEND,
+            "activity",
+        ),
+        ApiEntry(
+            "android.content.Context.sendBroadcast(Landroid/content/Intent;)V",
+            KIND_ICC_SEND,
+            "receiver",
+        ),
+        ApiEntry(
+            "android.content.Context.startService(Landroid/content/Intent;)Landroid/content/ComponentName;",
+            KIND_ICC_SEND,
+            "service",
+        ),
+    ]
+)
+
+
+# -- compatibility views (derived, do not edit these directly) -----------------
 
 #: Signature -> sensitive-data category.
 SOURCE_CATEGORIES: Dict[str, str] = {
-    "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;": "UNIQUE_IDENTIFIER",
-    "android.location.LocationManager.getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;": "LOCATION",
-    "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;": "ACCOUNT",
-    "android.content.ContentResolver.query(Landroid/net/Uri;)Landroid/database/Cursor;": "DATABASE",
+    e.signature: e.category for e in DEFAULT_REGISTRY.entries(KIND_SOURCE)
 }
 
 #: Signature -> exfiltration-channel category.
 SINK_CATEGORIES: Dict[str, str] = {
-    "android.telephony.SmsManager.sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V": "SMS",
-    "java.net.HttpURLConnection.connect(Ljava/lang/String;)V": "NETWORK",
-    "android.util.Log.d(Ljava/lang/String;Ljava/lang/String;)I": "LOG",
-    "java.io.FileOutputStream.write(Ljava/lang/String;)V": "FILE",
+    e.signature: e.category for e in DEFAULT_REGISTRY.entries(KIND_SINK)
 }
 
-#: ICC send APIs: data put into an Intent here leaves the component
-#: boundary (IccTA / DialDroid's analysis target).  Values name the
-#: component kind the Intent is delivered to.
+#: ICC send API -> component kind the Intent is delivered to.
 ICC_SEND_APIS: Dict[str, str] = {
-    "android.content.Context.startActivity(Landroid/content/Intent;)V": "activity",
-    "android.content.Context.sendBroadcast(Landroid/content/Intent;)V": "receiver",
-    "android.content.Context.startService(Landroid/content/Intent;)Landroid/content/ComponentName;": "service",
+    e.signature: e.category for e in DEFAULT_REGISTRY.entries(KIND_ICC_SEND)
 }
 
 #: Category pair -> severity of the flow (drives the report's score).
@@ -53,27 +219,29 @@ _DEFAULT_BY_SINK = {"SMS": 7, "NETWORK": 6, "LOG": 3, "FILE": 4}
 
 def is_source(callee: str) -> bool:
     """True when the API produces sensitive data."""
-    return callee in SOURCE_CATEGORIES
+    return DEFAULT_REGISTRY.is_kind(callee, KIND_SOURCE)
 
 
 def is_sink(callee: str) -> bool:
     """True when the API can exfiltrate data."""
-    return callee in SINK_CATEGORIES
+    return DEFAULT_REGISTRY.is_kind(callee, KIND_SINK)
 
 
 def is_icc_send(callee: str) -> bool:
     """True when the API sends an Intent across components."""
-    return callee in ICC_SEND_APIS
+    return DEFAULT_REGISTRY.is_kind(callee, KIND_ICC_SEND)
 
 
 def source_category(callee: str) -> Optional[str]:
     """Sensitive-data category of a source API, or None."""
-    return SOURCE_CATEGORIES.get(callee)
+    entry = DEFAULT_REGISTRY.get(callee)
+    return entry.category if entry and entry.kind == KIND_SOURCE else None
 
 
 def sink_category(callee: str) -> Optional[str]:
     """Exfiltration-channel category of a sink API, or None."""
-    return SINK_CATEGORIES.get(callee)
+    entry = DEFAULT_REGISTRY.get(callee)
+    return entry.category if entry and entry.kind == KIND_SINK else None
 
 
 def flow_severity(source: str, sink: str) -> int:

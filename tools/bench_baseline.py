@@ -71,6 +71,9 @@ METRICS = {
 #: Machine/state-dependent metrics: recorded and reported, never gating.
 INFORMATIONAL = ("apps_per_second", "hit_rate")
 
+#: Sink category of the demand-driven informational metrics.
+TARGETED_SINKS = "SMS"
+
 
 def collect_metrics(rows: Sequence[Any], stats: Any) -> Dict[str, Any]:
     """Headline metric means over one evaluated corpus slice."""
@@ -88,6 +91,51 @@ def collect_metrics(rows: Sequence[Any], stats: Any) -> Dict[str, Any]:
         "hit_rate": stats.hit_rate if stats else 0.0,
     }
     return {"metrics": metrics, "informational": informational}
+
+
+def collect_targeted_metrics(
+    full_rows: Sequence[Any],
+    corpus: Any,
+    jobs: Optional[int] = None,
+    no_cache: bool = False,
+) -> Dict[str, Any]:
+    """Demand-driven vetting metrics for one corpus slice.
+
+    Informational only (merged into the baseline's ``informational``
+    block by ``record``, never gating): the targeted path's cost is a
+    function of where the generator happened to place sinks, so small
+    slices have high variance.  ``targeted_speedup_modeled`` is the
+    band-total modeled-time ratio for a single-sink query
+    (:data:`TARGETED_SINKS`); ``None`` when every app was skipped (the
+    query was answered entirely by the pre-scan, for free).
+    """
+    from repro.bench.harness import AppEvaluation, evaluate_corpus
+    from repro.vetting.targeted import TargetSpec
+
+    spec = TargetSpec.parse(TARGETED_SINKS)
+    targeted_rows = evaluate_corpus(
+        corpus, jobs=jobs, no_cache=no_cache, targets=spec
+    )
+    full_s = sum(
+        row.full_s for row in full_rows if isinstance(row, AppEvaluation)
+    )
+    targeted_s = sum(
+        row.full_s
+        for row in targeted_rows
+        if isinstance(row, AppEvaluation)
+    )
+    skipped = sum(
+        1 for row in targeted_rows if not isinstance(row, AppEvaluation)
+    )
+    return {
+        "targeted_sinks": TARGETED_SINKS,
+        "targeted_skip_rate": (
+            skipped / len(targeted_rows) if targeted_rows else 0.0
+        ),
+        "targeted_speedup_modeled": (
+            full_s / targeted_s if targeted_s else None
+        ),
+    }
 
 
 @dataclass(frozen=True)
@@ -177,12 +225,19 @@ def _evaluate(apps: int, scale: float, jobs: Optional[int], no_cache: bool):
 
     corpus = AppCorpus(size=apps, profile=GeneratorProfile(scale=scale))
     rows = evaluate_corpus(corpus, jobs=jobs, no_cache=no_cache)
-    return rows, last_run_stats()
+    return rows, last_run_stats(), corpus
 
 
 def cmd_record(args: argparse.Namespace) -> int:
-    rows, stats = _evaluate(args.apps, args.scale, args.jobs, args.no_cache)
+    rows, stats, corpus = _evaluate(
+        args.apps, args.scale, args.jobs, args.no_cache
+    )
     collected = collect_metrics(rows, stats)
+    collected["informational"].update(
+        collect_targeted_metrics(
+            rows, corpus, jobs=args.jobs, no_cache=args.no_cache
+        )
+    )
     baseline = {
         "schema": BASELINE_SCHEMA,
         "version": repro.__version__,
@@ -210,7 +265,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     apps = args.apps or int(corpus.get("apps", 6))
     scale = args.scale or float(corpus.get("scale", 0.1))
 
-    rows, stats = _evaluate(apps, scale, args.jobs, args.no_cache)
+    rows, stats, _ = _evaluate(apps, scale, args.jobs, args.no_cache)
     collected = collect_metrics(rows, stats)
     comparison = compare_metrics(
         baseline.get("metrics", {}), collected["metrics"], args.tolerance
