@@ -169,6 +169,30 @@ class GeneratorProfile:
     #: Probability a method has a try/catch region (Dalvik-style
     #: exceptional edges from every throwing statement to the handler).
     catch_probability: float = 0.7
+    #: Source/sink API pools the injected leak draws from.  ``None``
+    #: keeps the default pools (and the default RNG stream); rule-pack
+    #: scenario corpora override these so each pack's APIs appear in
+    #: generated apps.
+    leak_sources: Optional[Tuple[str, ...]] = None
+    leak_sinks: Optional[Tuple[str, ...]] = None
+    #: When True every injected leak routes the sensitive value through
+    #: a sanitizer call before the sink -- the ground-truth *sanitized
+    #: false positive* scenario (a pack registering the sanitizer must
+    #: NOT report the flow).  Off by default (no extra RNG draws).
+    sanitize_leaks: bool = False
+    #: Sanitizer signatures ``sanitize_leaks`` draws from.
+    sanitizer_apis: Tuple[str, ...] = ()
+    #: When True the injected chain's helper register is drawn distinct
+    #: from the carrier register.  Tiny scenario apps have so few
+    #: object registers that the two can collide, and the helper's
+    #: allocation then strong-updates the tainted binding away --
+    #: making the ground-truth positive undetectable.  Off by default
+    #: (the collision is part of the realistic corpus noise).
+    distinct_leak_vars: bool = False
+    #: When True the injected leak's sink is an ICC Intent send (the
+    #: tainted value leaves through a component boundary instead of a
+    #: data sink).  Off by default.
+    leak_via_icc: bool = False
 
     def scaled(self, scale: float) -> "GeneratorProfile":
         """Copy with selected constants overridden."""
@@ -537,6 +561,11 @@ class _BodyBuilder:
         #: Labels the handler injector must not clobber (the injected
         #: source->sink chain must stay intact).
         self.protected_labels: set = set()
+        #: Set when the injected leak was sanitized: the clean result
+        #: register.  The method then returns it (instead of a random
+        #: register) so no tainted local escapes through the return --
+        #: the sanitized scenario must be a true negative end to end.
+        self._sanitized_result: Optional[str] = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -726,11 +755,14 @@ class _BodyBuilder:
         if inject_leak:
             self._inject_leak()
 
+        if not self.returns_object:
+            return_operand = None
+        elif self._sanitized_result is not None:
+            return_operand = self._sanitized_result
+        else:
+            return_operand = self._ovar()
         self.statements.append(
-            ReturnStatement(
-                label=self._label(),
-                operand=self._ovar() if self.returns_object else None,
-            )
+            ReturnStatement(label=self._label(), operand=return_operand)
         )
         self._wire_control()
         self._add_handlers()
@@ -876,13 +908,25 @@ class _BodyBuilder:
     def _inject_leak(self) -> None:
         """Append a genuine source -> sink flow for the vetting layer."""
         rng = self.rng
+        profile = self.profile
         first_injected = len(self.statements)
         carrier = self._ovar()
-        source = rng.choice(SOURCE_APIS)
-        sink = rng.choice(SINK_APIS)
+        source = rng.choice(profile.leak_sources or SOURCE_APIS)
+        if profile.leak_via_icc:
+            from repro.vetting.sources_sinks import ICC_SEND_APIS
+
+            sink = rng.choice(
+                profile.leak_sinks or tuple(sorted(ICC_SEND_APIS))
+            )
+        else:
+            sink = rng.choice(profile.leak_sinks or SINK_APIS)
         self.statements.append(self._emit_external_call(source, carrier))
         # Launder through a field to exercise the heap path.
-        helper = self._ovar()
+        if profile.distinct_leak_vars:
+            others = [v for v in self.object_vars if v != carrier]
+            helper = rng.choice(others) if others else self._ovar()
+        else:
+            helper = self._ovar()
         self.statements.append(
             AssignmentStatement(
                 label=self._label(),
@@ -916,10 +960,32 @@ class _BodyBuilder:
                 rhs=AccessExpr(base=helper, field_name="fData"),
             )
         )
+        if profile.sanitize_leaks and profile.sanitizer_apis:
+            # Declassify before the sink: what reaches the sink is the
+            # sanitizer's (clean) result, so a pack registering this
+            # API must stay silent while a pack without it reports.
+            sanitizer = rng.choice(profile.sanitizer_apis)
+            clean = self._ovar()
+            self.statements.append(
+                CallStatement(
+                    label=self._label(),
+                    callee=sanitizer,
+                    args=(loaded,),
+                    result=clean,
+                )
+            )
+            loaded = clean
+            self._sanitized_result = clean
         self.statements.append(self._emit_external_call(sink, None))
         sink_call = self.statements.pop()
         assert isinstance(sink_call, CallStatement)
-        args = (loaded,) + sink_call.args[1:] if sink_call.args else (loaded,)
+        if self._sanitized_result is not None:
+            # Every sink argument must be the clean value; a random
+            # extra argument could alias a still-tainted register and
+            # turn the ground-truth negative into a real flow.
+            args = (loaded,) * max(1, len(sink_call.args))
+        else:
+            args = (loaded,) + sink_call.args[1:] if sink_call.args else (loaded,)
         self.statements.append(
             CallStatement(
                 label=sink_call.label,

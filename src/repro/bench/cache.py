@@ -42,7 +42,10 @@ import repro
 #: 3: row keys carry the targeted-vetting fingerprint, so a row priced
 #: on a backward slice can never serve a full-vet request or vice
 #: versa (same aliasing class as the schema-2 fix).
-CACHE_SCHEMA = 3
+#: 4: rows carry per-severity finding counts and keys carry the rule-pack
+#: fingerprint -- a row vetted under one pack (or under none) can never
+#: serve a sweep running a different pack.
+CACHE_SCHEMA = 4
 
 _FALSY = {"0", "false", "off", "no"}
 
@@ -93,6 +96,7 @@ def row_key(
     index: int,
     fingerprint: str,
     targets_fp: str = "",
+    rules_fp: str = "",
 ) -> str:
     """Cache key for one app of one corpus under one config matrix.
 
@@ -100,9 +104,15 @@ def row_key(
     fingerprint` of a targeted sweep, or ``""`` for a full-IDFG sweep.
     A targeted row's metrics are functions of the backward slice, not
     of the whole app, so the two must never share a key.
+
+    ``rules_fp`` is the :meth:`repro.rules.pack.RulePack.fingerprint`
+    of the pack the sweep vets under, or ``""`` when no pack is run.
+    A row's ``finding_counts`` are a function of the pack, so rows
+    vetted under different packs must never alias.
     """
     blob = json.dumps(
-        [base_seed, size, profile_fp, index, fingerprint, targets_fp],
+        [base_seed, size, profile_fp, index, fingerprint, targets_fp,
+         rules_fp],
         sort_keys=True,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -189,4 +199,5 @@ def _row_from_payload(payload: Dict[str, Any]) -> "AppEvaluation":
     payload = dict(payload)
     payload["wl_mix_sync"] = tuple(payload["wl_mix_sync"])
     payload["wl_mix_mer"] = tuple(payload["wl_mix_mer"])
+    payload["finding_counts"] = tuple(payload["finding_counts"])
     return AppEvaluation(**payload)

@@ -63,6 +63,11 @@ class AppEvaluation:
     visits_mer: int
     wl_mix_sync: Tuple[int, int, int]
     wl_mix_mer: Tuple[int, int, int]
+    #: Rule-pack findings per severity band, in
+    #: :data:`repro.rules.findings.SEVERITIES` order
+    #: (info, low, medium, high, critical).  All zeros when the sweep
+    #: ran without a pack.
+    finding_counts: Tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
 
     # -- derived ratios (the figures' y-axes) ---------------------------------
 
@@ -100,6 +105,11 @@ class AppEvaluation:
     def idfg_fraction(self) -> float:
         """Fig. 1: IDFG share of Amandroid's total."""
         return self.ama_idfg_s / self.ama_total_s if self.ama_total_s else 0.0
+
+    @property
+    def total_findings(self) -> int:
+        """Rule-pack findings across all severity bands."""
+        return sum(self.finding_counts)
 
 
 @dataclass(frozen=True)
@@ -152,11 +162,34 @@ _CONFIGS = {
 }
 
 
+def finding_severity_counts(findings) -> Tuple[int, int, int, int, int]:
+    """Findings tallied per severity band, in ``SEVERITIES`` order."""
+    from repro.rules.findings import SEVERITIES
+
+    counts = [0] * len(SEVERITIES)
+    for finding in findings:
+        counts[SEVERITIES.index(finding.severity)] += 1
+    return tuple(counts)
+
+
 def evaluate_app(
-    app: AndroidApp, workload: Optional[AppWorkload] = None
+    app: AndroidApp,
+    workload: Optional[AppWorkload] = None,
+    rules=None,
 ) -> AppEvaluation:
-    """Run the full experiment matrix for one app."""
+    """Run the full experiment matrix for one app.
+
+    With ``rules`` (a :class:`repro.rules.pack.RulePack`) the app is
+    additionally vetted under the pack and the row carries per-severity
+    finding counts.
+    """
     workload = workload or AppWorkload.build(app)
+    finding_counts = (0, 0, 0, 0, 0)
+    if rules is not None:
+        from repro.vetting.report import vet_workload
+
+        vetted = vet_workload(app, workload, rules=rules)
+        finding_counts = finding_severity_counts(vetted.findings)
     priced = {
         name: GDroid(config).price(workload)
         for name, config in _CONFIGS.items()
@@ -188,6 +221,7 @@ def evaluate_app(
         visits_mer=profile.visits_mer,
         wl_mix_sync=size_mix(profile.worklist_sizes_sync),
         wl_mix_mer=size_mix(profile.worklist_sizes_mer),
+        finding_counts=finding_counts,
     )
 
 
@@ -205,7 +239,7 @@ def _lint_error_row(app: AndroidApp, index: int, error) -> LintErrorRow:
 
 
 def evaluate_or_lint_row(
-    app: AndroidApp, index: int, strict: bool, targets=None
+    app: AndroidApp, index: int, strict: bool, targets=None, rules=None
 ) -> "EvaluationRow":
     """Evaluate one app; under ``strict`` convert lint rejection to a row.
 
@@ -218,17 +252,20 @@ def evaluate_or_lint_row(
     experiment matrix is priced on the backward slice instead of the
     whole app: an app calling none of the targets yields a
     :class:`TargetedSkipRow` without building any IDFG.
+
+    With ``rules`` (a :class:`repro.rules.pack.RulePack`) the row also
+    carries the pack's per-severity finding counts.
     """
     if targets is None:
         if not strict:
-            return evaluate_app(app)
+            return evaluate_app(app, rules=rules)
         from repro.lint import LintError
 
         try:
             workload = AppWorkload.build(app, lint_gate=True)
         except LintError as error:
             return _lint_error_row(app, index, error)
-        return evaluate_app(app, workload)
+        return evaluate_app(app, workload, rules=rules)
 
     from repro.lint import LintError
     from repro.vetting.targeted import build_targeted_workload
@@ -246,7 +283,7 @@ def evaluate_or_lint_row(
             index=index,
             targets=targets.sinks,
         )
-    return evaluate_app(targeted.sliced_app, targeted.workload)
+    return evaluate_app(targeted.sliced_app, targeted.workload, rules=rules)
 
 
 def _relint_cached_row(
@@ -272,9 +309,10 @@ def _relint_cached_row(
 
 
 #: Process-wide evaluation cache:
-#: (base_seed, size, profile fingerprint, index, targets fingerprint)
-#: -> row.  The targets fingerprint is "" for full-IDFG sweeps.
-_CACHE: Dict[Tuple[int, int, str, int, str], AppEvaluation] = {}
+#: (base_seed, size, profile fingerprint, index, targets fingerprint,
+#: rules fingerprint) -> row.  The targets fingerprint is "" for
+#: full-IDFG sweeps; the rules fingerprint is "" for pack-less sweeps.
+_CACHE: Dict[Tuple[int, int, str, int, str, str], AppEvaluation] = {}
 
 
 @dataclass
@@ -354,6 +392,7 @@ def evaluate_corpus(
     no_cache: bool = False,
     strict: bool = False,
     targets=None,
+    rules=None,
 ) -> List[EvaluationRow]:
     """Evaluate a corpus slice with caching and optional parallelism.
 
@@ -376,6 +415,12 @@ def evaluate_corpus(
     (in-process and on disk), so targeted rows and full rows never
     alias even for the same corpus index.
 
+    With ``rules`` (a :class:`repro.rules.pack.RulePack` or a pack
+    name/path for :func:`repro.rules.pack.load_pack`) every app is also
+    vetted under the pack and its row carries per-severity finding
+    counts.  Cache keys fingerprint the pack content, so rows vetted
+    under different packs -- or under no pack -- never alias.
+
     An explicit ``limit=0`` evaluates nothing; ``limit=None`` means the
     whole corpus.
     """
@@ -393,6 +438,10 @@ def evaluate_corpus(
         count = corpus.size
     else:
         count = max(0, min(limit, corpus.size))
+    if isinstance(rules, str):
+        from repro.rules.pack import load_pack
+
+        rules = load_pack(rules)
     jobs = resolve_jobs(jobs)
     disk = EvaluationCache(enabled=cache_enabled(no_cache))
     stats = CorpusRunStats(
@@ -403,12 +452,16 @@ def evaluate_corpus(
     profile_fp = profile_fingerprint(corpus.profile)
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
     targets_fp = targets.fingerprint() if targets is not None else ""
+    rules_fp = rules.fingerprint() if rules is not None else ""
     rows: Dict[int, EvaluationRow] = {}
     missing: List[int] = []
     disk_keys: Dict[int, str] = {}
     with obs.span("corpus.lookup", category="lookup", apps=count):
         for index in range(count):
-            key = (corpus.base_seed, corpus.size, profile_fp, index, targets_fp)
+            key = (
+                corpus.base_seed, corpus.size, profile_fp, index,
+                targets_fp, rules_fp,
+            )
             row = _CACHE.get(key)
             if row is not None:
                 stats.process_hits += 1
@@ -420,6 +473,7 @@ def evaluate_corpus(
                     index,
                     fingerprint,
                     targets_fp,
+                    rules_fp,
                 )
                 row = disk.load(disk_keys[index])
                 if row is not None:
@@ -444,7 +498,8 @@ def evaluate_corpus(
         ):
             if jobs > 1 and len(missing) > 1:
                 fresh = evaluate_parallel(
-                    corpus, missing, jobs, strict=strict, targets=targets
+                    corpus, missing, jobs, strict=strict, targets=targets,
+                    rules=rules,
                 )
                 stats.workers = min(jobs, len(missing))
             else:
@@ -452,7 +507,7 @@ def evaluate_corpus(
                 for index in missing:
                     with obs.span(f"app[{index}]", category="app", index=index):
                         fresh[index] = evaluate_or_lint_row(
-                            corpus.app(index), index, strict, targets
+                            corpus.app(index), index, strict, targets, rules
                         )
         stats.evaluated = len(missing)
         stats.evaluate_s = time.perf_counter() - evaluated_at
@@ -465,7 +520,8 @@ def evaluate_corpus(
                 if not isinstance(row, AppEvaluation):
                     continue  # lint-error / targeted-skip rows: never cached
                 _CACHE[
-                    (corpus.base_seed, corpus.size, profile_fp, index, targets_fp)
+                    (corpus.base_seed, corpus.size, profile_fp, index,
+                     targets_fp, rules_fp)
                 ] = row
                 if disk.enabled:
                     disk.store(disk_keys[index], row)

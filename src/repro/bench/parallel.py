@@ -67,7 +67,9 @@ ChunkResult = Tuple[
 
 
 def _evaluate_chunk(
-    task: Tuple[int, int, GeneratorProfile, Sequence[int], bool, bool, Any]
+    task: Tuple[
+        int, int, GeneratorProfile, Sequence[int], bool, bool, Any, Any
+    ]
 ) -> ChunkResult:
     """Worker body: regenerate the corpus and evaluate one index chunk.
 
@@ -89,6 +91,7 @@ def _evaluate_chunk(
 
     base_seed, size, profile, indices, strict, trace, *rest = task
     targets = rest[0] if rest else None
+    rules = rest[1] if len(rest) > 1 else None
     corpus = AppCorpus(size=size, base_seed=base_seed, profile=profile)
     tracer = obs.Tracer() if trace else None
     previous = obs.activate(tracer) if tracer is not None else None
@@ -102,7 +105,7 @@ def _evaluate_chunk(
                     (
                         index,
                         evaluate_or_lint_row(
-                            corpus.app(index), index, strict, targets
+                            corpus.app(index), index, strict, targets, rules
                         ),
                     )
                 )
@@ -124,6 +127,7 @@ def evaluate_parallel(
     jobs: int,
     strict: bool = False,
     targets=None,
+    rules=None,
 ) -> Dict[int, "EvaluationRow"]:
     """Evaluate ``indices`` of ``corpus`` across ``jobs`` workers.
 
@@ -146,6 +150,7 @@ def evaluate_parallel(
             strict,
             trace,
             targets,
+            rules,
         )
         for chunk in chunks
     ]

@@ -4,9 +4,10 @@ Subcommands::
 
     gdroid generate  --seed 7 --out app.gdx [--scale 1.0]
     gdroid analyze   app.gdx [--config plain|mat|mat-grp|full] [--all]
-    gdroid vet       app.gdx
+    gdroid vet       app.gdx [--rules PACK]
+    gdroid packs     [--validate] [--scan --html report.html]
     gdroid corpus    --apps 20 [--scale 1.0]      # Table I statistics
-    gdroid bench     --apps 12 [--scale 1.0]      # headline figure rows
+    gdroid bench     --apps 12 [--scale 1.0] [--rules PACK]
     gdroid stats     --apps 8  [--scale 1.0]      # run-ledger profile
     gdroid serve     --soak --apps 24 --inject worker-crash,oom
     gdroid submit    app.gdx [more.gdx ...] --json
@@ -79,6 +80,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--targets-file", default=None, metavar="PATH",
         help="read targeted sinks from a file (one per line, # comments)",
     )
+    vet.add_argument(
+        "--rules", default=None, metavar="PACK",
+        help="vet under a rule pack (shipped name, 'default', or a "
+        ".json/.toml path): sanitizer-aware taint + graded findings",
+    )
+    vet.add_argument(
+        "--findings-json", default=None, metavar="PATH",
+        help="with --rules, write the schema-versioned findings JSON",
+    )
+    vet.add_argument(
+        "--findings-html", default=None, metavar="PATH",
+        help="with --rules, write a self-contained HTML findings report",
+    )
+
+    packs = sub.add_parser(
+        "packs", help="list, validate and gate-check rule packs"
+    )
+    packs.add_argument(
+        "names", nargs="*",
+        help="pack names/paths (default: every shipped pack)",
+    )
+    packs.add_argument(
+        "--validate", action="store_true",
+        help="load + schema-validate the packs and print their rules",
+    )
+    packs.add_argument(
+        "--scan", action="store_true",
+        help="run each pack's seeded scenario gate (100%% recall, zero "
+        "false positives); exit non-zero on any gate failure",
+    )
+    packs.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="with --scan, write the corpus gate report as HTML",
+    )
+    packs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output",
+    )
 
     lint = sub.add_parser(
         "lint", help="statically verify app IR before analysis"
@@ -123,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PREFIX", default=None,
         help="trace the run; writes PREFIX.trace.json (chrome://tracing "
         "/ Perfetto) and PREFIX.ledger.json (run-ledger stages/counters)",
+    )
+    bench.add_argument(
+        "--rules", metavar="PACK", default=None,
+        help="vet every app under a rule pack; rows carry per-severity "
+        "finding counts and cache rows are keyed by the pack fingerprint",
     )
 
     stats = sub.add_parser(
@@ -202,6 +246,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--targets-every", type=int, default=1, metavar="N",
         help="with --targets, make every N-th job targeted and the rest "
         "full vets (default 1: all targeted)",
+    )
+    serve.add_argument(
+        "--rules", default=None, metavar="PACK",
+        help="vet every job under this rule pack (workers resolve and "
+        "cache the pack by name)",
     )
     serve.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -290,6 +339,37 @@ def _parse_targets(args: argparse.Namespace):
     return None
 
 
+def _render_findings(report, rules, args: argparse.Namespace) -> None:
+    """Print graded findings and write the optional JSON/HTML artifacts."""
+    from repro.rules import findings_to_json, render_findings_page
+
+    if report.findings:
+        print(f"findings under pack {rules.name!r}:")
+        for finding in report.findings:
+            print(
+                f"  [{finding.severity:>8s}] {finding.rule_id} "
+                f"({finding.confidence:.2f}) {finding.message} "
+                f"@ {finding.method}:{finding.sink_label}"
+            )
+    else:
+        print(f"no findings under pack {rules.name!r}")
+    if report.sanitizer_kills:
+        print(f"  {len(report.sanitizer_kills)} sanitizer kill(s) recorded")
+    package = report.findings[0].package if report.findings else args.app
+    if args.findings_json:
+        Path(args.findings_json).write_text(
+            findings_to_json(
+                report.findings, rules.name, rules.fingerprint()
+            )
+        )
+        print(f"wrote {args.findings_json}")
+    if args.findings_html:
+        Path(args.findings_html).write_text(
+            render_findings_page(package, rules.name, report.findings)
+        )
+        print(f"wrote {args.findings_html}")
+
+
 def _cmd_vet(args: argparse.Namespace) -> int:
     from repro.vetting.targeted import TargetSpecError
 
@@ -298,23 +378,121 @@ def _cmd_vet(args: argparse.Namespace) -> int:
     except (TargetSpecError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    rules = None
+    if args.rules:
+        from repro.rules import PackError, load_pack
+
+        try:
+            rules = load_pack(args.rules)
+        except PackError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     app = load_gdx(args.app)
     if spec is not None:
         from repro.vetting.targeted import vet_targeted
 
-        report, stats = vet_targeted(app, spec)
+        report, stats = vet_targeted(app, spec, rules=rules)
         print(
             f"targeted vet [{spec.describe()}]: {stats.anchors} anchor(s), "
             f"slice {stats.slice_methods}/{stats.full_methods} methods"
             + (" (IDFG skipped)" if stats.skipped_idfg else "")
         )
         print(report.summary())
+        if rules is not None:
+            _render_findings(report, rules, args)
         return 0 if not report.is_suspicious else 2
     workload = AppWorkload.build(app)
     result = GDroid(GDroidConfig.all_optimizations()).price(workload)
-    report = vet_workload(app, workload, analysis_time_s=result.modeled_time_s)
+    report = vet_workload(
+        app, workload, analysis_time_s=result.modeled_time_s, rules=rules
+    )
     print(report.summary())
+    if rules is not None:
+        _render_findings(report, rules, args)
     return 0 if not report.is_suspicious else 2
+
+
+def _cmd_packs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.rules import (
+        PackError,
+        evaluate_pack,
+        load_pack,
+        render_corpus_page,
+        scenario_corpus,
+        shipped_packs,
+    )
+
+    names = list(args.names) or list(shipped_packs())
+    packs = []
+    for name in names:
+        try:
+            packs.append(load_pack(name))
+        except PackError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if not args.scan:
+        # List / validate mode (loading *is* the schema validation).
+        if args.as_json:
+            print(
+                json.dumps(
+                    [pack.to_dict() for pack in packs],
+                    sort_keys=True,
+                    indent=2,
+                )
+            )
+            return 0
+        for pack in packs:
+            rules = (
+                len(pack.taint_rules)
+                + len(pack.icc_rules)
+                + len(pack.lint_rules)
+            )
+            print(
+                f"{pack.name} v{pack.version} [{pack.fingerprint()}]: "
+                f"{len(pack.apis)} APIs, {rules} rules"
+                + (" -- valid" if args.validate else "")
+            )
+            if args.validate:
+                for rule in pack.taint_rules:
+                    print(
+                        f"  taint {rule.id} [{rule.severity}] "
+                        f"{','.join(rule.sources)} -> {','.join(rule.sinks)}"
+                    )
+                for rule in pack.icc_rules:
+                    exported = "exported" if rule.exported_only else "any"
+                    print(
+                        f"  icc   {rule.id} [{rule.severity}] "
+                        f"-> {','.join(rule.targets)} ({exported})"
+                    )
+                for rule in pack.lint_rules:
+                    print(f"  lint  {rule.id} [{rule.severity}]")
+        return 0
+
+    reports = []
+    for pack in packs:
+        try:
+            scenarios = scenario_corpus(pack)
+        except PackError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        reports.append(evaluate_pack(pack, scenarios))
+    if args.as_json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports],
+                sort_keys=True,
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.summary())
+    if args.html:
+        Path(args.html).write_text(render_corpus_page(reports))
+        print(f"wrote {args.html}")
+    return 0 if all(report.passed for report in reports) else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -400,12 +578,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
     )
+    rules = None
+    if args.rules:
+        from repro.rules import PackError, load_pack
+
+        try:
+            rules = load_pack(args.rules)
+        except PackError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     tracer = obs.Tracer() if args.profile else None
     if tracer is not None:
         obs.activate(tracer)
     try:
         all_rows = evaluate_corpus(
-            corpus, jobs=args.jobs, no_cache=args.no_cache, strict=args.strict
+            corpus, jobs=args.jobs, no_cache=args.no_cache,
+            strict=args.strict, rules=rules,
         )
     finally:
         if tracer is not None:
@@ -413,6 +601,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     stats = last_run_stats()
     if stats is not None:
         print(stats.summary())
+    if rules is not None:
+        from repro.bench.harness import AppEvaluation
+        from repro.rules.findings import SEVERITIES
+
+        totals = [0] * len(SEVERITIES)
+        for row in all_rows:
+            if isinstance(row, AppEvaluation):
+                for slot, count in enumerate(row.finding_counts):
+                    totals[slot] += count
+        graded = ", ".join(
+            f"{count} {name}"
+            for name, count in zip(SEVERITIES, totals)
+            if count
+        )
+        print(
+            f"findings [{rules.name} {rules.fingerprint()}]: "
+            f"{sum(totals)} total{': ' + graded if graded else ''}"
+        )
     if tracer is not None and not _write_profile(tracer, args.profile, stats):
         return 1
     from repro.bench.harness import AppEvaluation
@@ -502,6 +708,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         inject = parse_inject(args.inject)
         targets = _parse_targets(args)
+        if args.rules:
+            # Fail fast on an unknown pack instead of per-job in workers.
+            from repro.rules import load_pack
+
+            load_pack(args.rules)
     except (ValueError, TargetSpecError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -526,6 +737,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             targets=targets,
             targeted_every=args.targets_every,
+            rules=args.rules,
         )
     finally:
         if tracer is not None:
@@ -619,6 +831,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
         "vet": _cmd_vet,
+        "packs": _cmd_packs,
         "lint": _cmd_lint,
         "corpus": _cmd_corpus,
         "bench": _cmd_bench,

@@ -1,0 +1,80 @@
+"""Pluggable security rule packs (the configurable vetting pipeline).
+
+A rule pack bundles the API sets the analyses key on (sources, sinks,
+**sanitizers**, ICC sends), rule selectors with severity and
+confidence, and lint selections into one versioned document.  Packs
+compile to an :class:`repro.vetting.sources_sinks.ApiRegistry`, drive
+sanitizer-aware taint, and grade results into
+:class:`repro.rules.findings.Finding` objects with JSON and HTML
+rendering plus a seeded ground-truth scenario gate.
+
+* :mod:`repro.rules.pack` -- the document format, loader, validation,
+  compilation and fingerprinting.
+* :mod:`repro.rules.findings` -- severity-graded findings and their
+  schema-versioned JSON form.
+* :mod:`repro.rules.engine` -- rule matching over analysis artifacts.
+* :mod:`repro.rules.scenarios` -- per-pack labeled scenario corpora and
+  the precision/recall gate.
+* :mod:`repro.rules.html` -- self-contained HTML reports.
+"""
+
+from repro.rules.engine import build_findings
+from repro.rules.findings import (
+    FINDINGS_SCHEMA_VERSION,
+    SEVERITIES,
+    Finding,
+    cap_severity,
+    findings_document,
+    findings_to_json,
+    severity_band,
+    sort_findings,
+)
+from repro.rules.html import render_corpus_page, render_findings_page
+from repro.rules.pack import (
+    PACK_SCHEMA_VERSION,
+    IccRule,
+    LintSelection,
+    PackError,
+    RulePack,
+    TaintRule,
+    default_pack,
+    load_pack,
+    parse_pack,
+    shipped_packs,
+)
+from repro.rules.scenarios import (
+    Scenario,
+    ScenarioReport,
+    ScenarioResult,
+    evaluate_pack,
+    scenario_corpus,
+)
+
+__all__ = [
+    "FINDINGS_SCHEMA_VERSION",
+    "Finding",
+    "IccRule",
+    "LintSelection",
+    "PACK_SCHEMA_VERSION",
+    "PackError",
+    "RulePack",
+    "SEVERITIES",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioResult",
+    "TaintRule",
+    "build_findings",
+    "cap_severity",
+    "default_pack",
+    "evaluate_pack",
+    "findings_document",
+    "findings_to_json",
+    "load_pack",
+    "parse_pack",
+    "render_corpus_page",
+    "render_findings_page",
+    "scenario_corpus",
+    "severity_band",
+    "shipped_packs",
+    "sort_findings",
+]

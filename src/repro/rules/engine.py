@@ -1,0 +1,159 @@
+"""Rule evaluation: analysis artifacts -> graded findings.
+
+``build_findings`` is the bridge between the vetting analyses (taint
+flows, ICC flows, sanitizer kills, DDG witnesses) and a rule pack: each
+flow is matched against the pack's rules in declaration order (first
+match wins, like firewall rules), the manifest cross-check decides
+``permission_declared`` and applies the severity ceiling, and selected
+lint diagnostics are surfaced as findings too.  Counters (``rules.*``)
+feed the run ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rules.findings import (
+    KIND_ICC,
+    KIND_LINT,
+    KIND_TAINT,
+    Finding,
+    cap_severity,
+    sort_findings,
+)
+from repro.rules.pack import RulePack
+from repro.vetting.sources_sinks import KIND_SOURCE
+
+
+def build_findings(
+    pack: RulePack,
+    app,
+    *,
+    flows: Sequence = (),
+    icc_flows: Sequence = (),
+    witnesses: Optional[Dict[str, Tuple[str, ...]]] = None,
+    sanitizer_kills: Sequence = (),
+    manifest=None,
+    package: Optional[str] = None,
+) -> Tuple[Finding, ...]:
+    """Evaluate ``pack`` over one app's analysis artifacts."""
+    from repro import obs
+
+    witnesses = witnesses or {}
+    package_name = package or app.package
+    registry = pack.registry()
+    category_permissions = registry.category_permissions(KIND_SOURCE)
+    declared = (
+        frozenset(manifest.permissions) if manifest is not None else None
+    )
+    findings: List[Finding] = []
+
+    def _permission_check(
+        source_categories: Sequence[str],
+    ) -> Tuple[Tuple[str, ...], Optional[bool]]:
+        implied = tuple(
+            sorted(
+                {
+                    category_permissions[c]
+                    for c in source_categories
+                    if c in category_permissions
+                }
+            )
+        )
+        if declared is None or not implied:
+            return implied, None
+        return implied, all(p in declared for p in implied)
+
+    for flow in flows:
+        rule = pack.match_taint(flow.source_categories, flow.sink_category)
+        if rule is None:
+            continue
+        implied, permission_declared = _permission_check(
+            flow.source_categories
+        )
+        findings.append(
+            Finding(
+                rule_id=rule.id,
+                pack=pack.name,
+                kind=KIND_TAINT,
+                severity=cap_severity(rule.severity, permission_declared),
+                confidence=rule.confidence,
+                package=package_name,
+                method=flow.method,
+                sink_label=flow.sink_label,
+                sink_api=flow.sink_api,
+                message=rule.description
+                or f"{'/'.join(flow.source_categories)} -> {flow.sink_category}",
+                source_apis=tuple(flow.source_apis),
+                source_categories=tuple(flow.source_categories),
+                sink_category=flow.sink_category,
+                witness=witnesses.get(flow.sink_label, ()),
+                implied_permissions=implied,
+                permission_declared=permission_declared,
+            )
+        )
+
+    source_category_of = {
+        e.signature: e.category for e in registry.entries(KIND_SOURCE)
+    }
+    for icc_flow in icc_flows:
+        rule = pack.match_icc(icc_flow.target_kind, icc_flow.escapes_app)
+        if rule is None:
+            continue
+        source_categories = tuple(
+            sorted(
+                {
+                    source_category_of.get(api, "?")
+                    for api in icc_flow.source_apis
+                }
+            )
+        )
+        implied, permission_declared = _permission_check(source_categories)
+        findings.append(
+            Finding(
+                rule_id=rule.id,
+                pack=pack.name,
+                kind=KIND_ICC,
+                severity=cap_severity(rule.severity, permission_declared),
+                confidence=rule.confidence,
+                package=package_name,
+                method=icc_flow.method,
+                sink_label=icc_flow.send_label,
+                sink_api=icc_flow.send_api,
+                message=rule.description
+                or f"tainted Intent to {icc_flow.target_kind}",
+                source_apis=tuple(icc_flow.source_apis),
+                source_categories=source_categories,
+                sink_category=icc_flow.target_kind,
+                implied_permissions=implied,
+                permission_declared=permission_declared,
+            )
+        )
+
+    if pack.lint_rules:
+        from repro.lint import run_lint
+
+        selections = {s.id: s for s in pack.lint_rules}
+        report = run_lint(app)
+        for diagnostic in report.diagnostics:
+            selection = selections.get(diagnostic.rule)
+            if selection is None:
+                continue
+            findings.append(
+                Finding(
+                    rule_id=selection.id,
+                    pack=pack.name,
+                    kind=KIND_LINT,
+                    severity=selection.severity,
+                    confidence=selection.confidence,
+                    package=package_name,
+                    method=diagnostic.method,
+                    sink_label=diagnostic.label,
+                    sink_api="",
+                    message=diagnostic.message,
+                )
+            )
+
+    obs.count("rules.findings", len(findings))
+    obs.count("rules.sanitizer_kills", len(sanitizer_kills))
+    return tuple(sort_findings(findings))

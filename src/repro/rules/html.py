@@ -1,0 +1,143 @@
+"""Self-contained HTML rendering for rule-pack output.
+
+Two pages, both single-file (inline CSS, no external assets) so they
+can be attached as CI artifacts or mailed around:
+
+* :func:`render_findings_page` -- one app's graded findings;
+* :func:`render_corpus_page` -- the scenario-gate report across packs
+  (what the ``rules-smoke`` CI job uploads).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Sequence
+
+from repro.rules.findings import SEVERITIES, Finding
+from repro.rules.scenarios import ScenarioReport
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #d8d8e0; padding: 0.35rem 0.55rem;
+         text-align: left; vertical-align: top; }
+th { background: #f0f0f6; }
+code { font-size: 0.8rem; word-break: break-all; }
+.sev { font-weight: 600; padding: 0.1rem 0.45rem; border-radius: 0.6rem;
+       color: #fff; font-size: 0.75rem; white-space: nowrap; }
+.sev-critical { background: #b3001b; } .sev-high { background: #e05200; }
+.sev-medium { background: #c99700; } .sev-low { background: #3a7ca5; }
+.sev-info { background: #7a7a8c; }
+.pass { color: #1d7a33; font-weight: 700; }
+.fail { color: #b3001b; font-weight: 700; }
+.muted { color: #7a7a8c; }
+.witness { font-size: 0.75rem; color: #444; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value))
+
+
+def _severity_chip(severity: str) -> str:
+    cls = severity if severity in SEVERITIES else "info"
+    return f'<span class="sev sev-{cls}">{_esc(severity)}</span>'
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{body}</body></html>"
+    )
+
+
+def render_findings_page(
+    package: str, pack_name: str, findings: Sequence[Finding]
+) -> str:
+    """One app's findings as a standalone HTML page."""
+    if not findings:
+        body = "<p class='muted'>No findings.</p>"
+        return _page(f"{package} — {pack_name}: clean", body)
+    rows = []
+    for finding in findings:
+        witness = (
+            f"<div class='witness'>via {_esc(' → '.join(finding.witness))}</div>"
+            if finding.witness
+            else ""
+        )
+        permission = {True: "yes", False: "MISSING", None: "—"}[
+            finding.permission_declared
+        ]
+        rows.append(
+            "<tr>"
+            f"<td>{_severity_chip(finding.severity)}</td>"
+            f"<td><code>{_esc(finding.rule_id)}</code></td>"
+            f"<td>{finding.confidence:.2f}</td>"
+            f"<td>{_esc(finding.message)}{witness}</td>"
+            f"<td><code>{_esc(finding.method)}</code> @ "
+            f"<code>{_esc(finding.sink_label)}</code></td>"
+            f"<td>{_esc(permission)}</td>"
+            "</tr>"
+        )
+    body = (
+        f"<p>{len(findings)} finding(s) from pack "
+        f"<code>{_esc(pack_name)}</code>.</p>"
+        "<table><tr><th>severity</th><th>rule</th><th>conf</th>"
+        "<th>finding</th><th>location</th><th>permission</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+    return _page(f"{package} — {pack_name}", body)
+
+
+def render_corpus_page(reports: Sequence[ScenarioReport]) -> str:
+    """The scenario-gate report across packs (the CI artifact)."""
+    sections = []
+    for report in reports:
+        verdict = (
+            "<span class='pass'>PASS</span>"
+            if report.passed
+            else "<span class='fail'>FAIL</span>"
+        )
+        rows = []
+        for result in report.results:
+            if result.kind == "leak":
+                outcome = "hit" if result.hit else "MISSED"
+                ok = result.hit and result.severity_ok
+            else:
+                outcome = (
+                    "clean" if not result.false_positive else "FALSE POSITIVE"
+                )
+                ok = not result.false_positive and not result.evidence_missing
+                if result.evidence_missing:
+                    outcome = "NO KILL EVIDENCE"
+            rows.append(
+                "<tr>"
+                f"<td><code>{_esc(result.name)}</code></td>"
+                f"<td>{_esc(result.kind)}</td>"
+                f"<td><code>{_esc(result.expected_rule or '—')}</code></td>"
+                f"<td>{_severity_chip(result.expected_severity) if result.expected_severity else '—'}</td>"
+                f"<td>{result.finding_count}</td>"
+                f"<td><code>{_esc(', '.join(result.fired_rules) or '—')}</code></td>"
+                f"<td>{result.kills}</td>"
+                f"<td class='{'pass' if ok else 'fail'}'>{_esc(outcome)}</td>"
+                "</tr>"
+            )
+        sections.append(
+            f"<h2>{_esc(report.pack)} "
+            f"<span class='muted'>({_esc(report.fingerprint)})</span> "
+            f"{verdict}</h2>"
+            f"<p>recall {report.recall:.0%} · "
+            f"{report.false_positives} false positive(s) · "
+            f"{report.severity_mismatches} severity mismatch(es) · "
+            f"{report.missing_evidence} missing kill(s)</p>"
+            "<table><tr><th>scenario</th><th>kind</th><th>expected</th>"
+            "<th>severity</th><th>findings</th><th>fired</th>"
+            "<th>kills</th><th>outcome</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    return _page("Rule-pack scenario gate", "".join(sections))

@@ -1,0 +1,365 @@
+"""Seeded ground-truth scenario corpora for rule packs.
+
+Every pack gets a deterministic corpus of three scenario kinds:
+
+* ``leak`` -- a true positive: one injected source -> sink flow drawn
+  from the pack's own API set.  Exactly one pack rule is expected to
+  fire, frozen on the scenario at build time.
+* ``sanitized`` -- a ground-truth *negative*: the identical flow routed
+  through one of the pack's sanitizers before the sink.  The pack must
+  stay silent, and the sanitizer kill must appear as evidence (a silent
+  scenario with no kill means the flow never existed -- that is flagged
+  too, so a broken generator cannot fake precision).
+* ``clean`` -- no injected flow at all.
+
+Each scenario pins a *single* (source, sink) pair so the expected rule
+and severity are exact, and expectations are computed from the pack
+handed to :func:`scenario_corpus` -- the mutation harness builds
+scenarios from the shipped pack and evaluates a mutated pack against
+those frozen expectations.
+
+``evaluate_pack`` runs the full vetting pipeline per scenario and
+reduces to the precision/recall gate CI enforces: recall 100%, zero
+false positives, zero severity mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apk.generator import GeneratorProfile, generate_app
+from repro.apk.manifest import AndroidManifest, manifest_of
+from repro.ir.app import AndroidApp
+from repro.ir.component import Component, ComponentKind, LIFECYCLE_CALLBACKS
+from repro.rules.pack import PackError, RulePack
+from repro.vetting.sources_sinks import (
+    KIND_ICC_SEND,
+    KIND_SANITIZER,
+    KIND_SINK,
+    KIND_SOURCE,
+)
+
+#: Scenario kinds, cycled in this order.
+SCENARIO_KINDS = ("leak", "sanitized", "clean")
+
+#: Default scenario corpus shape (small apps, fast gate).
+DEFAULT_COUNT = 6
+DEFAULT_BASE_SEED = 7000
+DEFAULT_SCALE = 0.06
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One ground-truth-labeled app for one pack."""
+
+    name: str
+    #: ``leak`` / ``sanitized`` / ``clean``.
+    kind: str
+    seed: int
+    app: AndroidApp
+    manifest: AndroidManifest
+    #: Rule expected to fire (leak scenarios only).
+    expected_rule: Optional[str] = None
+    #: Severity that rule carried when the scenario was built.
+    expected_severity: Optional[str] = None
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the scenario contains a reportable flow."""
+        return self.kind == "leak"
+
+
+def _scenario_profile(
+    pack: RulePack,
+    kind: str,
+    source: str,
+    sink: str,
+    sanitizers: Tuple[str, ...],
+    scale: float,
+) -> GeneratorProfile:
+    return GeneratorProfile(
+        scale=scale,
+        layers_low=2,
+        layers_high=4,
+        leaky_fraction=0.0 if kind == "clean" else 1.0,
+        leak_sources=(source,),
+        leak_sinks=(sink,),
+        sanitize_leaks=kind == "sanitized",
+        sanitizer_apis=sanitizers,
+        leak_via_icc=pack.scenarios_via_icc,
+        distinct_leak_vars=True,
+    )
+
+
+def _with_exposed_component(app: AndroidApp, kind: str) -> AndroidApp:
+    """Add an exported component of ``kind`` (the hijackable receiver)."""
+    component_kind = ComponentKind(kind)
+    callback = LIFECYCLE_CALLBACKS[component_kind][0]
+    target = str(app.methods[-1].signature)
+    exposed = Component(
+        name=f"{app.package}.Exposed",
+        kind=component_kind,
+        callbacks={callback: target},
+        exported=True,
+    )
+    return AndroidApp(
+        package=app.package,
+        components=list(app.components) + [exposed],
+        methods=app.methods,
+        global_fields=app.global_fields,
+        category=app.category,
+    )
+
+
+def scenario_corpus(
+    pack: RulePack,
+    count: int = DEFAULT_COUNT,
+    base_seed: int = DEFAULT_BASE_SEED,
+    scale: float = DEFAULT_SCALE,
+) -> Tuple[Scenario, ...]:
+    """Deterministic labeled corpus for ``pack``.
+
+    Expectations (rule ID + severity) are frozen from ``pack`` at build
+    time.  Every app is lint-verified before it enters the corpus.
+    """
+    from repro.lint import LintError, run_lint
+
+    registry = pack.registry()
+    sources = registry.signatures(KIND_SOURCE)
+    sink_kind = KIND_ICC_SEND if pack.scenarios_via_icc else KIND_SINK
+    sinks = registry.signatures(sink_kind)
+    sanitizers = registry.signatures(KIND_SANITIZER)
+    if not sources or not sinks:
+        raise PackError(
+            f"pack {pack.name!r} has no source/sink APIs to build "
+            "scenarios from"
+        )
+    if not sanitizers:
+        raise PackError(
+            f"pack {pack.name!r} has no sanitizers: the sanitized "
+            "false-positive scenario cannot be built"
+        )
+
+    permissions = tuple(
+        sorted(set(registry.category_permissions(KIND_SOURCE).values()))
+    )
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        kind = SCENARIO_KINDS[index % len(SCENARIO_KINDS)]
+        pair = index // len(SCENARIO_KINDS)
+        source = sources[pair % len(sources)]
+        sink = sinks[pair % len(sinks)]
+        profile = _scenario_profile(
+            pack, kind, source, sink, sanitizers, scale
+        )
+        app = generate_app(base_seed + index, profile)
+        if pack.scenarios_via_icc:
+            target_kind = registry.category_of(sink) or "activity"
+            app = _with_exposed_component(app, target_kind)
+        report = run_lint(app)
+        if not report.is_clean:
+            raise LintError(report)
+
+        expected_rule: Optional[str] = None
+        expected_severity: Optional[str] = None
+        if kind == "leak":
+            if pack.scenarios_via_icc:
+                rule = pack.match_icc(
+                    registry.category_of(sink) or "?", escapes_app=True
+                )
+            else:
+                rule = pack.match_taint(
+                    (registry.category_of(source) or "?",),
+                    registry.category_of(sink) or "?",
+                )
+            if rule is None:
+                raise PackError(
+                    f"pack {pack.name!r} has no rule covering scenario "
+                    f"pair {source} -> {sink}"
+                )
+            expected_rule = rule.id
+            expected_severity = rule.severity
+        scenarios.append(
+            Scenario(
+                name=f"{pack.name}-{kind}-{index}",
+                kind=kind,
+                seed=base_seed + index,
+                app=app,
+                manifest=manifest_of(app, permissions=permissions),
+                expected_rule=expected_rule,
+                expected_severity=expected_severity,
+            )
+        )
+    return tuple(scenarios)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Gate outcome for one scenario."""
+
+    name: str
+    kind: str
+    expected_rule: Optional[str]
+    expected_severity: Optional[str]
+    finding_count: int
+    #: Rule IDs that actually fired.
+    fired_rules: Tuple[str, ...]
+    #: Leak scenarios: the expected rule fired.
+    hit: bool
+    #: Negative scenarios: something fired anyway.
+    false_positive: bool
+    #: Findings of the expected rule carried the expected severity.
+    severity_ok: bool
+    #: Sanitizer kills recorded (sanitized scenarios must be > 0).
+    kills: int
+
+    @property
+    def evidence_missing(self) -> bool:
+        """Sanitized scenario with no kill: the flow never existed."""
+        return self.kind == "sanitized" and self.kills == 0
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Precision/recall gate result for one pack."""
+
+    pack: str
+    fingerprint: str
+    results: Tuple[ScenarioResult, ...]
+
+    @property
+    def positives(self) -> int:
+        return sum(1 for r in self.results if r.kind == "leak")
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.results if r.kind == "leak" and r.hit)
+
+    @property
+    def recall(self) -> float:
+        """Fraction of leak scenarios whose expected rule fired."""
+        return self.hits / self.positives if self.positives else 1.0
+
+    @property
+    def false_positives(self) -> int:
+        """Findings on ground-truth-negative scenarios."""
+        return sum(
+            r.finding_count for r in self.results if r.false_positive
+        )
+
+    @property
+    def severity_mismatches(self) -> int:
+        return sum(1 for r in self.results if not r.severity_ok)
+
+    @property
+    def missing_evidence(self) -> int:
+        return sum(1 for r in self.results if r.evidence_missing)
+
+    @property
+    def passed(self) -> bool:
+        """The CI gate: perfect recall, zero FPs, severities intact."""
+        return (
+            self.recall == 1.0
+            and self.false_positives == 0
+            and self.severity_mismatches == 0
+            and self.missing_evidence == 0
+        )
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "pack": self.pack,
+            "fingerprint": self.fingerprint,
+            "recall": self.recall,
+            "false_positives": self.false_positives,
+            "severity_mismatches": self.severity_mismatches,
+            "missing_evidence": self.missing_evidence,
+            "passed": self.passed,
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "kind": r.kind,
+                    "expected_rule": r.expected_rule,
+                    "expected_severity": r.expected_severity,
+                    "finding_count": r.finding_count,
+                    "fired_rules": list(r.fired_rules),
+                    "hit": r.hit,
+                    "false_positive": r.false_positive,
+                    "severity_ok": r.severity_ok,
+                    "kills": r.kills,
+                }
+                for r in self.results
+            ],
+        }
+
+    def summary(self) -> str:
+        """One line per pack, CI-log friendly."""
+        return (
+            f"{self.pack}: recall {self.recall:.0%}, "
+            f"{self.false_positives} FP, "
+            f"{self.severity_mismatches} severity mismatch(es), "
+            f"{self.missing_evidence} missing kill(s) -> "
+            f"{'PASS' if self.passed else 'FAIL'}"
+        )
+
+
+def evaluate_pack(
+    pack: RulePack,
+    scenarios: Sequence[Scenario],
+    config=None,
+) -> ScenarioReport:
+    """Run the gate: vet every scenario with ``pack`` and score it.
+
+    ``scenarios`` carry the frozen expectations; pass scenarios built
+    from a *different* (e.g. mutated) pack to check that the gate
+    catches the drift.
+    """
+    from repro import obs
+    from repro.vetting.report import vet_app
+
+    results: List[ScenarioResult] = []
+    for scenario in scenarios:
+        report = vet_app(
+            scenario.app, config=config, rules=pack,
+            manifest=scenario.manifest,
+        )
+        fired = tuple(sorted({f.rule_id for f in report.findings}))
+        if scenario.kind == "leak":
+            hit = scenario.expected_rule in fired
+            matching = [
+                f
+                for f in report.findings
+                if f.rule_id == scenario.expected_rule
+            ]
+            # A miss is charged to recall alone; severity is only judged
+            # on findings the expected rule actually produced.
+            severity_ok = all(
+                f.severity == scenario.expected_severity for f in matching
+            )
+            false_positive = False
+        else:
+            hit = False
+            severity_ok = True
+            false_positive = bool(report.findings)
+        results.append(
+            ScenarioResult(
+                name=scenario.name,
+                kind=scenario.kind,
+                expected_rule=scenario.expected_rule,
+                expected_severity=scenario.expected_severity,
+                finding_count=len(report.findings),
+                fired_rules=fired,
+                hit=hit,
+                false_positive=false_positive,
+                severity_ok=severity_ok,
+                kills=len(report.sanitizer_kills),
+            )
+        )
+    scenario_report = ScenarioReport(
+        pack=pack.name,
+        fingerprint=pack.fingerprint(),
+        results=tuple(results),
+    )
+    obs.count("rules.scenario_failures", 0 if scenario_report.passed else 1)
+    return scenario_report

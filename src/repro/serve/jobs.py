@@ -55,6 +55,10 @@ class VetJob:
     size_class: str
     #: Sink signatures for demand-driven vetting (None = full vet).
     targets: Optional[List[str]] = None
+    #: Rule-pack name/path to vet under (None = legacy grading only).
+    #: A name, not a compiled pack: job records stay JSON-serializable
+    #: and workers resolve (and cache) the pack themselves.
+    rules: Optional[str] = None
     state: str = JobState.PENDING
     #: Processing attempts started (first run counts as attempt 1).
     attempts: int = 0
@@ -72,6 +76,8 @@ class VetJob:
     #: Vetting verdict / risk when the service runs the taint plugin.
     verdict: Optional[str] = None
     risk_score: Optional[int] = None
+    #: Total rule-pack findings (None unless the job ran with rules).
+    findings: Optional[int] = None
     #: Modeled single-app latency on the serving engine (seconds).
     modeled_latency_s: Optional[float] = None
     error: Optional[str] = None
@@ -93,6 +99,7 @@ class VetJob:
             "source": self.source,
             "size_class": self.size_class,
             "targets": list(self.targets) if self.targets else None,
+            "rules": self.rules,
             "state": self.state,
             "attempts": self.attempts,
             "workers": list(self.workers),
@@ -101,6 +108,7 @@ class VetJob:
             "engine": self.engine,
             "verdict": self.verdict,
             "risk_score": self.risk_score,
+            "findings": self.findings,
             "modeled_latency_s": self.modeled_latency_s,
             "error": self.error,
         }

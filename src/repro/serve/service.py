@@ -95,6 +95,7 @@ class CorpusSource:
         count: Optional[int] = None,
         targets=None,
         targeted_every: int = 1,
+        rules: Optional[str] = None,
     ) -> List[VetJob]:
         """Job records for the first ``count`` corpus apps.
 
@@ -104,6 +105,9 @@ class CorpusSource:
         the slice is all the device will analyze -- a targeted job on a
         large app can land in the small band (or cost ~nothing, when
         the pre-scan finds no targeted sink at all).
+
+        With ``rules`` (a pack name/path) every job vets under that
+        rule pack; workers resolve and cache the pack by name.
         """
         count = self.corpus.size if count is None else count
         jobs = []
@@ -125,6 +129,7 @@ class CorpusSource:
                     est_cost=float(nodes),
                     size_class=classify(nodes),
                     targets=job_targets,
+                    rules=rules,
                 )
             )
         return jobs
@@ -387,8 +392,11 @@ class VettingService:
         job.row = result.row
         job.verdict = result.verdict
         job.risk_score = result.risk_score
+        job.findings = result.findings
         job.modeled_latency_s = result.latency_s
         job.engine = worker.engine
+        if result.findings:
+            self._count("serve.findings", result.findings)
         if not worker.healthy:
             self._count(f"serve.fallback.{worker.engine}")
         self._finish(job, JobState.DONE)
@@ -482,6 +490,7 @@ def run_soak(
     fault_seed: int = 2020,
     targets=None,
     targeted_every: int = 1,
+    rules: Optional[str] = None,
     **fault_overrides,
 ) -> SoakReport:
     """Push a corpus slice through a fresh service instance.
@@ -491,11 +500,14 @@ def run_soak(
     and the worker count.  ``targets`` marks every ``targeted_every``-th
     job demand-driven (see :meth:`CorpusSource.jobs`) so mixed
     targeted/full soaks exercise both pipelines under the same faults.
+    ``rules`` (a pack name/path) makes every job vet under that pack.
     """
     config = config or ServeConfig()
     source = CorpusSource(corpus)
     count = corpus.size if apps is None else min(apps, corpus.size)
-    jobs = source.jobs(count, targets=targets, targeted_every=targeted_every)
+    jobs = source.jobs(
+        count, targets=targets, targeted_every=targeted_every, rules=rules
+    )
     injector = (
         build_injector(
             inject, fault_seed, len(jobs), config.workers, **fault_overrides

@@ -24,7 +24,8 @@ replica.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, replace
 from typing import Optional, TYPE_CHECKING
 
 from repro import obs
@@ -58,6 +59,18 @@ def engine_latency_s(row, engine: str) -> Optional[float]:
     }[engine]
 
 
+@functools.lru_cache(maxsize=8)
+def resolve_pack(name: str):
+    """Load (and memoise) a rule pack by name/path for job processing.
+
+    Jobs carry pack *names* so their records stay JSON; every worker in
+    the process shares this cache, so a soak resolves each pack once.
+    """
+    from repro.rules.pack import load_pack
+
+    return load_pack(name)
+
+
 @dataclass
 class PipelineResult:
     """What one successful pipeline pass produces."""
@@ -66,6 +79,8 @@ class PipelineResult:
     verdict: Optional[str]
     risk_score: Optional[int]
     latency_s: Optional[float]
+    #: Total rule-pack findings (None unless the pass ran with rules).
+    findings: Optional[int] = None
 
 
 def run_pipeline(
@@ -75,6 +90,7 @@ def run_pipeline(
     strict: bool,
     vet: bool,
     targets=None,
+    rules=None,
 ) -> PipelineResult:
     """loader -> lint gate -> GDroid kernel -> vetting report, once.
 
@@ -89,11 +105,21 @@ def run_pipeline(
     sinks, analyze only the backward slice, and report only flows into
     those sinks.  An app calling none of the targets is served clean
     from the pre-scan alone (``TargetedSkipRow``, no IDFG).
+
+    With ``rules`` (a :class:`repro.rules.pack.RulePack`) the vetting
+    pass runs under the pack: sanitizer-aware taint, graded findings on
+    the row (per-severity counts) and in the result (total).
     """
-    from repro.bench.harness import _lint_error_row, evaluate_app
+    from repro.bench.harness import (
+        _lint_error_row,
+        evaluate_app,
+        finding_severity_counts,
+    )
 
     if targets is not None:
-        return _run_targeted_pipeline(app, index, engine, strict, vet, targets)
+        return _run_targeted_pipeline(
+            app, index, engine, strict, vet, targets, rules
+        )
     if strict:
         from repro.lint import LintError
 
@@ -110,14 +136,26 @@ def run_pipeline(
         workload = AppWorkload.build(app)
     row = evaluate_app(app, workload)
     latency = engine_latency_s(row, engine)
-    verdict = risk = None
-    if vet:
+    verdict = risk = findings = None
+    if vet or rules is not None:
         from repro.vetting.report import vet_workload
 
-        report = vet_workload(app, workload, analysis_time_s=latency or 0.0)
-        verdict, risk = report.verdict, report.risk_score
+        report = vet_workload(
+            app, workload, analysis_time_s=latency or 0.0, rules=rules
+        )
+        if vet:
+            verdict, risk = report.verdict, report.risk_score
+        if rules is not None:
+            # The row a rules job serves is the same row evaluate_corpus
+            # (rules=pack) computes: same workload, same pack, one vet.
+            row = replace(
+                row,
+                finding_counts=finding_severity_counts(report.findings),
+            )
+            findings = len(report.findings)
     return PipelineResult(
-        row=row, verdict=verdict, risk_score=risk, latency_s=latency
+        row=row, verdict=verdict, risk_score=risk, latency_s=latency,
+        findings=findings,
     )
 
 
@@ -128,12 +166,14 @@ def _run_targeted_pipeline(
     strict: bool,
     vet: bool,
     targets,
+    rules=None,
 ) -> PipelineResult:
     """The demand-driven variant of :func:`run_pipeline`."""
     from repro.bench.harness import (
         TargetedSkipRow,
         _lint_error_row,
         evaluate_app,
+        finding_severity_counts,
     )
     from repro.lint import LintError
     from repro.vetting.targeted import (
@@ -153,10 +193,13 @@ def _run_targeted_pipeline(
             latency_s=None,
         )
     if targeted.workload is None:
-        verdict = risk = None
-        if vet:
-            report = vet_targeted_report(targeted)
-            verdict, risk = report.verdict, report.risk_score
+        verdict = risk = findings = None
+        if vet or rules is not None:
+            report = vet_targeted_report(targeted, rules=rules)
+            if vet:
+                verdict, risk = report.verdict, report.risk_score
+            if rules is not None:
+                findings = len(report.findings)
         return PipelineResult(
             row=TargetedSkipRow(
                 package=app.package,
@@ -167,15 +210,26 @@ def _run_targeted_pipeline(
             verdict=verdict,
             risk_score=risk,
             latency_s=0.0,
+            findings=findings,
         )
     row = evaluate_app(targeted.sliced_app, targeted.workload)
     latency = engine_latency_s(row, engine)
-    verdict = risk = None
-    if vet:
-        report = vet_targeted_report(targeted, analysis_time_s=latency or 0.0)
-        verdict, risk = report.verdict, report.risk_score
+    verdict = risk = findings = None
+    if vet or rules is not None:
+        report = vet_targeted_report(
+            targeted, analysis_time_s=latency or 0.0, rules=rules
+        )
+        if vet:
+            verdict, risk = report.verdict, report.risk_score
+        if rules is not None:
+            row = replace(
+                row,
+                finding_counts=finding_severity_counts(report.findings),
+            )
+            findings = len(report.findings)
     return PipelineResult(
-        row=row, verdict=verdict, risk_score=risk, latency_s=latency
+        row=row, verdict=verdict, risk_score=risk, latency_s=latency,
+        findings=findings,
     )
 
 
@@ -317,6 +371,7 @@ class DeviceWorker:
                 from repro.vetting.targeted import TargetSpec
 
                 targets = TargetSpec(sinks=tuple(job.targets))
+            rules = resolve_pack(job.rules) if job.rules else None
             result = run_pipeline(
                 app,
                 job.index,
@@ -324,5 +379,6 @@ class DeviceWorker:
                 service.config.strict,
                 service.config.vet,
                 targets,
+                rules,
             )
         service.on_job_success(job, self, result)

@@ -19,17 +19,20 @@ from repro.vetting.ddg import DataDependenceGraph, build_ddg
 from repro.vetting.icc import IccAnalysis, IccFlow
 from repro.vetting.report import VettingReport, vet_app, vet_workload
 from repro.vetting.sources_sinks import (
+    CATEGORY_PERMISSIONS,
     DEFAULT_REGISTRY,
     ICC_SEND_APIS,
+    KIND_SANITIZER,
     SINK_CATEGORIES,
     SOURCE_CATEGORIES,
     ApiEntry,
     ApiRegistry,
     is_icc_send,
+    is_sanitizer,
     is_sink,
     is_source,
 )
-from repro.vetting.taint import TaintAnalysis, TaintFlow
+from repro.vetting.taint import SanitizerKill, TaintAnalysis, TaintFlow
 from repro.vetting.targeted import (
     TargetSpec,
     TargetedWorkload,
@@ -42,13 +45,16 @@ from repro.vetting.targeted import (
 __all__ = [
     "ApiEntry",
     "ApiRegistry",
+    "CATEGORY_PERMISSIONS",
     "DEFAULT_REGISTRY",
     "DataDependenceGraph",
     "ICC_SEND_APIS",
     "IccAnalysis",
     "IccFlow",
+    "KIND_SANITIZER",
     "SINK_CATEGORIES",
     "SOURCE_CATEGORIES",
+    "SanitizerKill",
     "TaintAnalysis",
     "TaintFlow",
     "TargetSpec",
@@ -58,6 +64,7 @@ __all__ = [
     "build_targeted_workload",
     "find_anchors",
     "is_icc_send",
+    "is_sanitizer",
     "is_sink",
     "is_source",
     "scan_blob",

@@ -27,7 +27,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.dataflow.idfg import IDFG
 from repro.ir.app import AndroidApp
 from repro.ir.component import ComponentKind
-from repro.vetting.sources_sinks import ICC_SEND_APIS
+from repro.vetting.sources_sinks import (
+    DEFAULT_REGISTRY,
+    KIND_ICC_SEND,
+    ApiRegistry,
+)
 from repro.vetting.taint import TaintAnalysis, _call_sites
 
 
@@ -66,13 +70,21 @@ class IccAnalysis:
         app: AndroidApp,
         idfg: IDFG,
         taint: Optional[TaintAnalysis] = None,
+        registry: Optional[ApiRegistry] = None,
     ) -> None:
         self.app = app
         self.idfg = idfg
         if taint is None:
-            taint = TaintAnalysis(app, idfg)
+            taint = TaintAnalysis(
+                app, idfg, registry=registry or DEFAULT_REGISTRY
+            )
             taint.run()
         self.taint = taint
+        self.registry = registry or taint.registry
+        self._send_kinds: Dict[str, str] = {
+            e.signature: e.category
+            for e in self.registry.entries(KIND_ICC_SEND)
+        }
 
     def _receivers_for(self, kind: str) -> Tuple[str, ...]:
         wanted = ComponentKind(kind)
@@ -90,7 +102,7 @@ class IccAnalysis:
             if signature not in self.app.method_table:
                 continue
             for site in _call_sites(self.app, signature):
-                kind = ICC_SEND_APIS.get(site.callee)
+                kind = self._send_kinds.get(site.callee)
                 if kind is None:
                     continue
                 provenance = set()

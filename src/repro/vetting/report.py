@@ -10,23 +10,25 @@ the throughput benchmark drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import GDroidConfig
 from repro.core.engine import AppWorkload, GDroid
 from repro.ir.app import AndroidApp
 from repro.vetting.ddg import DataDependenceGraph, build_ddg
 from repro.vetting.icc import IccAnalysis, IccFlow
-from repro.vetting.sources_sinks import flow_severity
-from repro.vetting.taint import TaintAnalysis, TaintFlow
+from repro.vetting.sources_sinks import (
+    DEFAULT_REGISTRY,
+    KIND_SOURCE,
+    ApiRegistry,
+    flow_severity,
+)
+from repro.vetting.taint import SanitizerKill, TaintAnalysis, TaintFlow
 
-#: Permission implied by each source category (manifest cross-check).
-_CATEGORY_PERMISSIONS = {
-    "UNIQUE_IDENTIFIER": "android.permission.READ_PHONE_STATE",
-    "LOCATION": "android.permission.ACCESS_FINE_LOCATION",
-    "ACCOUNT": "android.permission.GET_ACCOUNTS",
-    "DATABASE": "android.permission.READ_CONTACTS",
-}
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apk.manifest import AndroidManifest
+    from repro.rules.findings import Finding
+    from repro.rules.pack import RulePack
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,11 @@ class VettingReport:
     #: Dependence-chain witness per flow (sink label -> chain), where
     #: an intra-method chain exists.
     witnesses: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Rule-pack findings (empty unless vetted with a rule pack).
+    findings: Tuple["Finding", ...] = ()
+    #: Taint facts dropped at registered sanitizer calls (evidence for
+    #: why a would-be flow did not surface).
+    sanitizer_kills: Tuple[SanitizerKill, ...] = ()
 
     @property
     def is_suspicious(self) -> bool:
@@ -104,20 +111,29 @@ def vet_workload(
     app: AndroidApp,
     workload: AppWorkload,
     analysis_time_s: float = 0.0,
+    rules: Optional["RulePack"] = None,
+    manifest: Optional["AndroidManifest"] = None,
 ) -> VettingReport:
     """Vet an app whose IDFG has already been constructed."""
     from repro import obs
 
     with obs.span(f"vet:{app.package}", category="vetting"):
-        return _vet_workload(app, workload, analysis_time_s)
+        return _vet_workload(app, workload, analysis_time_s, rules, manifest)
 
 
 def _vet_workload(
     app: AndroidApp,
     workload: AppWorkload,
     analysis_time_s: float,
+    rules: Optional["RulePack"] = None,
+    manifest: Optional["AndroidManifest"] = None,
 ) -> VettingReport:
-    analysis = TaintAnalysis(workload.analyzed_app, workload.idfg)
+    registry: ApiRegistry = (
+        rules.registry() if rules is not None else DEFAULT_REGISTRY
+    )
+    analysis = TaintAnalysis(
+        workload.analyzed_app, workload.idfg, registry=registry
+    )
     flows = tuple(analysis.run())
     icc_flows = tuple(
         IccAnalysis(workload.analyzed_app, workload.idfg, analysis).run()
@@ -136,16 +152,30 @@ def _vet_workload(
                 break
 
     score, verdict = _grade(flows, icc_flows)
+    category_permissions = registry.category_permissions(KIND_SOURCE)
     permissions = tuple(
         sorted(
             {
-                _CATEGORY_PERMISSIONS[category]
+                category_permissions[category]
                 for flow in flows
                 for category in flow.source_categories
-                if category in _CATEGORY_PERMISSIONS
+                if category in category_permissions
             }
         )
     )
+    findings: Tuple["Finding", ...] = ()
+    if rules is not None:
+        from repro.rules.engine import build_findings
+
+        findings = build_findings(
+            rules,
+            app,
+            flows=flows,
+            icc_flows=icc_flows,
+            witnesses=witnesses,
+            sanitizer_kills=tuple(analysis.sanitizer_kills),
+            manifest=manifest,
+        )
     return VettingReport(
         package=app.package,
         flows=flows,
@@ -155,14 +185,25 @@ def _vet_workload(
         implied_permissions=permissions,
         analysis_time_s=analysis_time_s,
         witnesses=witnesses,
+        findings=findings,
+        sanitizer_kills=tuple(analysis.sanitizer_kills),
     )
 
 
 def vet_app(
-    app: AndroidApp, config: Optional[GDroidConfig] = None
+    app: AndroidApp,
+    config: Optional[GDroidConfig] = None,
+    rules: Optional["RulePack"] = None,
+    manifest: Optional["AndroidManifest"] = None,
 ) -> VettingReport:
     """Full pipeline: GDroid IDFG construction, then the taint plugin."""
     config = config or GDroidConfig.all_optimizations()
     workload = AppWorkload.build(app, tuning=config.tuning, record_mer=config.use_mer)
     result = GDroid(config).price(workload)
-    return vet_workload(app, workload, analysis_time_s=result.modeled_time_s)
+    return vet_workload(
+        app,
+        workload,
+        analysis_time_s=result.modeled_time_s,
+        rules=rules,
+        manifest=manifest,
+    )

@@ -18,6 +18,7 @@ remain the stable compatibility surface.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
@@ -25,6 +26,21 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 KIND_SOURCE = "source"
 KIND_SINK = "sink"
 KIND_ICC_SEND = "icc-send"
+#: A declassifier: taint flowing through this API is *killed* (the
+#: returned value is considered clean).  The default registry ships
+#: none -- sanitizers arrive with rule packs (:mod:`repro.rules`).
+KIND_SANITIZER = "sanitizer"
+
+#: Every kind an :class:`ApiEntry` may carry; anything else is a typo
+#: that would make the entry silently unmatchable.
+VALID_KINDS = frozenset(
+    (KIND_SOURCE, KIND_SINK, KIND_ICC_SEND, KIND_SANITIZER)
+)
+
+#: Categories are short identifier-ish tokens (``UNIQUE_IDENTIFIER``,
+#: ``SMS``, ``activity``); an empty or whitespace-laden category would
+#: never match a rule selector.
+_CATEGORY_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
 
 
 @dataclass(frozen=True)
@@ -33,11 +49,16 @@ class ApiEntry:
 
     #: Fully qualified method signature (exact-match key).
     signature: str
-    #: ``source`` / ``sink`` / ``icc-send``.
+    #: ``source`` / ``sink`` / ``sanitizer`` / ``icc-send``.
     kind: str
     #: Sensitive-data category (sources), exfiltration channel (sinks),
-    #: or target component kind (ICC sends).
+    #: declassifier class (sanitizers), or target component kind (ICC
+    #: sends).
     category: str
+    #: Android permission implied by calling this API (the manifest
+    #: cross-check); carried on the entry so the category->permission
+    #: mapping ships with the registry and cannot drift from it.
+    permission: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return f"[{self.kind}:{self.category}] {self.signature}"
@@ -49,15 +70,45 @@ class ApiRegistry:
     Lookup is exact on signature; enumeration can be filtered by kind
     and/or category.  Registries are immutable after construction so a
     registry instance can be shared freely across analyses.
+
+    Construction validates every entry: the kind must be one of
+    :data:`VALID_KINDS` and the category a non-empty identifier token,
+    so a typo'd entry fails loudly instead of never matching.  Two
+    entries of the same kind and category must also agree on the
+    implied permission -- the mapping is per-category, and silent
+    disagreement would make the manifest cross-check depend on
+    iteration order.
     """
 
     def __init__(self, entries: Iterable[ApiEntry]) -> None:
         self._by_signature: Dict[str, ApiEntry] = {}
+        permission_of_category: Dict[Tuple[str, str], Optional[str]] = {}
         for entry in entries:
             if entry.signature in self._by_signature:
                 raise ValueError(
                     f"duplicate registry signature: {entry.signature}"
                 )
+            if entry.kind not in VALID_KINDS:
+                valid = ", ".join(sorted(VALID_KINDS))
+                raise ValueError(
+                    f"invalid kind {entry.kind!r} for {entry.signature} "
+                    f"(expected one of: {valid})"
+                )
+            if not _CATEGORY_RE.match(entry.category or ""):
+                raise ValueError(
+                    f"invalid category {entry.category!r} for "
+                    f"{entry.signature} (expected a non-empty "
+                    "[A-Za-z0-9_.-]+ token)"
+                )
+            key = (entry.kind, entry.category)
+            if entry.permission is not None:
+                known = permission_of_category.get(key)
+                if known is not None and known != entry.permission:
+                    raise ValueError(
+                        f"category {entry.category!r} maps to both "
+                        f"{known!r} and {entry.permission!r}"
+                    )
+                permission_of_category[key] = entry.permission
             self._by_signature[entry.signature] = entry
 
     # -- lookup ----------------------------------------------------------------
@@ -80,6 +131,11 @@ class ApiRegistry:
         """True when ``signature`` is registered with ``kind``."""
         entry = self._by_signature.get(signature)
         return entry is not None and entry.kind == kind
+
+    def permission_of(self, signature: str) -> Optional[str]:
+        """The Android permission implied by ``signature``, or None."""
+        entry = self._by_signature.get(signature)
+        return entry.permission if entry else None
 
     # -- enumeration -----------------------------------------------------------
 
@@ -108,6 +164,20 @@ class ApiRegistry:
             sorted({e.category for e in self.entries(kind=kind)})
         )
 
+    def category_permissions(
+        self, kind: str = KIND_SOURCE
+    ) -> Dict[str, str]:
+        """Category -> implied permission for entries of ``kind``.
+
+        Categories whose entries carry no permission are omitted (they
+        simply skip the manifest cross-check).
+        """
+        mapping: Dict[str, str] = {}
+        for entry in self.entries(kind=kind):
+            if entry.permission is not None:
+                mapping[entry.category] = entry.permission
+        return mapping
+
     def __iter__(self) -> Iterator[ApiEntry]:
         return iter(self._by_signature.values())
 
@@ -126,21 +196,25 @@ DEFAULT_REGISTRY = ApiRegistry(
             "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;",
             KIND_SOURCE,
             "UNIQUE_IDENTIFIER",
+            permission="android.permission.READ_PHONE_STATE",
         ),
         ApiEntry(
             "android.location.LocationManager.getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;",
             KIND_SOURCE,
             "LOCATION",
+            permission="android.permission.ACCESS_FINE_LOCATION",
         ),
         ApiEntry(
             "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;",
             KIND_SOURCE,
             "ACCOUNT",
+            permission="android.permission.GET_ACCOUNTS",
         ),
         ApiEntry(
             "android.content.ContentResolver.query(Landroid/net/Uri;)Landroid/database/Cursor;",
             KIND_SOURCE,
             "DATABASE",
+            permission="android.permission.READ_CONTACTS",
         ),
         # Sinks: exfiltration channels.
         ApiEntry(
@@ -202,6 +276,12 @@ ICC_SEND_APIS: Dict[str, str] = {
     e.signature: e.category for e in DEFAULT_REGISTRY.entries(KIND_ICC_SEND)
 }
 
+#: Source category -> Android permission implied by reading that data
+#: (the registry-backed successor of report.py's private table).
+CATEGORY_PERMISSIONS: Dict[str, str] = (
+    DEFAULT_REGISTRY.category_permissions(KIND_SOURCE)
+)
+
 #: Category pair -> severity of the flow (drives the report's score).
 FLOW_SEVERITY: Dict[tuple, int] = {
     ("UNIQUE_IDENTIFIER", "SMS"): 9,
@@ -230,6 +310,11 @@ def is_sink(callee: str) -> bool:
 def is_icc_send(callee: str) -> bool:
     """True when the API sends an Intent across components."""
     return DEFAULT_REGISTRY.is_kind(callee, KIND_ICC_SEND)
+
+
+def is_sanitizer(callee: str) -> bool:
+    """True when the API declassifies data (never in the default set)."""
+    return DEFAULT_REGISTRY.is_kind(callee, KIND_SANITIZER)
 
 
 def source_category(callee: str) -> Optional[str]:

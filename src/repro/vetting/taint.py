@@ -18,6 +18,11 @@ fixed point:
 * **globals across**: a tainted instance reaching a global slot at any
   method's exit taints the global's symbolic instance everywhere.
 
+External calls registered as *sanitizers* are the one exception to the
+laundering rule: their result is clean regardless of argument taint
+(declassification), and each kill is recorded as evidence in
+:attr:`TaintAnalysis.sanitizer_kills`.
+
 A *leak* is a sink-API call one of whose arguments points to a tainted
 instance at the call node.
 """
@@ -32,10 +37,11 @@ from repro.ir.app import AndroidApp
 from repro.ir.statements import AssignmentStatement, CallStatement
 from repro.ir.expressions import CallRhs
 from repro.vetting.sources_sinks import (
-    is_sink,
-    is_source,
-    sink_category,
-    source_category,
+    DEFAULT_REGISTRY,
+    KIND_SANITIZER,
+    KIND_SINK,
+    KIND_SOURCE,
+    ApiRegistry,
 )
 
 #: Provenance: the set of source API signatures a value may stem from.
@@ -59,6 +65,21 @@ class TaintFlow:
             f"{self.method} @ {self.sink_label}: "
             f"{sources} -> {self.sink_category}"
         )
+
+
+@dataclass(frozen=True)
+class SanitizerKill:
+    """Evidence of one taint fact dropped at a sanitizer call."""
+
+    method: str
+    label: str
+    api: str
+    #: Source APIs whose taint was declassified at this statement.
+    killed_sources: Tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        sources = ", ".join(self.killed_sources)
+        return f"{self.method} @ {self.label}: sanitized [{sources}]"
 
 
 class _CallSite:
@@ -106,9 +127,19 @@ def _call_sites(app: AndroidApp, signature: str) -> List[_CallSite]:
 class TaintAnalysis:
     """Whole-app taint fixed point over a finished IDFG."""
 
-    def __init__(self, app: AndroidApp, idfg: IDFG) -> None:
+    def __init__(
+        self,
+        app: AndroidApp,
+        idfg: IDFG,
+        registry: ApiRegistry = DEFAULT_REGISTRY,
+    ) -> None:
         self.app = app
         self.idfg = idfg
+        self.registry = registry
+        #: (method, label) -> (api, killed provenance); monotone across
+        #: fixpoint passes, flattened into records by :meth:`run`.
+        self._kills: Dict[Tuple[str, str], Tuple[str, Provenance]] = {}
+        self.sanitizer_kills: List[SanitizerKill] = []
         #: method -> instance id -> provenance.
         self.tainted: Dict[str, Dict[int, Provenance]] = {}
         #: global name -> provenance (cross-method channel).
@@ -203,7 +234,7 @@ class TaintAnalysis:
 
         # Seeds: source calls, tainted params, tainted globals.
         for site in self._sites[signature]:
-            if is_source(site.callee):
+            if self.registry.is_kind(site.callee, KIND_SOURCE):
                 inst = space.call_instance(site.label)
                 if inst is not None:
                     changed |= self._merge(
@@ -231,6 +262,20 @@ class TaintAnalysis:
                     if provenance:
                         changed |= self._merge(down, index, provenance)
                 up = self.returns_tainted.get(site.callee, frozenset())
+            elif self.registry.is_kind(site.callee, KIND_SANITIZER):
+                # Declassifier: the result is clean no matter what went
+                # in; record what was dropped as evidence.
+                killed = (
+                    frozenset().union(*arg_taints)
+                    if arg_taints
+                    else frozenset()
+                )
+                if killed:
+                    key = (signature, site.label)
+                    prior = self._kills.get(key)
+                    merged = killed | (prior[1] if prior else frozenset())
+                    self._kills[key] = (site.callee, merged)
+                up = frozenset()
             else:
                 # External library call: conservatively launder any
                 # tainted argument into the opaque result.
@@ -275,7 +320,7 @@ class TaintAnalysis:
         self.flows = []
         for signature, sites in self._sites.items():
             for site in sites:
-                if not is_sink(site.callee):
+                if not self.registry.is_kind(site.callee, KIND_SINK):
                     continue
                 provenance: Set[str] = set()
                 for arg in site.args:
@@ -289,11 +334,29 @@ class TaintAnalysis:
                             method=signature,
                             sink_label=site.label,
                             sink_api=site.callee,
-                            sink_category=sink_category(site.callee) or "?",
+                            sink_category=self._category(
+                                site.callee, KIND_SINK
+                            ),
                             source_apis=apis,
                             source_categories=tuple(
-                                source_category(api) or "?" for api in apis
+                                self._category(api, KIND_SOURCE)
+                                for api in apis
                             ),
                         )
                     )
+        self.sanitizer_kills = [
+            SanitizerKill(
+                method=method,
+                label=label,
+                api=api,
+                killed_sources=tuple(sorted(killed)),
+            )
+            for (method, label), (api, killed) in sorted(self._kills.items())
+        ]
         return self.flows
+
+    def _category(self, signature: str, kind: str) -> str:
+        entry = self.registry.get(signature)
+        if entry is not None and entry.kind == kind:
+            return entry.category
+        return "?"

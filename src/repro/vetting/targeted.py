@@ -515,6 +515,8 @@ def build_targeted_workload(
 def vet_targeted_report(
     targeted: TargetedWorkload,
     analysis_time_s: float = 0.0,
+    rules=None,
+    manifest=None,
 ):
     """Report for a built :class:`TargetedWorkload`.
 
@@ -524,13 +526,14 @@ def vet_targeted_report(
     them.  A skipped workload yields a clean empty report.
     """
     from repro.vetting.ddg import build_ddg
-    from repro.vetting.report import (
-        VettingReport,
-        _CATEGORY_PERMISSIONS,
-        _grade,
+    from repro.vetting.report import VettingReport, _grade
+    from repro.vetting.sources_sinks import (
+        DEFAULT_REGISTRY,
+        KIND_SOURCE,
     )
     from repro.vetting.taint import TaintAnalysis
 
+    registry = rules.registry() if rules is not None else DEFAULT_REGISTRY
     package = targeted.stats.package
     if targeted.workload is None:
         return VettingReport(
@@ -545,7 +548,9 @@ def vet_targeted_report(
 
     workload = targeted.workload
     with obs.span(f"vet.targeted:{package}", category="vetting"):
-        analysis = TaintAnalysis(workload.analyzed_app, workload.idfg)
+        analysis = TaintAnalysis(
+            workload.analyzed_app, workload.idfg, registry=registry
+        )
         flows = tuple(
             flow
             for flow in analysis.run()
@@ -563,16 +568,31 @@ def vet_targeted_report(
                     witnesses[flow.sink_label] = tuple(path)
                     break
         score, verdict = _grade(flows)
+        category_permissions = registry.category_permissions(KIND_SOURCE)
         permissions = tuple(
             sorted(
                 {
-                    _CATEGORY_PERMISSIONS[category]
+                    category_permissions[category]
                     for flow in flows
                     for category in flow.source_categories
-                    if category in _CATEGORY_PERMISSIONS
+                    if category in category_permissions
                 }
             )
         )
+        findings = ()
+        if rules is not None:
+            from repro.rules.engine import build_findings
+
+            findings = build_findings(
+                rules,
+                workload.analyzed_app,
+                flows=flows,
+                icc_flows=(),
+                witnesses=witnesses,
+                sanitizer_kills=tuple(analysis.sanitizer_kills),
+                manifest=manifest,
+                package=package,
+            )
     return VettingReport(
         package=package,
         flows=flows,
@@ -582,6 +602,8 @@ def vet_targeted_report(
         implied_permissions=permissions,
         analysis_time_s=analysis_time_s,
         witnesses=witnesses,
+        findings=findings,
+        sanitizer_kills=tuple(analysis.sanitizer_kills),
     )
 
 
@@ -589,6 +611,8 @@ def vet_targeted(
     app: AndroidApp,
     spec: TargetSpec,
     config: Optional[GDroidConfig] = None,
+    rules=None,
+    manifest=None,
 ) -> "tuple":
     """Demand-driven security screen: report only the targeted sinks.
 
@@ -602,4 +626,9 @@ def vet_targeted(
     time_s = 0.0
     if targeted.workload is not None:
         time_s = GDroid(config).price(targeted.workload).modeled_time_s
-    return vet_targeted_report(targeted, time_s), targeted.stats
+    return (
+        vet_targeted_report(
+            targeted, time_s, rules=rules, manifest=manifest
+        ),
+        targeted.stats,
+    )

@@ -1,0 +1,448 @@
+"""Rule packs: parsing, sanitizer semantics, findings, cache keying."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apk.corpus import AppCorpus
+from repro.apk.manifest import AndroidManifest
+from repro.bench.cache import CACHE_SCHEMA, row_key
+from repro.bench.harness import (
+    evaluate_corpus,
+    finding_severity_counts,
+    last_run_stats,
+)
+from repro.ir.parser import parse_app
+from repro.rules.findings import (
+    FINDINGS_SCHEMA_VERSION,
+    SEVERITIES,
+    Finding,
+    cap_severity,
+    findings_document,
+    findings_to_json,
+    severity_band,
+    sort_findings,
+)
+from repro.rules.pack import (
+    PackError,
+    default_pack,
+    load_pack,
+    parse_pack,
+    shipped_packs,
+)
+from repro.rules.scenarios import scenario_corpus
+from repro.vetting.report import vet_app
+from repro.vetting.sources_sinks import KIND_SANITIZER
+from tests.conftest import TINY_PROFILE
+
+SRC = "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;"
+SNK = "android.telephony.SmsManager.sendTextMessage(Ljava/lang/String;Ljava/lang/String;)V"
+SAN = "com.test.Scrub.hash(Ljava/lang/String;)Ljava/lang/String;"
+PERM = "android.permission.READ_PHONE_STATE"
+
+
+def make_doc(**overrides):
+    """A minimal valid pack document; keyword args override sections."""
+    doc = {
+        "pack_schema": 1,
+        "name": "test-pack",
+        "version": "1",
+        "description": "unit-test pack",
+        "apis": [
+            {
+                "signature": SRC,
+                "kind": "source",
+                "category": "UNIQUE_IDENTIFIER",
+                "permission": PERM,
+            },
+            {"signature": SNK, "kind": "sink", "category": "SMS"},
+            {"signature": SAN, "kind": "sanitizer", "category": "hash"},
+        ],
+        "taint_rules": [
+            {
+                "id": "TEST-001",
+                "description": "device id reaches SMS",
+                "sources": ["UNIQUE_IDENTIFIER"],
+                "sinks": ["SMS"],
+                "severity": "critical",
+                "confidence": 0.9,
+            }
+        ],
+        "icc_rules": [],
+        "lint_rules": [],
+    }
+    doc.update(overrides)
+    return doc
+
+
+LEAK_IR = (
+    "app com.leak\n"
+    "method a.B.m()V\n"
+    "  local id: Ljava/lang/String;\n"
+    f"  L0: call id := {SRC}()\n"
+    f"  L1: call {SNK}(id, id)\n"
+    "  L2: return\nend\n"
+)
+
+SANITIZED_IR = (
+    "app com.sanitized\n"
+    "method a.B.m()V\n"
+    "  local id: Ljava/lang/String;\n"
+    "  local out: Ljava/lang/String;\n"
+    f"  L0: call id := {SRC}()\n"
+    f"  L1: call out := {SAN}(id)\n"
+    f"  L2: call {SNK}(out, out)\n"
+    "  L3: return\nend\n"
+)
+
+
+class TestPackParsing:
+    def test_valid_document_compiles(self):
+        pack = parse_pack(make_doc())
+        assert pack.name == "test-pack"
+        registry = pack.registry()
+        assert registry.is_kind(SAN, KIND_SANITIZER)
+        rule = pack.match_taint(["UNIQUE_IDENTIFIER"], "SMS")
+        assert rule is not None and rule.id == "TEST-001"
+        assert pack.match_taint(["UNIQUE_IDENTIFIER"], "NETWORK") is None
+
+    def test_bad_schema_version(self):
+        with pytest.raises(PackError, match="pack_schema"):
+            parse_pack(make_doc(pack_schema=99))
+
+    def test_missing_name(self):
+        with pytest.raises(PackError, match="name"):
+            parse_pack(make_doc(name=""))
+
+    def test_unknown_severity(self):
+        doc = make_doc()
+        doc["taint_rules"][0]["severity"] = "catastrophic"
+        with pytest.raises(PackError, match="severity"):
+            parse_pack(doc)
+
+    def test_confidence_out_of_range(self):
+        doc = make_doc()
+        doc["taint_rules"][0]["confidence"] = 1.5
+        with pytest.raises(PackError, match="confidence"):
+            parse_pack(doc)
+
+    def test_selector_matching_nothing_in_pack(self):
+        doc = make_doc()
+        doc["taint_rules"][0]["sources"] = ["LOCATION"]
+        with pytest.raises(PackError, match="matches nothing"):
+            parse_pack(doc)
+
+    def test_empty_selector(self):
+        doc = make_doc()
+        doc["taint_rules"][0]["sinks"] = []
+        with pytest.raises(PackError, match="non-empty"):
+            parse_pack(doc)
+
+    def test_duplicate_rule_id(self):
+        doc = make_doc()
+        doc["taint_rules"].append(dict(doc["taint_rules"][0]))
+        with pytest.raises(PackError, match="duplicate rule id"):
+            parse_pack(doc)
+
+    def test_pack_with_no_rules(self):
+        with pytest.raises(PackError, match="no rules"):
+            parse_pack(make_doc(taint_rules=[]))
+
+    def test_duplicate_api_signature(self):
+        doc = make_doc()
+        doc["apis"].append(dict(doc["apis"][0]))
+        with pytest.raises(PackError, match="duplicate registry signature"):
+            parse_pack(doc)
+
+    def test_invalid_api_kind(self):
+        doc = make_doc()
+        doc["apis"][0]["kind"] = "sourc"
+        with pytest.raises(PackError, match="invalid kind"):
+            parse_pack(doc)
+
+    def test_icc_category_must_be_component_kind(self):
+        doc = make_doc()
+        doc["apis"].append(
+            {
+                "signature": "a.B.send(Landroid/content/Intent;)V",
+                "kind": "icc-send",
+                "category": "dialog",
+            }
+        )
+        with pytest.raises(PackError, match="not a component kind"):
+            parse_pack(doc)
+
+    def test_unknown_lint_rule(self):
+        doc = make_doc(
+            lint_rules=[
+                {"id": "NOPE-404", "severity": "low", "confidence": 0.5}
+            ]
+        )
+        with pytest.raises(PackError, match="unknown lint rule"):
+            parse_pack(doc)
+
+
+class TestPackLoading:
+    def test_shipped_packs_load_and_fingerprint(self):
+        names = shipped_packs()
+        assert len(names) >= 3
+        fingerprints = set()
+        for name in names:
+            pack = load_pack(name)
+            assert pack.taint_rules or pack.icc_rules or pack.lint_rules
+            fp = pack.fingerprint()
+            assert len(fp) == 16
+            fingerprints.add(fp)
+        assert len(fingerprints) == len(names)  # packs never alias
+
+    def test_unknown_name_lists_shipped(self):
+        with pytest.raises(PackError, match="unknown rule pack"):
+            load_pack("no-such-pack")
+
+    def test_fingerprint_stable_and_edit_sensitive(self):
+        base = parse_pack(make_doc())
+        again = parse_pack(make_doc())
+        assert base.fingerprint() == again.fingerprint()
+        doc = make_doc()
+        doc["taint_rules"][0]["severity"] = "low"
+        assert parse_pack(doc).fingerprint() != base.fingerprint()
+
+    def test_toml_pack_matches_json_equivalent(self, tmp_path):
+        toml_text = (
+            'pack_schema = 1\n'
+            'name = "test-pack"\n'
+            'version = "1"\n'
+            'description = "unit-test pack"\n'
+            "[[apis]]\n"
+            f'signature = "{SRC}"\n'
+            'kind = "source"\n'
+            'category = "UNIQUE_IDENTIFIER"\n'
+            f'permission = "{PERM}"\n'
+            "[[apis]]\n"
+            f'signature = "{SNK}"\n'
+            'kind = "sink"\n'
+            'category = "SMS"\n'
+            "[[apis]]\n"
+            f'signature = "{SAN}"\n'
+            'kind = "sanitizer"\n'
+            'category = "hash"\n'
+            "[[taint_rules]]\n"
+            'id = "TEST-001"\n'
+            'description = "device id reaches SMS"\n'
+            'sources = ["UNIQUE_IDENTIFIER"]\n'
+            'sinks = ["SMS"]\n'
+            'severity = "critical"\n'
+            "confidence = 0.9\n"
+        )
+        path = tmp_path / "pack.toml"
+        path.write_text(toml_text)
+        pack = load_pack(path)
+        assert pack.fingerprint() == parse_pack(make_doc()).fingerprint()
+
+    def test_default_pack_has_no_sanitizers(self):
+        pack = load_pack("default")
+        assert pack.name == "default"
+        assert not pack.registry().entries(kind=KIND_SANITIZER)
+
+
+class TestSanitizerSemantics:
+    def test_sanitizer_kills_the_flow(self):
+        pack = parse_pack(make_doc())
+        report = vet_app(parse_app(SANITIZED_IR), rules=pack)
+        assert report.flows == ()
+        assert report.findings == ()
+        assert report.verdict == "clean"
+        # The kill is the evidence the suppressed flow actually existed.
+        assert len(report.sanitizer_kills) >= 1
+        kill = report.sanitizer_kills[0]
+        assert kill.api == SAN
+        assert SRC in kill.killed_sources
+
+    def test_unsanitized_flow_fires(self):
+        pack = parse_pack(make_doc())
+        report = vet_app(parse_app(LEAK_IR), rules=pack)
+        assert len(report.flows) == 1
+        assert [f.rule_id for f in report.findings] == ["TEST-001"]
+        finding = report.findings[0]
+        assert finding.severity == "critical"  # no manifest: no ceiling
+        assert finding.permission_declared is None
+        assert report.sanitizer_kills == ()
+
+    def test_default_semantics_treat_sanitizer_as_laundering(self):
+        # Without the pack the same API is an unknown external call, so
+        # taint propagates straight through it: the kill is pack-scoped.
+        report = vet_app(parse_app(SANITIZED_IR))
+        assert len(report.flows) == 1
+        assert report.sanitizer_kills == ()
+
+
+class TestDefaultPackBitIdentity:
+    def test_verdict_and_flows_identical(self, leaky_app):
+        legacy = vet_app(leaky_app)
+        packed = vet_app(leaky_app, rules=default_pack())
+        assert packed.verdict == legacy.verdict
+        assert packed.risk_score == legacy.risk_score
+        assert packed.flows == legacy.flows
+        assert packed.icc_flows == legacy.icc_flows
+        assert packed.witnesses == legacy.witnesses
+        assert packed.implied_permissions == legacy.implied_permissions
+        assert packed.sanitizer_kills == () and legacy.sanitizer_kills == ()
+        # The pack adds findings on top; the legacy path never has any.
+        assert legacy.findings == ()
+        assert packed.findings
+
+
+class TestManifestCrossCheck:
+    def _finding(self, manifest):
+        pack = parse_pack(make_doc())
+        report = vet_app(parse_app(LEAK_IR), rules=pack, manifest=manifest)
+        assert len(report.findings) == 1
+        return report.findings[0]
+
+    def test_missing_permission_caps_severity(self):
+        finding = self._finding(
+            AndroidManifest(package="com.leak", permissions=())
+        )
+        assert finding.permission_declared is False
+        assert finding.severity == "medium"
+
+    def test_declared_permission_keeps_severity(self):
+        finding = self._finding(
+            AndroidManifest(package="com.leak", permissions=(PERM,))
+        )
+        assert finding.permission_declared is True
+        assert finding.severity == "critical"
+        assert PERM in finding.implied_permissions
+
+
+class TestFindingsModule:
+    def test_severity_band_boundaries(self):
+        assert severity_band(10) == "critical"
+        assert severity_band(9) == "critical"
+        assert severity_band(8) == "high"
+        assert severity_band(7) == "high"
+        assert severity_band(6) == "medium"
+        assert severity_band(4) == "medium"
+        assert severity_band(3) == "low"
+        assert severity_band(2) == "low"
+        assert severity_band(1) == "info"
+        assert severity_band(0) == "info"
+
+    def test_cap_severity(self):
+        assert cap_severity("critical", False) == "medium"
+        assert cap_severity("high", False) == "medium"
+        assert cap_severity("low", False) == "low"
+        assert cap_severity("critical", None) == "critical"
+        assert cap_severity("critical", True) == "critical"
+
+    def _finding(self, rule_id, severity, confidence=0.5):
+        return Finding(
+            rule_id=rule_id,
+            pack="p",
+            kind="taint",
+            severity=severity,
+            confidence=confidence,
+            package="com.x",
+            method="a.B.m()V",
+            sink_label="L1",
+            sink_api=SNK,
+            message="m",
+        )
+
+    def test_sort_findings_most_severe_first(self):
+        ordered = sort_findings(
+            [
+                self._finding("A", "low"),
+                self._finding("B", "critical"),
+                self._finding("C", "medium", confidence=0.9),
+                self._finding("D", "medium", confidence=0.1),
+            ]
+        )
+        assert [f.rule_id for f in ordered] == ["B", "C", "D", "A"]
+
+    def test_findings_document_schema_and_counts(self):
+        document = findings_document(
+            [self._finding("A", "low"), self._finding("B", "critical")],
+            pack_name="p",
+            pack_fingerprint="abc",
+        )
+        assert document["schema"] == FINDINGS_SCHEMA_VERSION
+        assert document["pack"] == "p"
+        assert document["pack_fingerprint"] == "abc"
+        assert document["counts"]["critical"] == 1
+        assert document["counts"]["low"] == 1
+        assert document["counts"]["info"] == 0
+        # Round-trips through the JSON form.
+        parsed = json.loads(findings_to_json([], "p"))
+        assert parsed["findings"] == []
+
+    def test_finding_severity_counts(self):
+        assert finding_severity_counts([]) == (0, 0, 0, 0, 0)
+        counts = finding_severity_counts(
+            [
+                self._finding("A", "critical"),
+                self._finding("B", "critical"),
+                self._finding("C", "info"),
+            ]
+        )
+        assert counts == (1, 0, 0, 0, 2)
+        assert list(SEVERITIES) == ["info", "low", "medium", "high", "critical"]
+
+
+class TestCacheAliasing:
+    def test_schema_covers_rule_packs(self):
+        assert CACHE_SCHEMA == 4
+
+    def test_row_key_varies_with_rules_fingerprint(self):
+        plain = row_key(1, 2, "pf", 0, "cf")
+        packed = row_key(1, 2, "pf", 0, "cf", rules_fp="abcd")
+        other = row_key(1, 2, "pf", 0, "cf", rules_fp="efgh")
+        assert len({plain, packed, other}) == 3
+
+    def test_pack_rows_never_alias_plain_rows(self, tmp_path, monkeypatch):
+        from repro.bench.harness import _CACHE
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        _CACHE.clear()
+        corpus = AppCorpus(size=2, base_seed=884200, profile=TINY_PROFILE)
+
+        evaluate_corpus(corpus)
+        assert last_run_stats().evaluated == 2
+
+        # A pack sweep over the warm corpus must not reuse plain rows.
+        packed = evaluate_corpus(corpus, rules="exfiltration")
+        stats = last_run_stats()
+        assert stats.evaluated == 2
+        assert stats.process_hits == 0 and stats.disk_hits == 0
+        for row in packed:
+            assert len(row.finding_counts) == 5
+
+        # Same pack again: in-process hits.
+        again = evaluate_corpus(corpus, rules="exfiltration")
+        assert last_run_stats().process_hits == 2
+        assert again == packed
+
+        # Disk round-trip restores finding_counts as a tuple (row
+        # equality would fail on a list).
+        _CACHE.clear()
+        from_disk = evaluate_corpus(corpus, rules="exfiltration")
+        assert last_run_stats().disk_hits == 2
+        assert from_disk == packed
+
+
+class TestScenarioDeterminism:
+    def test_same_pack_same_corpus(self):
+        pack = load_pack("exfiltration")
+        first = scenario_corpus(pack, count=3)
+        second = scenario_corpus(pack, count=3)
+        assert [s.kind for s in first] == [s.kind for s in second]
+        assert [s.expected_rule for s in first] == [
+            s.expected_rule for s in second
+        ]
+        from repro.apk.dex import pack_app
+
+        assert [pack_app(s.app) for s in first] == [
+            pack_app(s.app) for s in second
+        ]

@@ -5,8 +5,17 @@ import pytest
 from repro.core.engine import AppWorkload
 from repro.ir.parser import parse_app
 from repro.vetting.ddg import build_ddg
-from repro.vetting.report import vet_app, vet_workload
-from repro.vetting.sources_sinks import flow_severity, is_sink, is_source
+from repro.vetting.icc import IccFlow
+from repro.vetting.report import _grade, vet_app, vet_workload
+from repro.vetting.sources_sinks import (
+    KIND_SINK,
+    KIND_SOURCE,
+    ApiEntry,
+    ApiRegistry,
+    flow_severity,
+    is_sink,
+    is_source,
+)
 from repro.vetting.taint import TaintAnalysis
 
 SRC = "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;"
@@ -29,6 +38,91 @@ class TestSourcesSinks:
     def test_severity_pairs(self):
         assert flow_severity(SRC, SNK) == 9
         assert flow_severity(SRC, LOG) == 3
+
+
+class TestFlowSeverityEdges:
+    ACC = "android.accounts.AccountManager.getAccounts()[Landroid/accounts/Account;"
+    FILE = "java.io.FileOutputStream.write(Ljava/lang/String;)V"
+
+    def test_unlisted_pair_falls_back_to_sink_default(self):
+        # (ACCOUNT, FILE) has no entry in FLOW_SEVERITY; the FILE
+        # channel default applies.
+        assert flow_severity(self.ACC, self.FILE) == 4
+
+    def test_unknown_source_uses_sink_default(self):
+        assert flow_severity("unknown.Api()V", SNK) == 7
+
+    def test_unknown_sink_scores_middle_of_the_road(self):
+        assert flow_severity(SRC, "unknown.Sink()V") == 5
+
+    def test_accepts_raw_category_names(self):
+        # Unregistered signatures pass through as category names, so
+        # the table can be queried symbolically too.
+        assert flow_severity("LOCATION", "NETWORK") == 8
+
+
+class TestIccGrading:
+    def _icc_flow(self, receivers):
+        return IccFlow(
+            method="a.B.m()V",
+            send_label="L1",
+            send_api="android.content.Context.startActivity(Landroid/content/Intent;)V",
+            target_kind="activity",
+            source_apis=(SRC,),
+            candidate_receivers=receivers,
+        )
+
+    def test_no_flows_is_clean(self):
+        assert _grade((), ()) == (0, "clean")
+
+    def test_escaping_icc_flow_is_suspicious(self):
+        flow = self._icc_flow(receivers=("com.other.Exposed",))
+        assert flow.escapes_app
+        assert _grade((), (flow,)) == (6, "suspicious")
+
+    def test_internal_icc_flow_is_low_risk(self):
+        flow = self._icc_flow(receivers=())
+        assert not flow.escapes_app
+        assert _grade((), (flow,)) == (3, "low-risk")
+
+
+class TestRegistryValidation:
+    def _entry(self, signature="a.B.x()V", kind=KIND_SOURCE,
+               category="LOCATION", permission=None):
+        return ApiEntry(signature, kind, category, permission)
+
+    def test_duplicate_signature_rejected(self):
+        with pytest.raises(ValueError, match="duplicate registry signature"):
+            ApiRegistry([self._entry(), self._entry()])
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="invalid kind"):
+            ApiRegistry([self._entry(kind="sourceish")])
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError, match="invalid category"):
+            ApiRegistry([self._entry(category="")])
+
+    def test_permission_conflict_rejected(self):
+        entries = [
+            self._entry("a.B.x()V", permission="android.permission.A"),
+            self._entry("a.B.y()V", permission="android.permission.B"),
+        ]
+        with pytest.raises(ValueError, match="maps to both"):
+            ApiRegistry(entries)
+
+    def test_agreeing_permissions_accepted(self):
+        registry = ApiRegistry(
+            [
+                self._entry("a.B.x()V", permission="android.permission.A"),
+                self._entry("a.B.y()V", permission="android.permission.A"),
+                self._entry("a.B.snk()V", kind=KIND_SINK, category="SMS"),
+            ]
+        )
+        assert registry.category_permissions(KIND_SOURCE) == {
+            "LOCATION": "android.permission.A"
+        }
+        assert registry.categories(kind=KIND_SINK) == ("SMS",)
 
 
 class TestTaintDetection:

@@ -21,6 +21,14 @@ is exercised by a corrupted-plan unit test instead (see
 Usage::
 
     python tools/lint_mutants.py [--apps 12] [--scale 0.06] [--base-seed 2020]
+    python tools/lint_mutants.py --packs
+
+``--packs`` switches to the *rule-pack* mutation mode: for every
+shipped pack, scenarios are frozen from the shipped document, the pack
+is mutated (a sanitizer dropped, a severity flipped), and the scenario
+gate must catch each mutation -- dropped sanitizer as false positives,
+flipped severity as severity mismatches.  This proves the gate guards
+the pack contents, not just the analysis code.
 
 Exit code 0 iff the clean corpus is clean and every mutant is caught
 by exactly its expected rule.
@@ -473,6 +481,102 @@ MUTATORS: List[Tuple[str, str, Callable[[AndroidApp], Optional[AndroidApp]]]] = 
 ]
 
 
+# -- rule-pack mutation mode --------------------------------------------------
+
+
+def mutate_pack_drop_sanitizer(pack):
+    """Strip every sanitizer API: suppressed flows must reappear."""
+    from repro.rules import parse_pack
+
+    document = pack.to_dict()
+    document["apis"] = [
+        api for api in document["apis"] if api["kind"] != "sanitizer"
+    ]
+    return parse_pack(document, origin=f"{pack.name}(drop-sanitizer)")
+
+
+def mutate_pack_flip_severity(pack, expected_rules):
+    """Flip the severity of a rule the scenarios expect to fire."""
+    from repro.rules import parse_pack
+
+    document = pack.to_dict()
+    for section in ("taint_rules", "icc_rules"):
+        for raw in document[section]:
+            if raw["id"] in expected_rules:
+                raw["severity"] = (
+                    "info" if raw["severity"] != "info" else "critical"
+                )
+                return parse_pack(
+                    document, origin=f"{pack.name}(flip-severity)"
+                )
+    return None
+
+
+def run_pack_harness() -> int:
+    """Mutate every shipped pack and assert the scenario gate objects.
+
+    Scenarios (and their expected rule/severity) are frozen from the
+    *shipped* pack; the mutated pack is then evaluated against those
+    expectations, exactly how CI would catch an accidental pack edit.
+    """
+    from repro.rules import (
+        evaluate_pack,
+        load_pack,
+        scenario_corpus,
+        shipped_packs,
+    )
+
+    failures = 0
+    for name in shipped_packs():
+        pack = load_pack(name)
+        scenarios = scenario_corpus(pack)
+        expected_rules = {
+            s.expected_rule for s in scenarios if s.expected_rule
+        }
+
+        baseline = evaluate_pack(pack, scenarios)
+        if baseline.passed:
+            print(f"ok   {name}: shipped pack passes its gate")
+        else:
+            failures += 1
+            print(f"FAIL {name}: shipped pack fails: {baseline.summary()}")
+
+        dropped = evaluate_pack(mutate_pack_drop_sanitizer(pack), scenarios)
+        if dropped.false_positives > 0 and not dropped.passed:
+            print(
+                f"ok   {name}/drop-sanitizer: caught "
+                f"({dropped.false_positives} false positive(s))"
+            )
+        else:
+            failures += 1
+            print(
+                f"FAIL {name}/drop-sanitizer: gate did not object: "
+                f"{dropped.summary()}"
+            )
+
+        flipped_pack = mutate_pack_flip_severity(pack, expected_rules)
+        if flipped_pack is None:
+            failures += 1
+            print(f"FAIL {name}/flip-severity: no expected rule to flip")
+            continue
+        flipped = evaluate_pack(flipped_pack, scenarios)
+        if flipped.severity_mismatches > 0 and not flipped.passed:
+            print(
+                f"ok   {name}/flip-severity: caught "
+                f"({flipped.severity_mismatches} severity mismatch(es))"
+            )
+        else:
+            failures += 1
+            print(
+                f"FAIL {name}/flip-severity: gate did not object: "
+                f"{flipped.summary()}"
+            )
+    print(
+        f"pack mutations: {'all caught' if not failures else f'{failures} missed'}"
+    )
+    return 0 if failures == 0 else 1
+
+
 # -- harness ------------------------------------------------------------------
 
 
@@ -530,7 +634,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--apps", type=int, default=12)
     parser.add_argument("--scale", type=float, default=0.06)
     parser.add_argument("--base-seed", type=int, default=2020)
+    parser.add_argument(
+        "--packs", action="store_true",
+        help="rule-pack mutation mode: assert the scenario gate catches "
+        "a dropped sanitizer and a flipped severity in every shipped pack",
+    )
     args = parser.parse_args(argv)
+    if args.packs:
+        return run_pack_harness()
     return run_harness(args.apps, args.scale, args.base_seed)
 
 
