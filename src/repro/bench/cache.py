@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
@@ -48,6 +49,13 @@ import repro
 CACHE_SCHEMA = 4
 
 _FALSY = {"0", "false", "off", "no"}
+
+#: ``.tmp-*`` files older than this are swept on cache open.  A writer
+#: killed (``kill -9``, OOM-killer) between ``mkstemp`` and
+#: ``os.replace`` orphans its temp file forever -- no later store ever
+#: reuses or replaces it.  The age floor keeps the sweep from racing a
+#: *live* concurrent writer mid-publish.
+TMP_MAX_AGE_S = 3600.0
 
 
 def cache_enabled(no_cache: bool = False) -> bool:
@@ -131,6 +139,32 @@ class EvaluationCache:
         self.stores = 0
         #: Corrupt entries deleted on load failure.
         self.purged = 0
+        #: Crash-orphaned ``.tmp-*`` files swept on open.
+        self.tmp_purged = self._sweep_stale_tmp() if enabled else 0
+
+    def _sweep_stale_tmp(self, max_age_s: float = TMP_MAX_AGE_S) -> int:
+        """Delete ``.tmp-*`` droppings older than ``max_age_s``.
+
+        Orphans accumulate silently (one per writer death mid-store)
+        and are invisible to ``load``/``store``, so open is the only
+        point that ever reclaims them.
+        """
+        purged = 0
+        now = time.time()
+        try:
+            entries = list(os.scandir(self.root))
+        except OSError:
+            return 0
+        for entry in entries:
+            if not entry.name.startswith(".tmp-"):
+                continue
+            try:
+                if now - entry.stat().st_mtime >= max_age_s:
+                    os.unlink(entry.path)
+                    purged += 1
+            except OSError:
+                continue
+        return purged
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"

@@ -330,6 +330,8 @@ class CorpusRunStats:
     disk_stores: int = 0
     #: Corrupt on-disk entries purged during lookup.
     cache_purged: int = 0
+    #: Crash-orphaned ``.tmp-*`` files swept when the cache opened.
+    tmp_purged: int = 0
     #: Cache-served rows re-verified by the strict lint gate.
     strict_relints: int = 0
     #: Requested worker count and what was actually used.
@@ -361,6 +363,8 @@ class CorpusRunStats:
         extras = ""
         if self.cache_purged:
             extras += f", {self.cache_purged} corrupt purged"
+        if self.tmp_purged:
+            extras += f", {self.tmp_purged} stale tmp swept"
         if self.strict_relints:
             extras += f", {self.strict_relints} strict re-lints"
         return (
@@ -445,7 +449,8 @@ def evaluate_corpus(
     jobs = resolve_jobs(jobs)
     disk = EvaluationCache(enabled=cache_enabled(no_cache))
     stats = CorpusRunStats(
-        apps=count, jobs=jobs, cache_enabled=disk.enabled
+        apps=count, jobs=jobs, cache_enabled=disk.enabled,
+        tmp_purged=disk.tmp_purged,
     )
     started = time.perf_counter()
 

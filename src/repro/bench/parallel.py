@@ -1,14 +1,16 @@
 """Parallel corpus evaluation (host-side performance layer).
 
 :func:`evaluate_parallel` fans an :func:`repro.bench.harness.evaluate_app`
-sweep out over a ``fork``-based worker pool.  The corpus is never
+sweep out over a process pool (``fork`` where available, ``spawn``
+otherwise -- see :func:`worker_context`).  The corpus is never
 pickled: each worker receives only ``(base_seed, size, profile)`` plus
 a chunk of app indices and regenerates its apps locally -- apps are
 pure functions of ``base_seed + index`` (see :mod:`repro.apk.corpus`),
 so a worker's rows are bit-identical to a serial run's no matter how
 chunks land on workers.  The full generator profile travels with the
 task (not just its scale) so non-default layer bounds regenerate the
-same apps the serial path sees.
+same apps the serial path sees -- and, on the ``spawn`` path, so the
+freshly-imported worker sees the exact profile at all.
 
 Scheduling is chunked round-robin: index ``i`` goes to chunk
 ``i % chunks`` so every worker sees a representative size mix (corpus
@@ -31,6 +33,33 @@ from repro.apk.generator import GeneratorProfile
 #: Upper bound on worker count; corpus chunks beyond this only add
 #: pool overhead.
 MAX_JOBS = 32
+
+
+def worker_context(
+    start_method: Optional[str] = None,
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context worker processes are started from.
+
+    ``fork`` when the platform offers it (cheap: the corpus generator
+    and interned IR inherit copy-on-write), else ``spawn`` -- every
+    task already travels fully pickled (seed, size, *full* generator
+    profile, indices), so a spawned worker regenerates bit-identical
+    apps from scratch.  An explicit ``start_method`` argument or the
+    ``REPRO_MP_START`` environment variable overrides the choice
+    (``spawn`` forces the portable path on fork platforms, e.g. in
+    tests); an unknown name falls back to the automatic choice rather
+    than aborting a sweep.
+    """
+    method = start_method or os.environ.get("REPRO_MP_START", "").strip()
+    if method:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            pass
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -158,7 +187,7 @@ def evaluate_parallel(
         results = list(map(_evaluate_chunk, tasks))
     else:
         try:
-            context = multiprocessing.get_context("fork")
+            context = worker_context()
             with context.Pool(processes=len(tasks)) as pool:
                 results = pool.map(_evaluate_chunk, tasks)
         except (OSError, ValueError):

@@ -10,6 +10,9 @@ Subcommands::
     gdroid bench     --apps 12 [--scale 1.0] [--rules PACK]
     gdroid stats     --apps 8  [--scale 1.0]      # run-ledger profile
     gdroid serve     --soak --apps 24 --inject worker-crash,oom
+    gdroid serve     --pool process --journal j.jsonl --state-dir st/
+    gdroid serve     --watch inbox/ [--watch-idle-s 5]
+    gdroid serve     --recover --journal j.jsonl --state-dir st/
     gdroid submit    app.gdx [more.gdx ...] --json
 
 All times are *modeled* seconds on the simulated Tesla P40 / Xeon
@@ -260,6 +263,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PREFIX", default=None,
         help="trace the run; writes PREFIX.trace.json and "
         "PREFIX.ledger.json with every retry/fallback counter",
+    )
+    serve.add_argument(
+        "--pool", choices=("async", "process"), default="async",
+        help="worker execution: in-process simulated devices (async) "
+        "or real OS worker processes (process)",
+    )
+    serve.add_argument(
+        "--start-method", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for --pool process "
+        "(default: platform choice, fork where available)",
+    )
+    serve.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="append-only job journal; with --recover, the journal a "
+        "crashed run is resumed from",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="partitioned result-store root (worker result channel in "
+        "process mode; persisted rows for recovery in async mode)",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="replay --journal: stitch in journaled-terminal jobs "
+        "(rows reloaded from --state-dir) and re-serve the rest",
+    )
+    serve.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help="simulate orchestrator death after N terminal jobs "
+        "(exit 3; recover with --recover)",
+    )
+    serve.add_argument(
+        "--watch", metavar="DIR|-", default=None,
+        help="streaming admission: poll DIR for arriving .gdx files "
+        "('-' reads paths from stdin); ends on a STOP file or "
+        "--watch-idle-s of quiet",
+    )
+    serve.add_argument(
+        "--watch-idle-s", type=float, default=5.0,
+        help="with --watch DIR, exit after this long with no arrivals",
     )
 
     submit = sub.add_parser(
@@ -701,7 +745,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro import obs
-    from repro.serve import ServeConfig, parse_inject, run_soak
+    from repro.serve import (
+        CorpusSource,
+        DirectoryFeed,
+        ServeConfig,
+        ServiceCrash,
+        StdinFeed,
+        parse_inject,
+        recover,
+        run_soak,
+        serve_stream,
+    )
 
     from repro.vetting.targeted import TargetSpecError
 
@@ -713,6 +767,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro.rules import load_pack
 
             load_pack(args.rules)
+        if args.recover and not args.journal:
+            raise ValueError("--recover needs --journal FILE")
     except (ValueError, TargetSpecError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -722,6 +778,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         timeout_s=args.timeout_s,
         strict=args.strict,
+        pool=args.pool,
+        start_method=args.start_method,
+        journal_path=args.journal,
+        state_dir=args.state_dir,
+        crash_after=args.crash_after,
     )
     corpus = AppCorpus(
         size=args.apps, profile=GeneratorProfile(scale=args.scale)
@@ -730,15 +791,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if tracer is not None:
         obs.activate(tracer)
     try:
-        report = run_soak(
-            corpus,
-            config=config,
-            inject=inject,
-            fault_seed=args.fault_seed,
-            targets=targets,
-            targeted_every=args.targets_every,
-            rules=args.rules,
-        )
+        if args.watch:
+            feed = (
+                StdinFeed()
+                if args.watch == "-"
+                else DirectoryFeed(args.watch, idle_s=args.watch_idle_s)
+            )
+            report = serve_stream(feed, config=config)
+        elif args.recover:
+            # Recovery runs clean: the dead run's faults already
+            # happened and are journaled; re-injecting would re-fail
+            # already-failed jobs differently.
+            report = recover(CorpusSource(corpus), config)
+        else:
+            report = run_soak(
+                corpus,
+                config=config,
+                inject=inject,
+                fault_seed=args.fault_seed,
+                targets=targets,
+                targeted_every=args.targets_every,
+                rules=args.rules,
+            )
+    except ServiceCrash as error:
+        print(f"service crashed: {error}", file=sys.stderr)
+        return 3
     finally:
         if tracer is not None:
             obs.deactivate()

@@ -13,6 +13,8 @@ Layout::
     sharder.py  Table-I size-class batching + LPT worker placement
     faults.py   seeded fault injection (crash / OOM / corrupt / stall)
     workers.py  device workers, pipeline execution, engine ladder
+    journal.py  durable state: job journal + partitioned result stores
+    pool.py     real OS-process worker lanes (ProcessWorkerPool)
     service.py  the orchestrator: retries, backoff, accounting, obs
 
 Quickstart::
@@ -43,15 +45,30 @@ from repro.serve.faults import (
     parse_inject,
 )
 from repro.serve.jobs import JobState, VetJob
+from repro.serve.journal import (
+    JobJournal,
+    JournalState,
+    PartitionResultStore,
+    job_from_spec,
+    job_spec,
+    replay_journal,
+)
+from repro.serve.pool import CRASH_EXIT_CODE, PoolSpec, ProcessWorkerPool
 from repro.serve.queue import AdmissionError, AdmissionQueue
 from repro.serve.sharder import JobBatch, Sharder, classify, make_batches
 from repro.serve.service import (
     CorpusSource,
+    DirectoryFeed,
     PathSource,
     ServeConfig,
+    ServiceCrash,
     SoakReport,
+    StdinFeed,
     VettingService,
+    backoff_fraction,
+    recover,
     run_soak,
+    serve_stream,
     submit_paths,
 )
 from repro.serve.workers import DeviceWorker, ENGINE_LADDER, run_pipeline
@@ -60,25 +77,40 @@ __all__ = [
     "ALL_KINDS",
     "AdmissionError",
     "AdmissionQueue",
+    "CRASH_EXIT_CODE",
     "CorpusSource",
     "DeviceWorker",
+    "DirectoryFeed",
     "ENGINE_LADDER",
     "FaultConfig",
     "FaultInjector",
     "JobBatch",
+    "JobJournal",
     "JobState",
+    "JournalState",
+    "PartitionResultStore",
     "PathSource",
+    "PoolSpec",
+    "ProcessWorkerPool",
     "ServeConfig",
+    "ServiceCrash",
     "Sharder",
     "SoakReport",
+    "StdinFeed",
     "VetJob",
     "VettingService",
     "WorkerCrash",
+    "backoff_fraction",
     "build_injector",
     "classify",
+    "job_from_spec",
+    "job_spec",
     "make_batches",
     "parse_inject",
+    "recover",
+    "replay_journal",
     "run_pipeline",
     "run_soak",
+    "serve_stream",
     "submit_paths",
 ]

@@ -94,6 +94,7 @@ class FaultInjector:
     ) -> None:
         self.config = config
         self.workers = workers
+        self.jobs = jobs
         per_worker = max(2, (jobs + workers - 1) // workers)
         self._crash_points: Dict[int, FrozenSet[int]] = {}
         self._oom_points: Dict[int, FrozenSet[int]] = {}

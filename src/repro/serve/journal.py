@@ -1,0 +1,395 @@
+"""Durable service state: the job journal and partitioned result stores.
+
+The asyncio orchestrator keeps its bookkeeping in memory, so before
+this module a crashed service forgot every in-flight job.  Two on-disk
+structures make a run recoverable:
+
+**Job journal** (:class:`JobJournal`) -- an append-only JSONL file the
+orchestrator writes one record to per state transition::
+
+    {"ev": "admit",    "job": "job-0007", "spec": {...}}   # + full job spec
+    {"ev": "assign",   "job": "job-0007", "worker": 2, "attempt": 1}
+    {"ev": "complete", "job": "job-0007", "state": "done", ...}
+    {"ev": "fail",     "job": "job-0007", "error": "..."}
+
+Appends are atomic at the record level: the file is opened with
+``O_APPEND`` and every record is a single ``os.write`` of one complete
+line, so concurrent readers never see interleaved records and a crash
+can only ever truncate the *final* line.  :func:`replay_journal`
+tolerates exactly that -- a trailing partial record is dropped (and
+counted), never a parse error.  The ``admit`` record carries the full
+job spec, so a journal is self-sufficient: a restarted service can
+rebuild its job set from the journal alone and re-serve everything
+that never reached a terminal record.
+
+**Partition result store** (:class:`PartitionResultStore`) -- one
+directory per worker, one atomically-written JSON record per attempt
+(``worker-03/job-0007.a2.json``).  Process workers use it as their
+*result channel*: a record is ``mkstemp`` + ``os.replace``-published,
+so the orchestrator's poll loop only ever observes complete records
+even if the writing worker is ``kill -9``-ed mid-write.  Because rows
+live here and transitions live in the journal, a restarted service
+recovers completed rows without re-evaluating a single app:
+:meth:`PartitionResultStore.merge` is the shutdown/recovery merge of
+every partition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.serve.jobs import JobState, VetJob
+
+#: Journal event vocabulary, in lifecycle order.
+EV_ADMIT = "admit"
+EV_ASSIGN = "assign"
+EV_COMPLETE = "complete"
+EV_FAIL = "fail"
+
+#: Events that end a job's journey (mirror :data:`JobState.TERMINAL`).
+TERMINAL_EVENTS = (EV_COMPLETE, EV_FAIL)
+
+#: Stale ``.tmp-*`` droppings older than this are swept on store open
+#: (a ``kill -9`` between ``mkstemp`` and ``os.replace`` orphans them).
+TMP_MAX_AGE_S = 3600.0
+
+
+def job_spec(job: VetJob) -> Dict[str, Any]:
+    """The identity fields an ``admit`` record needs to rebuild ``job``."""
+    return {
+        "job_id": job.job_id,
+        "index": job.index,
+        "package": job.package,
+        "source": job.source,
+        "est_cost": job.est_cost,
+        "size_class": job.size_class,
+        "targets": list(job.targets) if job.targets else None,
+        "rules": job.rules,
+    }
+
+
+def job_from_spec(spec: Dict[str, Any]) -> VetJob:
+    """Rebuild a fresh (pending) :class:`VetJob` from an admit spec."""
+    return VetJob(
+        job_id=spec["job_id"],
+        index=spec["index"],
+        package=spec["package"],
+        source=spec["source"],
+        est_cost=spec["est_cost"],
+        size_class=spec["size_class"],
+        targets=list(spec["targets"]) if spec.get("targets") else None,
+        rules=spec.get("rules"),
+    )
+
+
+class JobJournal:
+    """Append-only JSONL log of job state transitions.
+
+    One journal per service run (recovery runs append to the same
+    file).  Records are written with a single ``os.write`` on an
+    ``O_APPEND`` descriptor, so each is all-or-nothing on crash.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        self.records_written = 0
+
+    def record(self, event: str, job_id: str, **fields: Any) -> None:
+        """Append one transition record (atomic single-write line)."""
+        if self._fd is None:
+            raise ValueError("journal is closed")
+        payload: Dict[str, Any] = {"ev": event, "job": job_id, **fields}
+        payload["at"] = round(time.time(), 6)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        os.write(self._fd, (line + "\n").encode("utf-8"))
+        self.records_written += 1
+
+    # -- transition shorthands -------------------------------------------------
+
+    def admit(self, job: VetJob) -> None:
+        self.record(EV_ADMIT, job.job_id, spec=job_spec(job))
+
+    def assign(self, job: VetJob, worker: int) -> None:
+        self.record(
+            EV_ASSIGN, job.job_id, worker=worker, attempt=job.attempts
+        )
+
+    def complete(self, job: VetJob) -> None:
+        self.record(
+            EV_COMPLETE,
+            job.job_id,
+            state=job.state,
+            engine=job.engine,
+            attempts=job.attempts,
+        )
+
+    def fail(self, job: VetJob) -> None:
+        self.record(
+            EV_FAIL, job.job_id, error=job.error, attempts=job.attempts
+        )
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Everything one :func:`replay_journal` pass reconstructs."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Trailing partial/undecodable lines dropped during replay (a
+    #: crash mid-append leaves at most one).
+    truncated: int = 0
+
+    @property
+    def admits(self) -> Dict[str, Dict[str, Any]]:
+        """First admit spec per job id, in admission order."""
+        specs: Dict[str, Dict[str, Any]] = {}
+        for record in self.records:
+            if record["ev"] == EV_ADMIT and record["job"] not in specs:
+                specs[record["job"]] = record["spec"]
+        return specs
+
+    @property
+    def terminal(self) -> Dict[str, Dict[str, Any]]:
+        """First terminal record per job id (later ones are anomalies)."""
+        finals: Dict[str, Dict[str, Any]] = {}
+        for record in self.records:
+            if record["ev"] in TERMINAL_EVENTS and record["job"] not in finals:
+                finals[record["job"]] = record
+        return finals
+
+    def jobs(self) -> List[VetJob]:
+        """Every admitted job, rebuilt in admission order (all pending)."""
+        return [job_from_spec(spec) for spec in self.admits.values()]
+
+    def pending_ids(self) -> List[str]:
+        """Jobs admitted but never journaled terminal: the recovery set."""
+        finals = self.terminal
+        return [job_id for job_id in self.admits if job_id not in finals]
+
+
+def replay_journal(path) -> JournalState:
+    """Parse a journal, dropping (and counting) partial trailing lines.
+
+    A missing journal replays as empty: recovery from "never ran" is a
+    clean first run.
+    """
+    state = JournalState()
+    try:
+        blob = Path(path).read_bytes()
+    except OSError:
+        return state
+    for line in blob.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            state.truncated += 1
+            continue
+        if not isinstance(record, dict) or "ev" not in record:
+            state.truncated += 1
+            continue
+        state.records.append(record)
+    return state
+
+
+# -- result rows over process / crash boundaries -------------------------------
+
+
+def row_to_payload(row: Any) -> Optional[Dict[str, Any]]:
+    """JSON-ready payload for any harness row (None passes through)."""
+    if row is None:
+        return None
+    return {
+        "type": type(row).__name__,
+        "data": dataclasses.asdict(row),
+    }
+
+
+def row_from_payload(payload: Optional[Dict[str, Any]]) -> Any:
+    """Rebuild a harness row (the inverse of :func:`row_to_payload`).
+
+    JSON turns tuples into lists; each row type restores its tuple
+    fields so recovered rows compare equal (``==``) to fresh ones.
+    """
+    if payload is None:
+        return None
+    from repro.bench.cache import _row_from_payload
+    from repro.bench.harness import LintErrorRow, TargetedSkipRow
+
+    kind, data = payload["type"], dict(payload["data"])
+    if kind == "AppEvaluation":
+        return _row_from_payload(data)
+    if kind == "LintErrorRow":
+        data["rules"] = tuple(data["rules"])
+        return LintErrorRow(**data)
+    if kind == "TargetedSkipRow":
+        data["targets"] = tuple(data["targets"])
+        return TargetedSkipRow(**data)
+    raise ValueError(f"unknown row payload type {kind!r}")
+
+
+class PartitionResultStore:
+    """Per-worker partitions of atomically-published result records.
+
+    Layout: ``root/worker-NN/<job_id>.a<attempt>.json``.  Writers
+    publish with ``mkstemp`` + ``os.replace`` so a reader polling the
+    partitions never observes a torn record -- the file either is not
+    there yet or is complete.  The attempt number is part of the file
+    name, so a retried job's record never silently overwrites (or
+    masks) an earlier attempt's.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Stale temp files swept on open (crash-orphaned ``.tmp-*``).
+        self.tmp_purged = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self, max_age_s: float = TMP_MAX_AGE_S) -> int:
+        purged = 0
+        now = time.time()
+        for directory in [self.root, *self.root.glob("worker-*")]:
+            try:
+                entries = list(os.scandir(directory))
+            except OSError:
+                continue
+            for entry in entries:
+                if not entry.name.startswith(".tmp-"):
+                    continue
+                try:
+                    if now - entry.stat().st_mtime >= max_age_s:
+                        os.unlink(entry.path)
+                        purged += 1
+                except OSError:
+                    continue
+        return purged
+
+    def partition(self, worker_id: int) -> Path:
+        return self.root / f"worker-{worker_id:02d}"
+
+    def write(
+        self, worker_id: int, job_id: str, attempt: int,
+        record: Dict[str, Any],
+    ) -> None:
+        """Atomically publish one attempt's result record."""
+        directory = self.partition(worker_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, directory / f"{job_id}.a{attempt}.json")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+
+    def poll(self, seen: Set[str]) -> List[Dict[str, Any]]:
+        """Records published since ``seen`` (which is updated in place).
+
+        Ordered oldest-first by (mtime, name) so the orchestrator
+        consumes results roughly in completion order.
+        """
+        fresh: List[Tuple[float, str, Dict[str, Any]]] = []
+        for directory in sorted(self.root.glob("worker-*")):
+            try:
+                entries = list(os.scandir(directory))
+            except OSError:
+                continue
+            for entry in entries:
+                name = f"{directory.name}/{entry.name}"
+                if (
+                    name in seen
+                    or entry.name.startswith(".tmp-")
+                    or not entry.name.endswith(".json")
+                ):
+                    continue
+                try:
+                    record = json.loads(Path(entry.path).read_text())
+                except (OSError, ValueError):
+                    continue
+                seen.add(name)
+                fresh.append((entry.stat().st_mtime, name, record))
+        fresh.sort(key=lambda item: (item[0], item[1]))
+        return [record for _, _, record in fresh]
+
+    def merge(self) -> Dict[str, Dict[str, Any]]:
+        """The shutdown/recovery merge: latest-attempt record per job.
+
+        Scans every partition and keeps, per job id, the record of the
+        highest attempt number (ties: lexicographically last partition
+        wins, which is deterministic).
+        """
+        best: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        for record in self.poll(set()):
+            job_id = record.get("job_id")
+            if job_id is None:
+                continue
+            attempt = int(record.get("attempt", 0))
+            current = best.get(job_id)
+            if current is None or attempt >= current[0]:
+                best[job_id] = (attempt, record)
+        return {job_id: record for job_id, (_, record) in best.items()}
+
+
+def make_result_record(
+    job_id: str,
+    attempt: int,
+    worker: int,
+    kind: str,
+    *,
+    engine: Optional[str] = None,
+    healthy: bool = True,
+    row: Any = None,
+    verdict: Optional[str] = None,
+    risk_score: Optional[int] = None,
+    findings: Optional[int] = None,
+    latency_s: Optional[float] = None,
+    fault: Optional[str] = None,
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One attempt's outcome, as the JSON record workers publish.
+
+    ``kind`` is ``"ok"`` (row attached), ``"corrupt"`` (structured
+    non-retryable failure) or ``"fault"`` (retryable; ``fault`` names
+    the kind, e.g. ``oom`` / ``error``).
+    """
+    return {
+        "job_id": job_id,
+        "attempt": attempt,
+        "worker": worker,
+        "kind": kind,
+        "engine": engine,
+        "healthy": healthy,
+        "row": row_to_payload(row),
+        "verdict": verdict,
+        "risk_score": risk_score,
+        "findings": findings,
+        "latency_s": latency_s,
+        "fault": fault,
+        "error": error,
+    }

@@ -32,6 +32,12 @@ class AdmissionQueue:
         self.admitted = 0
         self.rejected = 0
         self.high_water = 0
+        #: Items admitted and not yet drained, by this queue's *own*
+        #: accounting.  ``high_water`` is derived from this counter,
+        #: never from ``qsize()``: a consumer draining between a put
+        #: and a ``qsize()`` read would make the high-water mark
+        #: under-report the depth that actually existed at admission.
+        self._outstanding = 0
 
     def __len__(self) -> int:
         return self._queue.qsize()
@@ -41,10 +47,11 @@ class AdmissionQueue:
         return self._queue.full()
 
     def _record_admit(self) -> None:
+        """Account one admission at the depth it actually created."""
         self.admitted += 1
-        depth = self._queue.qsize()
-        if depth > self.high_water:
-            self.high_water = depth
+        self._outstanding += 1
+        if self._outstanding > self.high_water:
+            self.high_water = self._outstanding
 
     async def submit(self, item: Any) -> None:
         """Admit ``item``, awaiting a free slot (backpressure)."""
@@ -63,7 +70,11 @@ class AdmissionQueue:
         self._record_admit()
 
     async def get(self) -> Any:
-        return await self._queue.get()
+        item = await self._queue.get()
+        self._outstanding -= 1
+        return item
 
     def get_nowait(self) -> Any:
-        return self._queue.get_nowait()
+        item = self._queue.get_nowait()
+        self._outstanding -= 1
+        return item

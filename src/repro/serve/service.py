@@ -30,11 +30,21 @@ from __future__ import annotations
 
 import asyncio
 import functools
-import random
+import hashlib
+import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+)
 
 from repro import obs
 from repro.apk.corpus import AppCorpus
@@ -48,9 +58,31 @@ from repro.serve.faults import (
     build_injector,
 )
 from repro.serve.jobs import JobState, VetJob
+from repro.serve.journal import (
+    EV_COMPLETE,
+    JobJournal,
+    PartitionResultStore,
+    job_from_spec,
+    job_spec,
+    make_result_record,
+    replay_journal,
+    row_from_payload,
+)
+from repro.serve.pool import PoolSpec, ProcessWorkerPool
 from repro.serve.queue import AdmissionQueue
 from repro.serve.sharder import JobBatch, Sharder, classify, make_batches
 from repro.serve.workers import DeviceWorker, PipelineResult
+
+
+class ServiceCrash(RuntimeError):
+    """Simulated orchestrator death (``ServeConfig.crash_after``).
+
+    Raised by :meth:`VettingService.serve` after the configured number
+    of terminal jobs: the worker pool is torn down, in-memory state is
+    abandoned, and only the journal survives -- the closest thing to
+    ``kill -9`` a test (or the CI crash soak) can stage without losing
+    the process it is asserting from.
+    """
 
 
 @dataclass(frozen=True)
@@ -79,6 +111,22 @@ class ServeConfig:
     strict: bool = False
     #: Run the taint/vetting plugin and record verdicts.
     vet: bool = True
+    #: Worker execution: ``"async"`` (in-process simulated devices) or
+    #: ``"process"`` (real OS worker processes via
+    #: :class:`repro.serve.pool.ProcessWorkerPool`).
+    pool: str = "async"
+    #: Multiprocessing start method for ``pool="process"`` (None = the
+    #: platform default via :func:`repro.bench.parallel.worker_context`).
+    start_method: Optional[str] = None
+    #: Append-only job journal path (None = no durable transitions).
+    journal_path: Optional[str] = None
+    #: Partitioned result-store root (required for ``pool="process"``;
+    #: in async mode it additionally persists completed rows so a
+    #: recovery run can reload them).
+    state_dir: Optional[str] = None
+    #: Simulated orchestrator death: raise :class:`ServiceCrash` once
+    #: this many jobs reached a terminal state (None = run to the end).
+    crash_after: Optional[int] = None
 
 
 class CorpusSource:
@@ -170,6 +218,102 @@ class PathSource:
         return load_gdx(self.paths[job.index])
 
 
+class _PathFeedBase:
+    """Shared plumbing of the streaming admission feeds.
+
+    A feed doubles as the service's app *source*: streamed jobs carry
+    their ``.gdx`` path in ``source``, and :meth:`app_for` loads from
+    it directly (no index table -- the job set is open-ended).
+    """
+
+    def __init__(self) -> None:
+        self._next_index = 0
+
+    def app_for(self, job: VetJob):
+        from repro.apk.loader import load_gdx
+
+        return load_gdx(job.source)
+
+    def _job_for(self, path: Path) -> VetJob:
+        index = self._next_index
+        self._next_index += 1
+        try:
+            size = float(path.stat().st_size)
+        except OSError:
+            size = 0.0
+        return VetJob(
+            job_id=f"feed-{index:04d}",
+            index=index,
+            package=path.stem,
+            source=str(path),
+            est_cost=size,
+            size_class=classify(size / 12.0),
+        )
+
+
+class DirectoryFeed(_PathFeedBase):
+    """Streaming admission from a watched directory (``--watch DIR``).
+
+    Polls ``root`` for ``.gdx`` files and yields each exactly once, in
+    sorted order per poll.  The feed ends when a ``STOP`` sentinel file
+    appears (after admitting anything that arrived alongside it) or
+    when no new file has arrived for ``idle_s`` seconds -- so a test or
+    batch producer can simply stop writing and the service drains and
+    exits.
+    """
+
+    #: Sentinel file name that cleanly ends the watch.
+    STOP = "STOP"
+
+    def __init__(self, root, poll_s: float = 0.05, idle_s: float = 5.0) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.poll_s = poll_s
+        self.idle_s = idle_s
+        self._seen: set = set()
+
+    async def jobs(self) -> AsyncIterator[VetJob]:
+        last_arrival = time.monotonic()
+        while True:
+            stop = (self.root / self.STOP).exists()
+            fresh = sorted(
+                path
+                for path in self.root.glob("*.gdx")
+                if str(path) not in self._seen
+            )
+            for path in fresh:
+                self._seen.add(str(path))
+                last_arrival = time.monotonic()
+                yield self._job_for(path)
+            if stop:
+                return
+            if time.monotonic() - last_arrival >= self.idle_s:
+                return
+            await asyncio.sleep(self.poll_s)
+
+
+class StdinFeed(_PathFeedBase):
+    """Streaming admission from newline-separated paths (``--watch -``).
+
+    Reads one ``.gdx`` path per line until EOF; the blocking readline
+    runs on the loop's executor so admission never stalls dispatch.
+    """
+
+    def __init__(self, stream=None) -> None:
+        super().__init__()
+        self.stream = stream if stream is not None else sys.stdin
+
+    async def jobs(self) -> AsyncIterator[VetJob]:
+        loop = asyncio.get_running_loop()
+        while True:
+            line = await loop.run_in_executor(None, self.stream.readline)
+            if not line:
+                return
+            path = line.strip()
+            if path:
+                yield self._job_for(Path(path))
+
+
 @dataclass
 class SoakReport:
     """Everything one service run produced."""
@@ -257,6 +401,38 @@ class SoakReport:
         }
 
 
+def backoff_fraction(seed: int, job_id: str, attempt: int) -> float:
+    """Deterministic jitter fraction in ``[0, 1)``: a pure hash.
+
+    Derived from ``sha256(f"{seed}:{job_id}:{attempt}")``, never from a
+    shared RNG, so the value is a function of the *job*, not of the
+    order completions happened to interleave in -- identical across
+    shuffled retry orders, event-loop scheduling and OS processes.
+    (``hash()`` would not do: builtin string hashing is salted per
+    interpreter, so worker processes would disagree.)
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{job_id}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class _LaneProxy:
+    """Worker-shaped view of a pool lane for the outcome hooks.
+
+    The hooks (:meth:`VettingService.on_job_success` & co.) only read
+    ``worker_id`` / ``engine`` / ``healthy`` from their worker
+    argument, so pooled results -- where the real worker lives in
+    another process -- present this stand-in built from the published
+    result record.
+    """
+
+    worker_id: int
+    engine: Optional[str] = None
+    healthy: bool = True
+
+
 class VettingService:
     """Asyncio orchestrator tying queue, sharder, workers and faults."""
 
@@ -277,6 +453,18 @@ class VettingService:
         self._total = 0
         self._all_done: Optional[asyncio.Event] = None
         self._retry_tasks: List[asyncio.Task] = []
+        # Durable-state / process-pool plumbing (None in plain async
+        # runs without a journal or state dir).
+        self._journal: Optional[JobJournal] = None
+        self._store: Optional[PartitionResultStore] = None
+        self._pool: Optional[ProcessWorkerPool] = None
+        self._jobs: List[VetJob] = []
+        self._jobs_by_id: Dict[str, VetJob] = {}
+        #: Per-lane in-flight jobs (pooled mode crash rehoming).
+        self._owned: List[Dict[str, VetJob]] = []
+        self._lane_loads: List[float] = []
+        self._feed_open = False
+        self._crashed = False
 
     # -- counters --------------------------------------------------------------
 
@@ -286,58 +474,165 @@ class VettingService:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def run(self, jobs: Sequence[VetJob]) -> SoakReport:
+    def run(
+        self,
+        jobs: Sequence[VetJob] = (),
+        feed=None,
+        recovered: Sequence[VetJob] = (),
+    ) -> SoakReport:
         """Synchronous front door: drive :meth:`serve` to completion."""
-        return asyncio.run(self.serve(jobs))
+        return asyncio.run(self.serve(jobs, feed=feed, recovered=recovered))
 
-    async def serve(self, jobs: Sequence[VetJob]) -> SoakReport:
-        """Admit, shard, process and retry ``jobs`` until all terminal."""
+    def _open_durable_state(self) -> None:
         config = self.config
-        self._total = len(jobs)
+        if config.journal_path:
+            self._journal = JobJournal(config.journal_path)
+        if config.state_dir and config.pool != "process":
+            # Async-mode durability: the orchestrator itself persists
+            # completed rows (pooled workers write their own store).
+            self._store = PartitionResultStore(config.state_dir)
+            if self._store.tmp_purged:
+                self._count("serve.store.tmp_purged", self._store.tmp_purged)
+
+    def _build_pool(self) -> ProcessWorkerPool:
+        config = self.config
+        state_dir = config.state_dir or tempfile.mkdtemp(
+            prefix="gdroid-serve-"
+        )
+        corpus = getattr(self.source, "corpus", None)
+        spec = PoolSpec(
+            state_dir=str(state_dir),
+            corpus=(
+                (corpus.base_seed, corpus.size, corpus.profile)
+                if corpus is not None
+                else None
+            ),
+            strict=config.strict,
+            vet=config.vet,
+            fault_config=self.injector.config,
+            fault_jobs=self.injector.jobs,
+            fault_workers=config.workers,
+        )
+        return ProcessWorkerPool(spec, config.workers, config.start_method)
+
+    async def serve(
+        self,
+        jobs: Sequence[VetJob] = (),
+        feed=None,
+        recovered: Sequence[VetJob] = (),
+    ) -> SoakReport:
+        """Admit, shard, process and retry ``jobs`` until all terminal.
+
+        ``feed`` streams additional jobs in while the service runs (an
+        object with an async-generator ``jobs()`` method, e.g.
+        :class:`DirectoryFeed`); the run completes when the feed is
+        exhausted *and* every admitted job is terminal.  ``recovered``
+        jobs are already-terminal records stitched back in from a
+        journal replay -- reported, never re-served.
+        """
+        config = self.config
+        self._jobs = list(jobs)
+        self._total = len(self._jobs)
         self._terminal = 0
+        self._crashed = False
+        self._feed_open = feed is not None
         self._all_done = asyncio.Event()
-        if not jobs:
-            self._all_done.set()
         self._intake = AdmissionQueue(config.queue_capacity)
-        self._workers = [
-            DeviceWorker(worker_id, self)
-            for worker_id in range(config.workers)
-        ]
+        self._jobs_by_id = {job.job_id: job for job in self._jobs}
+        self._open_durable_state()
+        pooled = config.pool == "process"
+        self._maybe_all_done()
         started = time.perf_counter()
         with obs.span(
             "serve.run",
             category="serve",
-            jobs=len(jobs),
+            jobs=len(self._jobs),
             workers=config.workers,
+            pool=config.pool,
         ):
-            worker_tasks = [
-                asyncio.ensure_future(worker.run())
-                for worker in self._workers
-            ]
+            if pooled:
+                self._owned = [{} for _ in range(config.workers)]
+                self._lane_loads = [0.0] * config.workers
+                self._pool = self._build_pool()
+                if self._pool.store.tmp_purged:
+                    self._count(
+                        "serve.store.tmp_purged", self._pool.store.tmp_purged
+                    )
+                self._pool.start()
+                worker_tasks = [asyncio.ensure_future(self._pump_loop())]
+            else:
+                self._workers = [
+                    DeviceWorker(worker_id, self)
+                    for worker_id in range(config.workers)
+                ]
+                worker_tasks = [
+                    asyncio.ensure_future(worker.run())
+                    for worker in self._workers
+                ]
             dispatcher = asyncio.ensure_future(self._dispatch_loop())
+            feed_task = (
+                asyncio.ensure_future(self._feed_loop(feed))
+                if feed is not None
+                else None
+            )
             try:
-                for job in jobs:
+                for job in self._jobs:
                     # Backpressure: the submitter waits for window space.
-                    job.state = JobState.ADMITTED
-                    await self._intake.submit(job)
-                    self._count("serve.submitted")
+                    await self._admit(job)
                 await self._all_done.wait()
             finally:
                 dispatcher.cancel()
+                if feed_task is not None:
+                    feed_task.cancel()
                 for task in self._retry_tasks:
                     task.cancel()
-                for worker in self._workers:
-                    worker.queue.put_nowait(None)
-                await asyncio.gather(*worker_tasks, return_exceptions=True)
+                if pooled:
+                    for task in worker_tasks:
+                        task.cancel()
+                    await asyncio.gather(*worker_tasks, return_exceptions=True)
+                    assert self._pool is not None
+                    self._pool.stop(kill=self._crashed)
+                else:
+                    for worker in self._workers:
+                        worker.queue.put_nowait(None)
+                    await asyncio.gather(*worker_tasks, return_exceptions=True)
+                if self._journal is not None:
+                    self._journal.close()
+                    self._journal = None
         self._count("serve.queue_high_water", self._intake.high_water)
         if self._intake.rejected:
             self._count("serve.rejected", self._intake.rejected)
+        if self._crashed:
+            raise ServiceCrash(
+                f"simulated orchestrator crash after {self._terminal} "
+                f"terminal jobs (journal: {config.journal_path})"
+            )
         return SoakReport(
-            jobs=list(jobs),
+            jobs=list(recovered) + self._jobs,
             counters=dict(self.counters),
             wall_s=time.perf_counter() - started,
             workers=config.workers,
         )
+
+    async def _admit(self, job: VetJob) -> None:
+        job.state = JobState.ADMITTED
+        self._jobs_by_id[job.job_id] = job
+        if self._journal is not None:
+            self._journal.admit(job)
+        await self._intake.submit(job)
+        self._count("serve.submitted")
+
+    async def _feed_loop(self, feed) -> None:
+        """Admit jobs from a streaming feed until it reports exhaustion."""
+        try:
+            async for job in feed.jobs():
+                self._total += 1
+                self._jobs.append(job)
+                self._count("serve.feed.admitted")
+                await self._admit(job)
+        finally:
+            self._feed_open = False
+            self._maybe_all_done()
 
     # -- dispatch --------------------------------------------------------------
 
@@ -356,6 +651,9 @@ class VettingService:
             self._place(batches)
 
     def _place(self, batches: Sequence[JobBatch]) -> None:
+        if self._pool is not None:
+            self._place_pooled(batches)
+            return
         loads = [worker.load for worker in self._workers]
         placement = self.sharder.assign(batches, loads)
         for worker, worker_batches in zip(self._workers, placement):
@@ -363,14 +661,137 @@ class VettingService:
                 for job in batch.jobs:
                     job.state = JobState.ASSIGNED
                     worker.load += job.est_cost
+                    if self._journal is not None:
+                        self._journal.assign(job, worker.worker_id)
                 worker.queue.put_nowait(batch)
                 self._count("serve.dispatched", len(batch.jobs))
+
+    def _place_pooled(self, batches: Sequence[JobBatch]) -> None:
+        """LPT-place batches onto worker-process lanes.
+
+        Unlike the async path (where :class:`DeviceWorker` stamps the
+        attempt as it starts processing), the orchestrator accounts the
+        attempt at dispatch: the worker process cannot mutate this
+        process's job records, and the attempt number is what ties a
+        published result record back to the dispatch that caused it.
+        """
+        assert self._pool is not None
+        placement = self.sharder.assign(batches, list(self._lane_loads))
+        for worker_id, worker_batches in enumerate(placement):
+            for batch in worker_batches:
+                descriptors = []
+                for job in batch.jobs:
+                    job.state = JobState.ASSIGNED
+                    job.attempts += 1
+                    job.workers.append(worker_id)
+                    self._lane_loads[worker_id] += job.est_cost
+                    self._owned[worker_id][job.job_id] = job
+                    if self._journal is not None:
+                        self._journal.assign(job, worker_id)
+                    descriptors.append(
+                        {**job_spec(job), "attempt": job.attempts}
+                    )
+                self._pool.submit(worker_id, descriptors)
+                self._count("serve.dispatched", len(batch.jobs))
+
+    async def _pump_loop(self) -> None:
+        """Pooled mode: poll result partitions, reap and restart lanes.
+
+        The blocking filesystem poll runs on the loop's executor so the
+        orchestrator stays responsive; lane death is detected by exit
+        code and every job the lane still owned is retried, exactly
+        like the async path's :meth:`on_worker_crash`.
+        """
+        assert self._pool is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            records = await loop.run_in_executor(None, self._pool.poll, 0.02)
+            for record in records:
+                self._handle_pool_result(record)
+            for worker_id in self._pool.reap():
+                self._count("serve.worker_crashes")
+                orphans = list(self._owned[worker_id].values())
+                self._owned[worker_id].clear()
+                self._lane_loads[worker_id] = 0.0
+                for job in orphans:
+                    if job.state not in (JobState.ASSIGNED, JobState.RUNNING):
+                        continue
+                    self._retry_or_fail(
+                        job,
+                        WORKER_CRASH,
+                        f"worker process {worker_id} died",
+                    )
+                await asyncio.sleep(self.config.restart_delay_s)
+                self._pool.restart(worker_id)
+                self._count("serve.pool.restarts")
+
+    def _handle_pool_result(self, record: Dict[str, Any]) -> None:
+        """Route one published result record through the outcome hooks.
+
+        A record is *stale* when its job is already terminal or its
+        attempt stamp is not the job's current attempt -- e.g. a lane
+        published the result, died before the orchestrator polled it,
+        and the job was already re-dispatched.  Stale records are
+        counted and dropped; acting on them would double-finish.
+        """
+        job = self._jobs_by_id.get(record.get("job_id", ""))
+        if (
+            job is None
+            or job.terminal
+            or record.get("attempt") != job.attempts
+        ):
+            self._count("serve.stale_results")
+            return
+        worker_id = int(record.get("worker", 0))
+        if 0 <= worker_id < len(self._owned):
+            self._owned[worker_id].pop(job.job_id, None)
+            self._lane_loads[worker_id] = max(
+                0.0, self._lane_loads[worker_id] - job.est_cost
+            )
+        lane = _LaneProxy(
+            worker_id=worker_id,
+            engine=record.get("engine"),
+            healthy=bool(record.get("healthy", True)),
+        )
+        kind = record.get("kind")
+        if kind == "ok":
+            self.on_job_success(
+                job,
+                lane,
+                PipelineResult(
+                    row=row_from_payload(record.get("row")),
+                    verdict=record.get("verdict"),
+                    risk_score=record.get("risk_score"),
+                    latency_s=record.get("latency_s"),
+                    findings=record.get("findings"),
+                ),
+            )
+        elif kind == "corrupt":
+            self.on_corrupt_apk(job, lane, record.get("error") or "")
+        elif record.get("fault") == "oom":
+            self.on_device_oom(
+                job, lane, record.get("engine") or "", record.get("error") or ""
+            )
+        else:
+            self._count("serve.worker_faults")
+            self._retry_or_fail(
+                job,
+                record.get("fault") or "error",
+                record.get("error") or "worker fault",
+            )
 
     def _redispatch(self, job: VetJob) -> None:
         """Re-place one retried job (already admitted: bypass intake)."""
         self._place([JobBatch(jobs=[job])])
 
     # -- outcome hooks (called by workers) -------------------------------------
+
+    def _maybe_all_done(self) -> None:
+        """Signal completion: every admitted job terminal, feed drained."""
+        if self._all_done is None or self._feed_open:
+            return
+        if self._terminal >= self._total:
+            self._all_done.set()
 
     def _finish(self, job: VetJob, state: str) -> None:
         if job.terminal:
@@ -383,8 +804,43 @@ class VettingService:
         self._count(
             "serve.completed" if state == JobState.DONE else "serve.failed"
         )
-        if self._terminal >= self._total and self._all_done is not None:
-            self._all_done.set()
+        if self._journal is not None:
+            if state == JobState.DONE:
+                self._journal.complete(job)
+            else:
+                self._journal.fail(job)
+        if self._store is not None and state == JobState.DONE:
+            # Async-mode durability: persist the finished row so a
+            # recovery run reloads it instead of re-evaluating the app.
+            self._store.write(
+                0,
+                job.job_id,
+                job.attempts,
+                make_result_record(
+                    job.job_id,
+                    job.attempts,
+                    0,
+                    "ok",
+                    engine=job.engine,
+                    row=job.row,
+                    verdict=job.verdict,
+                    risk_score=job.risk_score,
+                    findings=job.findings,
+                    latency_s=job.modeled_latency_s,
+                ),
+            )
+        if (
+            self.config.crash_after is not None
+            and self._terminal >= self.config.crash_after
+            and not self._crashed
+        ):
+            # Simulated orchestrator death: stop making progress NOW;
+            # serve() tears the run down and raises ServiceCrash.
+            self._crashed = True
+            if self._all_done is not None:
+                self._all_done.set()
+            return
+        self._maybe_all_done()
 
     def on_job_success(
         self, job: VetJob, worker: DeviceWorker, result: PipelineResult
@@ -457,19 +913,21 @@ class VettingService:
         self._retry_tasks.append(task)
 
     def backoff_s(self, job_id: str, attempt: int) -> float:
-        """Exponential backoff with deterministic jitter.
+        """Exponential backoff with deterministic, order-independent jitter.
 
         ``base * 2^(attempt-1)`` capped at ``backoff_cap_s``, then
-        scaled into ``[1-jitter, 1]`` by an RNG seeded from
-        ``(retry_seed, job_id, attempt)`` -- reproducible, yet
-        decorrelated across jobs so retry storms spread out.
+        scaled into ``(1-jitter, 1]`` by :func:`backoff_fraction` -- a
+        pure hash of ``(retry_seed, job_id, attempt)``.  No RNG object
+        is consulted, so the schedule cannot depend on how many *other*
+        jobs drew jitter first: shuffled completion orders (and worker
+        processes computing delays independently) all see the same
+        per-job backoff.
         """
         config = self.config
         raw = config.backoff_base_s * (2 ** max(0, attempt - 1))
         capped = min(config.backoff_cap_s, raw)
-        rng = random.Random(f"{config.retry_seed}:{job_id}:{attempt}")
-        jitter = 1.0 - config.backoff_jitter * rng.random()
-        return capped * jitter
+        fraction = backoff_fraction(config.retry_seed, job_id, attempt)
+        return capped * (1.0 - config.backoff_jitter * fraction)
 
     async def _retry_later(self, job: VetJob) -> None:
         delay = self.backoff_s(job.job_id, job.attempts)
@@ -526,3 +984,71 @@ def submit_paths(
     source = PathSource(paths)
     service = VettingService(source, config=config or ServeConfig())
     return service.run(source.jobs())
+
+
+def serve_stream(feed, config: Optional[ServeConfig] = None) -> SoakReport:
+    """Serve a streaming admission feed until it is exhausted.
+
+    The ``feed`` (:class:`DirectoryFeed` / :class:`StdinFeed`) is both
+    the job stream and the app source: the run starts with an empty job
+    set and completes when the feed ends and every streamed job is
+    terminal.
+    """
+    service = VettingService(feed, config=config or ServeConfig())
+    return service.run(jobs=(), feed=feed)
+
+
+def recover(
+    source,
+    config: ServeConfig,
+    injector: Optional[FaultInjector] = None,
+) -> SoakReport:
+    """Resume a crashed service run from its journal.
+
+    Replays ``config.journal_path`` and splits the admitted jobs in
+    two: jobs the dead run drove to a terminal state are reconstructed
+    as-finished (rows reloaded from the partition store under
+    ``config.state_dir`` -- no app is re-evaluated), every other
+    admitted job is re-served on a fresh service instance.  The
+    returned report covers the union, so the zero-lost /
+    zero-duplicated invariant is asserted across the crash: every job
+    the dead service admitted is terminal exactly once.
+
+    Recovery appends to the same journal, so a recovery run that
+    crashes again is itself recoverable.
+    """
+    if not config.journal_path:
+        raise ValueError("recovery needs ServeConfig.journal_path")
+    state = replay_journal(config.journal_path)
+    merged: Dict[str, Dict[str, Any]] = {}
+    if config.state_dir:
+        merged = PartitionResultStore(config.state_dir).merge()
+    finished: List[VetJob] = []
+    pending: List[VetJob] = []
+    for job_id, spec in state.admits.items():
+        job = job_from_spec(spec)
+        final = state.terminal.get(job_id)
+        if final is None:
+            pending.append(job)
+            continue
+        job.attempts = int(final.get("attempts", 0))
+        if final["ev"] == EV_COMPLETE:
+            job.state = JobState.DONE
+            job.engine = final.get("engine")
+            record = merged.get(job_id)
+            if record is not None and record.get("row") is not None:
+                job.row = row_from_payload(record["row"])
+                job.verdict = record.get("verdict")
+                job.risk_score = record.get("risk_score")
+                job.findings = record.get("findings")
+                job.modeled_latency_s = record.get("latency_s")
+        else:
+            job.state = JobState.FAILED
+            job.error = final.get("error")
+        finished.append(job)
+    service = VettingService(source, config=config, injector=injector)
+    if state.truncated:
+        service._count("serve.journal.truncated", state.truncated)
+    service._count("serve.recovered.finished", len(finished))
+    service._count("serve.recovered.pending", len(pending))
+    return service.run(pending, recovered=finished)

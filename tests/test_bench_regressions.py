@@ -273,3 +273,56 @@ class TestCorruptCachePurge:
         assert stats.cache_purged == 1
         assert stats.evaluated == 1
         assert "corrupt purged" in stats.summary()
+
+
+# -- crash-orphaned temp files are swept on open ------------------------------
+
+
+class TestStaleTmpSweep:
+    """A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+    ``.tmp-*`` orphan no later store ever reclaims; opening the cache
+    sweeps orphans older than the safety age."""
+
+    @staticmethod
+    def _orphan(root: Path, name: str, age_s: float) -> Path:
+        import os
+        import time
+
+        path = root / name
+        path.write_text("{}")
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_old_orphans_swept_fresh_ones_kept(self, tmp_path):
+        old = self._orphan(tmp_path, ".tmp-dead1.json", age_s=7200.0)
+        older = self._orphan(tmp_path, ".tmp-dead2.json", age_s=9000.0)
+        fresh = self._orphan(tmp_path, ".tmp-live.json", age_s=1.0)
+        row = self._orphan(tmp_path, "a-real-row.json", age_s=9000.0)
+        cache = EvaluationCache(root=tmp_path)
+        assert cache.tmp_purged == 2
+        assert not old.exists() and not older.exists()
+        assert fresh.exists(), "a live writer's temp file must survive"
+        assert row.exists(), "only .tmp-* files are sweep candidates"
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        orphan = self._orphan(tmp_path, ".tmp-dead.json", age_s=7200.0)
+        cache = EvaluationCache(root=tmp_path, enabled=False)
+        assert cache.tmp_purged == 0
+        assert orphan.exists()
+
+    def test_missing_root_is_a_clean_open(self, tmp_path):
+        cache = EvaluationCache(root=tmp_path / "nope")
+        assert cache.tmp_purged == 0
+
+    def test_sweep_count_surfaces_in_run_stats(self, tmp_path, monkeypatch):
+        from repro.bench.harness import _CACHE
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self._orphan(tmp_path, ".tmp-dead.json", age_s=7200.0)
+        _CACHE.clear()
+        corpus = AppCorpus(size=1, base_seed=880700, profile=TINY_PROFILE)
+        evaluate_corpus(corpus)
+        stats = last_run_stats()
+        assert stats.tmp_purged == 1
+        assert "stale tmp swept" in stats.summary()

@@ -201,6 +201,56 @@ def test_serve_json_output(capsys):
     assert len(payload["jobs"]) == 3
 
 
+def test_serve_process_pool_crash_soak(tmp_path, capsys):
+    code = main(
+        [
+            "serve", "--soak", "--apps", "6", "--scale", "0.06",
+            "--workers", "2", "--pool", "process",
+            "--inject", "worker-crash",
+            "--journal", str(tmp_path / "journal.jsonl"),
+            "--state-dir", str(tmp_path / "state"),
+        ]
+    )
+    assert code == 0
+    assert "0 lost" in capsys.readouterr().out
+    assert (tmp_path / "journal.jsonl").exists()
+    assert list((tmp_path / "state").glob("worker-*/*.json"))
+
+
+def test_serve_crash_after_then_recover(tmp_path, capsys):
+    journal = str(tmp_path / "journal.jsonl")
+    state = str(tmp_path / "state")
+    base = [
+        "serve", "--apps", "6", "--scale", "0.06", "--workers", "2",
+        "--pool", "process", "--journal", journal, "--state-dir", state,
+    ]
+    code = main(base + ["--crash-after", "2"])
+    assert code == 3
+    assert "service crashed" in capsys.readouterr().err
+    code = main(base + ["--recover", "--soak"])
+    assert code == 0
+    assert "6 done" in capsys.readouterr().out
+
+
+def test_serve_recover_requires_journal(capsys):
+    code = main(["serve", "--apps", "2", "--recover"])
+    assert code == 2
+    assert "--recover needs --journal" in capsys.readouterr().err
+
+
+def test_serve_watch_directory(tmp_path, capsys):
+    inbox = tmp_path / "inbox"
+    inbox.mkdir()
+    for seed in (21, 22):
+        save_gdx(tiny_app(seed), inbox / f"app-{seed}.gdx")
+    (inbox / "STOP").touch()
+    code = main(
+        ["serve", "--watch", str(inbox), "--workers", "2", "--soak"]
+    )
+    assert code == 0
+    assert "2 jobs" in capsys.readouterr().out
+
+
 def test_submit_mixed_paths(gdx_path, tmp_path, capsys):
     bad = tmp_path / "bad.gdx"
     bad.write_bytes(b"junk")

@@ -183,6 +183,31 @@ def test_parallel_rows_identical_to_serial():
     assert stats.evaluated == 3
 
 
+def test_worker_context_honors_override_and_env(monkeypatch):
+    from repro.bench.parallel import worker_context
+
+    monkeypatch.delenv("REPRO_MP_START", raising=False)
+    assert worker_context("spawn").get_start_method() == "spawn"
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    assert worker_context().get_start_method() == "spawn"
+    # Unknown names fall back to the automatic choice, never abort.
+    monkeypatch.setenv("REPRO_MP_START", "frobnicate")
+    assert worker_context().get_start_method() in ("fork", "spawn")
+
+
+def test_parallel_spawn_path_matches_serial(monkeypatch):
+    """The pool must not hard-code fork: a forced ``spawn`` run (the
+    only path on fork-less platforms) regenerates bit-identical rows
+    from the fully-pickled task tuples."""
+    corpus = AppCorpus(size=3, profile=GeneratorProfile(scale=0.4))
+    harness._CACHE.clear()
+    serial = harness.evaluate_corpus(corpus, jobs=1, no_cache=True)
+    harness._CACHE.clear()
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    spawned = harness.evaluate_corpus(corpus, jobs=2, no_cache=True)
+    assert spawned == serial
+
+
 # -- on-disk cache ------------------------------------------------------------
 
 

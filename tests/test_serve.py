@@ -439,3 +439,516 @@ class TestSoakAcceptance:
         assert payload["ok"] is True
         assert len(payload["jobs"]) == 3
         assert payload["jobs"][0]["state"] == "done"
+
+
+# -- admission high-water accounting (regression) ------------------------------
+
+
+class TestQueueHighWater:
+    def test_high_water_ignores_concurrent_drains(self):
+        """Regression: ``_record_admit`` used to read ``qsize()`` after
+        the put, so a consumer draining in between made the high-water
+        mark under-report the depth the admission actually created."""
+        queue = AdmissionQueue(capacity=4)
+        # Model the racing consumer: qsize() always sees an empty queue.
+        queue._queue.qsize = lambda: 0
+        queue.try_submit("a")
+        assert queue.high_water == 1  # was 0 with the qsize() read
+
+    def test_high_water_tracks_peak_depth_across_interleaving(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=8)
+            await queue.submit("a")
+            await queue.submit("b")
+            await queue.submit("c")
+            assert queue.high_water == 3
+            queue.get_nowait()
+            queue.get_nowait()
+            # Refills below the old peak must not move the mark ...
+            await queue.submit("d")
+            assert queue.high_water == 3
+            # ... and pushing past it must.
+            await queue.submit("e")
+            await queue.submit("f")
+            await queue.submit("g")
+            assert queue.high_water == 5
+
+        asyncio.run(scenario())
+
+
+# -- backoff jitter is order-independent (regression) --------------------------
+
+
+class TestBackoffDeterminism:
+    def _service(self):
+        corpus = AppCorpus(size=1, base_seed=912000, profile=SERVE_PROFILE)
+        return VettingService(
+            CorpusSource(corpus),
+            config=ServeConfig(
+                backoff_base_s=0.01, backoff_cap_s=0.05, backoff_jitter=0.5
+            ),
+        )
+
+    def test_schedule_survives_shuffled_completion_order(self):
+        """Regression: jitter drawn from a shared RNG made a job's delay
+        depend on how many *other* jobs drew first.  The delay must be
+        a pure function of (seed, job_id, attempt), so any completion
+        interleaving produces the identical schedule."""
+        import random as stdlib_random
+
+        pairs = [
+            (f"job-{index:04d}", attempt)
+            for index in range(25)
+            for attempt in (1, 2, 3)
+        ]
+        in_order = {
+            pair: self._service().backoff_s(*pair) for pair in pairs
+        }
+        shuffled = list(pairs)
+        stdlib_random.Random(99).shuffle(shuffled)
+        service = self._service()
+        out_of_order = {pair: service.backoff_s(*pair) for pair in shuffled}
+        assert out_of_order == in_order
+
+    def test_fraction_is_interpreter_stable(self):
+        """Golden values pin the sha256 derivation: builtin ``hash()``
+        is salted per interpreter, so worker processes would disagree
+        on the schedule -- the digest never does."""
+        from repro.serve import backoff_fraction
+
+        assert backoff_fraction(7, "job-0000", 1) == pytest.approx(
+            0.4606443601424649, abs=0.0
+        )
+        assert backoff_fraction(7, "job-0000", 2) == pytest.approx(
+            0.3793549594461701, abs=0.0
+        )
+        assert backoff_fraction(8, "job-0000", 1) != backoff_fraction(
+            7, "job-0000", 1
+        )
+
+
+# -- job journal ---------------------------------------------------------------
+
+
+class TestJobJournal:
+    def test_roundtrip_admit_assign_terminal(self, tmp_path):
+        from repro.serve import JobJournal, replay_journal
+
+        path = tmp_path / "journal.jsonl"
+        a, b = _job(0), _job(1)
+        with JobJournal(path) as journal:
+            journal.admit(a)
+            journal.admit(b)
+            a.attempts = 1
+            journal.assign(a, worker=2)
+            a.state, a.engine = JobState.DONE, ENGINE_GDROID
+            journal.complete(a)
+        state = replay_journal(path)
+        assert state.truncated == 0
+        assert list(state.admits) == ["job-0000", "job-0001"]
+        assert state.pending_ids() == ["job-0001"]
+        final = state.terminal["job-0000"]
+        assert final["ev"] == "complete"
+        assert final["state"] == JobState.DONE
+        assert final["engine"] == ENGINE_GDROID
+        rebuilt = state.jobs()[0]
+        assert rebuilt.job_id == a.job_id
+        assert rebuilt.est_cost == a.est_cost
+        assert rebuilt.size_class == a.size_class
+        assert rebuilt.state == JobState.PENDING  # replay rebuilds fresh
+
+    def test_truncated_trailing_line_is_dropped_not_fatal(self, tmp_path):
+        from repro.serve import JobJournal, replay_journal
+
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.admit(_job(0))
+            journal.admit(_job(1))
+        # A crash mid-append leaves a partial final line.
+        with open(path, "ab") as handle:
+            handle.write(b'{"ev": "complete", "job": "job-00')
+        state = replay_journal(path)
+        assert state.truncated == 1
+        assert len(state.records) == 2
+        assert state.pending_ids() == ["job-0000", "job-0001"]
+
+    def test_missing_journal_replays_empty(self, tmp_path):
+        from repro.serve import replay_journal
+
+        state = replay_journal(tmp_path / "never-written.jsonl")
+        assert state.records == [] and state.truncated == 0
+        assert state.jobs() == []
+
+    def test_recovery_appends_to_the_same_journal(self, tmp_path):
+        from repro.serve import JobJournal, replay_journal
+
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.admit(_job(0))
+        with JobJournal(path) as journal:  # reopen == append, not truncate
+            journal.admit(_job(0))
+            job = _job(0)
+            job.state = JobState.DONE
+            journal.complete(job)
+        state = replay_journal(path)
+        assert len(state.records) == 3
+        assert len(state.admits) == 1  # first admit wins, replay is stable
+        assert state.pending_ids() == []
+
+
+# -- partitioned result store --------------------------------------------------
+
+
+class TestPartitionResultStore:
+    def test_write_poll_merge(self, tmp_path):
+        from repro.serve import PartitionResultStore
+        from repro.serve.journal import make_result_record
+
+        store = PartitionResultStore(tmp_path / "state")
+        store.write(
+            0, "job-0000", 1,
+            make_result_record("job-0000", 1, 0, "fault", fault="oom"),
+        )
+        store.write(
+            1, "job-0000", 2,
+            make_result_record("job-0000", 2, 1, "ok", engine="gdroid"),
+        )
+        store.write(
+            1, "job-0001", 1,
+            make_result_record("job-0001", 1, 1, "ok", engine="gdroid"),
+        )
+        seen: set = set()
+        first = store.poll(seen)
+        assert {record["job_id"] for record in first} == {
+            "job-0000", "job-0001"
+        }
+        assert store.poll(seen) == []  # nothing new
+        merged = store.merge()
+        assert merged["job-0000"]["attempt"] == 2  # latest attempt wins
+        assert merged["job-0000"]["kind"] == "ok"
+        assert len(merged) == 2
+
+    def test_row_payload_roundtrip(self, demo_app):
+        from repro.bench.harness import evaluate_app
+        from repro.serve.journal import row_from_payload, row_to_payload
+
+        row = evaluate_app(demo_app)
+        clone = row_from_payload(
+            json.loads(json.dumps(row_to_payload(row)))
+        )
+        assert clone == row
+
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        import os
+        import time as time_module
+
+        from repro.serve import PartitionResultStore
+
+        root = tmp_path / "state"
+        partition = root / "worker-00"
+        partition.mkdir(parents=True)
+        dead = partition / ".tmp-orphan.json"
+        dead.write_text("{}")
+        stamp = time_module.time() - 7200.0
+        os.utime(dead, (stamp, stamp))
+        live = partition / ".tmp-live.json"
+        live.write_text("{}")
+        store = PartitionResultStore(root)
+        assert store.tmp_purged == 1
+        assert not dead.exists()
+        assert live.exists()
+        # .tmp files are invisible to poll either way.
+        assert store.poll(set()) == []
+
+
+# -- process worker pool -------------------------------------------------------
+
+
+def _pool_config(tmp_path, **overrides):
+    defaults = dict(
+        workers=2,
+        vet=False,
+        pool="process",
+        journal_path=str(tmp_path / "journal.jsonl"),
+        state_dir=str(tmp_path / "state"),
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestProcessPool:
+    def test_clean_pooled_run_matches_async_rows(self, tmp_path):
+        corpus = AppCorpus(size=8, base_seed=913000, profile=SERVE_PROFILE)
+        pooled = run_soak(corpus, config=_pool_config(tmp_path))
+        assert pooled.ok
+        assert pooled.completed == 8 and pooled.failed == 0
+        baseline = run_soak(corpus, config=ServeConfig(workers=2, vet=False))
+        assert pooled.rows() == baseline.rows()
+        # Transitions were journaled and rows persisted per partition.
+        from repro.serve import PartitionResultStore, replay_journal
+
+        state = replay_journal(tmp_path / "journal.jsonl")
+        assert state.pending_ids() == []
+        assert len(state.admits) == 8
+        merged = PartitionResultStore(tmp_path / "state").merge()
+        assert len(merged) == 8
+
+    def test_injected_crash_is_a_real_process_death(self, tmp_path):
+        """``worker-crash`` in pooled mode is ``os._exit`` in a real OS
+        process: the orchestrator must reap the corpse, rehome its
+        in-flight jobs and restart the lane -- losing nothing."""
+        corpus = AppCorpus(size=10, base_seed=913100, profile=SERVE_PROFILE)
+        report = run_soak(
+            corpus,
+            config=_pool_config(tmp_path, workers=2),
+            inject=frozenset({"worker-crash"}),
+        )
+        assert report.ok and report.failed == 0
+        assert report.counters["serve.worker_crashes"] >= 1
+        assert report.counters["serve.pool.restarts"] >= 1
+        assert report.counters["serve.retries"] >= 1
+
+    def test_external_sigkill_mid_run_is_survived(self, tmp_path):
+        """A worker SIGKILLed from *outside* (no injection cooperation
+        at all) looks identical to the orchestrator: reap, rehome,
+        restart, zero lost jobs."""
+        import os
+        import signal
+
+        corpus = AppCorpus(size=12, base_seed=913200, profile=SERVE_PROFILE)
+        source = CorpusSource(corpus)
+        service = VettingService(source, config=_pool_config(tmp_path))
+
+        async def scenario():
+            async def killer():
+                while service._pool is None or not any(service._pool.pids):
+                    await asyncio.sleep(0.01)
+                await asyncio.sleep(0.05)
+                victim = next(
+                    pid for pid in service._pool.pids if pid is not None
+                )
+                os.kill(victim, signal.SIGKILL)
+
+            report, _ = await asyncio.gather(
+                service.serve(source.jobs()), killer()
+            )
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.ok
+        assert report.completed + report.failed == 12
+        assert report.counters["serve.worker_crashes"] >= 1
+        assert report.counters["serve.pool.restarts"] >= 1
+
+    def test_spawn_start_method_serves_identically(self, tmp_path):
+        """Forcing ``spawn`` exercises the fully-pickled path (the only
+        one available on fork-less platforms)."""
+        corpus = AppCorpus(size=4, base_seed=913300, profile=SERVE_PROFILE)
+        pooled = run_soak(
+            corpus,
+            config=_pool_config(tmp_path, start_method="spawn"),
+        )
+        assert pooled.ok and pooled.completed == 4
+        baseline = run_soak(corpus, config=ServeConfig(workers=2, vet=False))
+        assert pooled.rows() == baseline.rows()
+
+
+# -- orchestrator crash + journal recovery -------------------------------------
+
+
+class TestCrashRecovery:
+    def test_crash_after_raises_and_recovery_stitches(self, tmp_path):
+        from repro.serve import ServiceCrash, recover
+
+        corpus = AppCorpus(size=10, base_seed=913400, profile=SERVE_PROFILE)
+        crash_cfg = _pool_config(tmp_path, crash_after=4)
+        with pytest.raises(ServiceCrash):
+            run_soak(corpus, config=crash_cfg)
+        report = recover(
+            CorpusSource(corpus), _pool_config(tmp_path)
+        )
+        assert report.ok
+        assert report.submitted == 10
+        assert report.completed == 10 and report.failed == 0
+        assert report.counters["serve.recovered.finished"] >= 4
+        assert (
+            report.counters["serve.recovered.finished"]
+            + report.counters["serve.recovered.pending"]
+            == 10
+        )
+        baseline = run_soak(
+            corpus, config=ServeConfig(workers=2, vet=False)
+        )
+        assert report.rows() == baseline.rows()
+
+    def test_recovered_rows_are_reloaded_not_reevaluated(self, tmp_path):
+        """Jobs journaled terminal come back with their persisted rows:
+        recovery of a fully-finished run re-serves nothing."""
+        from repro.serve import recover
+
+        corpus = AppCorpus(size=5, base_seed=913500, profile=SERVE_PROFILE)
+        first = run_soak(corpus, config=_pool_config(tmp_path))
+        assert first.ok
+        report = recover(CorpusSource(corpus), _pool_config(tmp_path))
+        assert report.ok
+        assert report.counters["serve.recovered.finished"] == 5
+        assert report.counters["serve.recovered.pending"] == 0
+        assert report.counters.get("serve.submitted", 0) == 0
+        assert report.rows() == first.rows()
+
+    def test_async_mode_journals_and_recovers_too(self, tmp_path):
+        """Durability is not process-pool-only: the async orchestrator
+        journals transitions and persists rows itself."""
+        from repro.serve import ServiceCrash, recover
+
+        corpus = AppCorpus(size=8, base_seed=913600, profile=SERVE_PROFILE)
+        crash_cfg = _pool_config(
+            tmp_path, pool="async", workers=2, crash_after=3
+        )
+        with pytest.raises(ServiceCrash):
+            run_soak(corpus, config=crash_cfg)
+        report = recover(
+            CorpusSource(corpus), _pool_config(tmp_path, pool="async")
+        )
+        assert report.ok
+        assert report.completed == 8
+        baseline = run_soak(
+            corpus, config=ServeConfig(workers=2, vet=False)
+        )
+        assert report.rows() == baseline.rows()
+
+
+# -- streaming admission feeds -------------------------------------------------
+
+
+class TestStreamingFeeds:
+    def _write_apps(self, directory, seeds):
+        from repro.apk.loader import save_gdx
+        from tests.conftest import tiny_app
+
+        directory.mkdir(parents=True, exist_ok=True)
+        for seed in seeds:
+            save_gdx(tiny_app(seed), directory / f"app-{seed}.gdx")
+
+    def test_directory_feed_serves_arrivals_until_stop(self, tmp_path):
+        from repro.serve import DirectoryFeed, serve_stream
+
+        inbox = tmp_path / "inbox"
+        self._write_apps(inbox, [1, 2, 3])
+        (inbox / "STOP").touch()
+        feed = DirectoryFeed(inbox, poll_s=0.01, idle_s=5.0)
+        report = serve_stream(feed, config=ServeConfig(workers=2, vet=False))
+        assert report.ok
+        assert report.submitted == 3
+        assert report.completed == 3
+        assert report.counters["serve.feed.admitted"] == 3
+
+    def test_directory_feed_idle_timeout_drains_and_exits(self, tmp_path):
+        from repro.serve import DirectoryFeed, serve_stream
+
+        inbox = tmp_path / "inbox"
+        self._write_apps(inbox, [4])
+        feed = DirectoryFeed(inbox, poll_s=0.01, idle_s=0.2)
+        report = serve_stream(feed, config=ServeConfig(workers=1, vet=False))
+        assert report.ok and report.completed == 1
+
+    def test_directory_feed_streams_into_process_pool(self, tmp_path):
+        from repro.serve import DirectoryFeed, serve_stream
+
+        inbox = tmp_path / "inbox"
+        self._write_apps(inbox, [5, 6])
+        (inbox / "STOP").touch()
+        feed = DirectoryFeed(inbox, poll_s=0.01)
+        report = serve_stream(
+            feed, config=_pool_config(tmp_path, workers=2)
+        )
+        assert report.ok and report.completed == 2
+        for job in report.jobs:
+            assert job.source.endswith(".gdx")
+
+    def test_stdin_feed_reads_paths_until_eof(self, tmp_path):
+        import io
+
+        from repro.serve import StdinFeed, serve_stream
+
+        inbox = tmp_path / "inbox"
+        self._write_apps(inbox, [7, 8])
+        listing = "".join(
+            f"{path}\n" for path in sorted(inbox.glob("*.gdx"))
+        )
+        feed = StdinFeed(stream=io.StringIO(listing + "\n"))
+        report = serve_stream(feed, config=ServeConfig(workers=2, vet=False))
+        assert report.ok and report.completed == 2
+
+    def test_empty_feed_completes_cleanly(self, tmp_path):
+        from repro.serve import DirectoryFeed, serve_stream
+
+        inbox = tmp_path / "inbox"
+        inbox.mkdir()
+        (inbox / "STOP").touch()
+        feed = DirectoryFeed(inbox, poll_s=0.01)
+        report = serve_stream(feed, config=ServeConfig(workers=1))
+        assert report.ok and report.submitted == 0
+
+
+# -- the journal-recovery acceptance test --------------------------------------
+
+
+class TestJournalRecoveryAcceptance:
+    def test_thousand_app_soak_survives_sigkill_and_restart(
+        self, tmp_path, monkeypatch
+    ):
+        """ISSUE 8 acceptance: a 1000-app soak whose worker process is
+        ``kill -9``-ed mid-run and whose orchestrator then dies is
+        restarted from the journal and finishes with zero lost or
+        duplicated jobs and rows identical to an uninterrupted run."""
+        import os
+        import signal
+
+        from repro.serve import ServiceCrash, recover
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        profile = GeneratorProfile(scale=0.02)
+        corpus = AppCorpus(size=1000, base_seed=914100, profile=profile)
+        source = CorpusSource(corpus)
+        crash_cfg = _pool_config(tmp_path, workers=3, crash_after=400)
+        service = VettingService(source, config=crash_cfg)
+
+        async def interrupted_run():
+            async def killer():
+                # Wait for live lanes, let the run make progress, then
+                # SIGKILL one worker from outside -- no cooperation.
+                while service._pool is None or not any(service._pool.pids):
+                    await asyncio.sleep(0.01)
+                await asyncio.sleep(1.0)
+                victim = next(
+                    pid for pid in service._pool.pids if pid is not None
+                )
+                os.kill(victim, signal.SIGKILL)
+
+            await asyncio.gather(service.serve(source.jobs()), killer())
+
+        with pytest.raises(ServiceCrash):
+            asyncio.run(interrupted_run())
+        # The dead run observed the external kill before it crashed.
+        assert service.counters["serve.worker_crashes"] >= 1
+
+        report = recover(
+            CorpusSource(corpus), _pool_config(tmp_path, workers=3)
+        )
+        # Zero lost, zero duplicated -- across the crash boundary.
+        assert report.ok
+        assert report.submitted == 1000
+        assert report.completed == 1000 and report.failed == 0
+        assert report.counters["serve.recovered.finished"] >= 1
+        assert (
+            report.counters["serve.recovered.finished"]
+            + report.counters["serve.recovered.pending"]
+            == 1000
+        )
+        # Result-set equality with an uninterrupted run.
+        direct = evaluate_corpus(corpus)
+        rows = report.rows()
+        assert len(rows) == 1000
+        for index in range(1000):
+            assert rows[index] == direct[index]

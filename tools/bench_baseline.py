@@ -71,8 +71,16 @@ METRICS = {
 #: Machine/state-dependent metrics: recorded and reported, never gating.
 INFORMATIONAL = ("apps_per_second", "hit_rate")
 
+#: Worker-process counts the serving-throughput sweep records.
+SERVE_WORKER_COUNTS = (1, 2, 4)
+
 #: Sink category of the demand-driven informational metrics.
 TARGETED_SINKS = "SMS"
+
+
+def serve_metric_names(counts: Sequence[int] = SERVE_WORKER_COUNTS) -> List[str]:
+    """Informational metric names produced by :func:`collect_serve_metrics`."""
+    return [f"serve_pool_jobs_per_s_w{count}" for count in counts]
 
 
 def collect_metrics(rows: Sequence[Any], stats: Any) -> Dict[str, Any]:
@@ -136,6 +144,46 @@ def collect_targeted_metrics(
             full_s / targeted_s if targeted_s else None
         ),
     }
+
+
+def collect_serve_metrics(
+    corpus: Any, counts: Sequence[int] = SERVE_WORKER_COUNTS
+) -> Dict[str, Any]:
+    """Process-pool serving throughput at each worker count.
+
+    Informational only: jobs/s through ``run_soak`` with the
+    ``process`` pool is wall-clock (spawn/fork overhead, scheduler
+    noise, core count), so it is recorded to show how throughput
+    scales with worker processes, never gated.  Each sweep point runs
+    against its own scratch state dir so partition stores from one
+    count cannot leak into the next.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve import ServeConfig, run_soak
+    from repro.serve.jobs import JobState
+
+    metrics: Dict[str, Any] = {}
+    for count in counts:
+        state_dir = tempfile.mkdtemp(prefix="bench-serve-")
+        try:
+            report = run_soak(
+                corpus,
+                config=ServeConfig(
+                    workers=count,
+                    vet=False,
+                    pool="process",
+                    state_dir=state_dir,
+                ),
+            )
+        finally:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        done = sum(1 for job in report.jobs if job.state == JobState.DONE)
+        metrics[f"serve_pool_jobs_per_s_w{count}"] = (
+            done / report.wall_s if report.wall_s else 0.0
+        )
+    return metrics
 
 
 @dataclass(frozen=True)
@@ -238,6 +286,7 @@ def cmd_record(args: argparse.Namespace) -> int:
             rows, corpus, jobs=args.jobs, no_cache=args.no_cache
         )
     )
+    collected["informational"].update(collect_serve_metrics(corpus))
     baseline = {
         "schema": BASELINE_SCHEMA,
         "version": repro.__version__,
@@ -300,6 +349,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 f"  {name:16s} {base_info.get(name, 0.0):12.6g} -> "
                 f"{collected['informational'][name]:12.6g}  (informational)"
             )
+        # Serve-pool throughput is measured by ``record`` only (three
+        # pooled soaks are too slow for every compare); report the
+        # recorded scaling so it stays visible in CI logs.
+        for name in serve_metric_names():
+            if name in base_info:
+                print(
+                    f"  {name:24s} {base_info[name]:12.6g}  "
+                    "(informational, recorded)"
+                )
         if comparison.regressions:
             names = ", ".join(d.metric for d in comparison.regressions)
             print(f"REGRESSION beyond {args.tolerance:.1%}: {names}")
