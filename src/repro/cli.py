@@ -281,6 +281,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "crashed run is resumed from",
     )
     serve.add_argument(
+        "--journal-fsync", action="store_true",
+        help="fsync the journal after every record (power-loss "
+        "durability; default is process-crash durability only)",
+    )
+    serve.add_argument(
         "--state-dir", metavar="DIR", default=None,
         help="partitioned result-store root (worker result channel in "
         "process mode; persisted rows for recovery in async mode)",
@@ -781,6 +786,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool=args.pool,
         start_method=args.start_method,
         journal_path=args.journal,
+        journal_fsync=args.journal_fsync,
         state_dir=args.state_dir,
         crash_after=args.crash_after,
     )

@@ -13,11 +13,18 @@ orchestrator writes one record to per state transition::
     {"ev": "fail",     "job": "job-0007", "error": "..."}
 
 Appends are atomic at the record level: the file is opened with
-``O_APPEND`` and every record is a single ``os.write`` of one complete
-line, so concurrent readers never see interleaved records and a crash
-can only ever truncate the *final* line.  :func:`replay_journal`
-tolerates exactly that -- a trailing partial record is dropped (and
-counted), never a parse error.  The ``admit`` record carries the full
+``O_APPEND`` and every record is written as one complete line (a
+single ``os.write`` in the common case, looped to completion on the
+rare short write -- disk full, tiny pipe buffers), so concurrent
+readers never see interleaved records and a crash can only ever
+truncate the *final* line.  :func:`replay_journal` tolerates exactly
+that -- a trailing partial record is dropped (counted as
+``truncated``), never a parse error; an undecodable line *before* the
+tail is counted separately as ``corrupt``, because a torn ``admit``
+mid-file can swallow the only copy of a job spec and deserves a louder
+signal than routine tail truncation.  Durability is process-crash-deep
+by default; pass ``fsync=True`` for power-loss durability at the cost
+of one ``fsync`` per transition.  The ``admit`` record carries the full
 job spec, so a journal is self-sufficient: a restarted service can
 rebuild its job set from the journal alone and re-serve everything
 that never reached a terminal record.
@@ -97,22 +104,40 @@ class JobJournal:
     ``O_APPEND`` descriptor, so each is all-or-nothing on crash.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, fsync: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fd: Optional[int] = os.open(
             self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
         )
+        #: Flush each record to stable storage (power-loss durability).
+        self.fsync = fsync
         self.records_written = 0
 
     def record(self, event: str, job_id: str, **fields: Any) -> None:
-        """Append one transition record (atomic single-write line)."""
+        """Append one transition record (one complete line, always)."""
         if self._fd is None:
             raise ValueError("journal is closed")
         payload: Dict[str, Any] = {"ev": event, "job": job_id, **fields}
         payload["at"] = round(time.time(), 6)
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        os.write(self._fd, (line + "\n").encode("utf-8"))
+        data = (line + "\n").encode("utf-8")
+        # os.write may report fewer bytes written than asked (ENOSPC
+        # partway through a buffer, exotic filesystems): stopping there
+        # would tear this record mid-file -- the one shape of damage
+        # replay cannot attribute to a crash -- so loop to completion
+        # and raise if the descriptor stops accepting bytes at all.
+        view = memoryview(data)
+        while view:
+            written = os.write(self._fd, view)
+            if written <= 0:
+                raise OSError(
+                    f"journal append stalled with {len(view)} of "
+                    f"{len(data)} bytes unwritten ({self.path})"
+                )
+            view = view[written:]
+        if self.fsync:
+            os.fsync(self._fd)
         self.records_written += 1
 
     # -- transition shorthands -------------------------------------------------
@@ -156,9 +181,14 @@ class JournalState:
     """Everything one :func:`replay_journal` pass reconstructs."""
 
     records: List[Dict[str, Any]] = field(default_factory=list)
-    #: Trailing partial/undecodable lines dropped during replay (a
-    #: crash mid-append leaves at most one).
+    #: Trailing partial/undecodable line dropped during replay (a
+    #: crash mid-append leaves at most one, always the final line).
     truncated: int = 0
+    #: Undecodable lines *before* the tail: mid-file tears.  Unlike
+    #: tail truncation these are never the benign crash signature --
+    #: a torn ``admit`` here silently removes a job from recovery --
+    #: so they are surfaced on their own counter.
+    corrupt: int = 0
 
     @property
     def admits(self) -> Dict[str, Dict[str, Any]]:
@@ -189,26 +219,30 @@ class JournalState:
 
 
 def replay_journal(path) -> JournalState:
-    """Parse a journal, dropping (and counting) partial trailing lines.
+    """Parse a journal, dropping (and counting) undecodable lines.
 
-    A missing journal replays as empty: recovery from "never ran" is a
-    clean first run.
+    The final line failing to decode is the expected crash signature
+    (``truncated``); an undecodable line anywhere earlier is a mid-file
+    tear (``corrupt``) and counted separately.  A missing journal
+    replays as empty: recovery from "never ran" is a clean first run.
     """
     state = JournalState()
     try:
         blob = Path(path).read_bytes()
     except OSError:
         return state
-    for line in blob.split(b"\n"):
-        if not line.strip():
-            continue
+    lines = [line for line in blob.split(b"\n") if line.strip()]
+    last = len(lines) - 1
+    for position, line in enumerate(lines):
         try:
             record = json.loads(line.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            state.truncated += 1
-            continue
+            record = None
         if not isinstance(record, dict) or "ev" not in record:
-            state.truncated += 1
+            if position == last:
+                state.truncated += 1
+            else:
+                state.corrupt += 1
             continue
         state.records.append(record)
     return state

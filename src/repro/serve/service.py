@@ -33,6 +33,7 @@ import functools
 import hashlib
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -120,6 +121,9 @@ class ServeConfig:
     start_method: Optional[str] = None
     #: Append-only job journal path (None = no durable transitions).
     journal_path: Optional[str] = None
+    #: fsync the journal after every record (power-loss durability;
+    #: default is process-crash durability only).
+    journal_fsync: bool = False
     #: Partitioned result-store root (required for ``pool="process"``;
     #: in async mode it additionally persists completed rows so a
     #: recovery run can reload them).
@@ -183,6 +187,15 @@ class CorpusSource:
         return jobs
 
     def app_for(self, job: VetJob):
+        if job.source != "corpus":
+            # Journal recovery replays watch/path-fed runs through a
+            # corpus-backed service: those jobs carry their .gdx path
+            # in ``source`` and must be loaded from it, never
+            # regenerated by index (the process-pool workers make the
+            # same branch in ``pool._attempt``).
+            from repro.apk.loader import load_gdx
+
+            return load_gdx(job.source)
         return self._app(job.index)
 
 
@@ -295,8 +308,12 @@ class DirectoryFeed(_PathFeedBase):
 class StdinFeed(_PathFeedBase):
     """Streaming admission from newline-separated paths (``--watch -``).
 
-    Reads one ``.gdx`` path per line until EOF; the blocking readline
-    runs on the loop's executor so admission never stalls dispatch.
+    Reads one ``.gdx`` path per line until EOF.  The blocking readline
+    runs on a dedicated *daemon* thread (never the loop's executor):
+    if the service finishes before stdin reaches EOF -- ``crash_after``,
+    early completion -- the thread stays parked on the read, and a
+    daemon thread, unlike an executor thread, is not joined at
+    interpreter shutdown, so exit cannot hang on an open pipe.
     """
 
     def __init__(self, stream=None) -> None:
@@ -305,9 +322,24 @@ class StdinFeed(_PathFeedBase):
 
     async def jobs(self) -> AsyncIterator[VetJob]:
         loop = asyncio.get_running_loop()
+        lines: asyncio.Queue = asyncio.Queue()
+
+        def pump() -> None:
+            try:
+                for line in iter(self.stream.readline, ""):
+                    loop.call_soon_threadsafe(lines.put_nowait, line)
+                loop.call_soon_threadsafe(lines.put_nowait, None)
+            except RuntimeError:
+                # The loop closed while we were blocked on a read:
+                # nobody is left to deliver to.
+                pass
+
+        threading.Thread(
+            target=pump, name="gdroid-stdin-feed", daemon=True
+        ).start()
         while True:
-            line = await loop.run_in_executor(None, self.stream.readline)
-            if not line:
+            line = await lines.get()
+            if line is None:
                 return
             path = line.strip()
             if path:
@@ -463,6 +495,12 @@ class VettingService:
         #: Per-lane in-flight jobs (pooled mode crash rehoming).
         self._owned: List[Dict[str, VetJob]] = []
         self._lane_loads: List[float] = []
+        #: Lane liveness (pooled mode): False between reap and restart,
+        #: when the lane's queue belongs to a corpse and anything
+        #: submitted to it would be silently dropped by the restart.
+        self._lane_alive: List[bool] = []
+        #: Batches parked because every lane was dead at placement time.
+        self._deferred: List[JobBatch] = []
         self._feed_open = False
         self._crashed = False
 
@@ -486,7 +524,9 @@ class VettingService:
     def _open_durable_state(self) -> None:
         config = self.config
         if config.journal_path:
-            self._journal = JobJournal(config.journal_path)
+            self._journal = JobJournal(
+                config.journal_path, fsync=config.journal_fsync
+            )
         if config.state_dir and config.pool != "process":
             # Async-mode durability: the orchestrator itself persists
             # completed rows (pooled workers write their own store).
@@ -553,6 +593,8 @@ class VettingService:
             if pooled:
                 self._owned = [{} for _ in range(config.workers)]
                 self._lane_loads = [0.0] * config.workers
+                self._lane_alive = [True] * config.workers
+                self._deferred = []
                 self._pool = self._build_pool()
                 if self._pool.store.tmp_purged:
                     self._count(
@@ -674,10 +716,29 @@ class VettingService:
         attempt at dispatch: the worker process cannot mutate this
         process's job records, and the attempt number is what ties a
         published result record back to the dispatch that caused it.
+
+        A reaped-but-not-yet-restarted lane must never be a target: its
+        queue belongs to a corpse and :meth:`ProcessWorkerPool.restart`
+        swaps in a fresh one, so anything submitted in the window would
+        be dropped and the job stuck ASSIGNED forever.  Dead lanes are
+        presented to LPT with infinite load (never the minimum while a
+        live lane exists); if *every* lane is dead the batches are
+        parked on ``_deferred`` and re-placed after the next restart.
         """
         assert self._pool is not None
-        placement = self.sharder.assign(batches, list(self._lane_loads))
+        loads = [
+            load if self._lane_alive[worker_id] else float("inf")
+            for worker_id, load in enumerate(self._lane_loads)
+        ]
+        placement = self.sharder.assign(batches, loads)
         for worker_id, worker_batches in enumerate(placement):
+            if worker_batches and not self._lane_alive[worker_id]:
+                self._deferred.extend(worker_batches)
+                self._count(
+                    "serve.deferred",
+                    sum(len(batch) for batch in worker_batches),
+                )
+                continue
             for batch in worker_batches:
                 descriptors = []
                 for job in batch.jobs:
@@ -710,6 +771,11 @@ class VettingService:
                 self._handle_pool_result(record)
             for worker_id in self._pool.reap():
                 self._count("serve.worker_crashes")
+                # Dead until restarted: the await below yields to the
+                # dispatcher and expiring retry tasks, and their
+                # placements must not target this lane's corpse queue
+                # (restart() discards it, losing the jobs forever).
+                self._lane_alive[worker_id] = False
                 orphans = list(self._owned[worker_id].values())
                 self._owned[worker_id].clear()
                 self._lane_loads[worker_id] = 0.0
@@ -723,7 +789,11 @@ class VettingService:
                     )
                 await asyncio.sleep(self.config.restart_delay_s)
                 self._pool.restart(worker_id)
+                self._lane_alive[worker_id] = True
                 self._count("serve.pool.restarts")
+            if self._deferred and any(self._lane_alive):
+                deferred, self._deferred = self._deferred, []
+                self._place_pooled(deferred)
 
     def _handle_pool_result(self, record: Dict[str, Any]) -> None:
         """Route one published result record through the outcome hooks.
@@ -1049,6 +1119,8 @@ def recover(
     service = VettingService(source, config=config, injector=injector)
     if state.truncated:
         service._count("serve.journal.truncated", state.truncated)
+    if state.corrupt:
+        service._count("serve.journal.corrupt", state.corrupt)
     service._count("serve.recovered.finished", len(finished))
     service._count("serve.recovered.pending", len(pending))
     return service.run(pending, recovered=finished)

@@ -579,6 +579,30 @@ class TestJobJournal:
         assert state.records == [] and state.truncated == 0
         assert state.jobs() == []
 
+    def test_midfile_tear_counted_as_corrupt_not_truncated(self, tmp_path):
+        """An undecodable line *before* the tail is not the benign
+        crash signature: it must land on the ``corrupt`` counter."""
+        from repro.serve import JobJournal, replay_journal
+
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.admit(_job(0))
+            journal.admit(_job(1))
+        lines = path.read_bytes().split(b"\n")
+        path.write_bytes(lines[0][:20] + b"\n" + b"\n".join(lines[1:]))
+        state = replay_journal(path)
+        assert state.corrupt == 1
+        assert state.truncated == 0
+        assert state.pending_ids() == ["job-0001"]
+
+    def test_fsync_journal_replays_identically(self, tmp_path):
+        from repro.serve import JobJournal, replay_journal
+
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path, fsync=True) as journal:
+            journal.admit(_job(0))
+        assert replay_journal(path).pending_ids() == ["job-0000"]
+
     def test_recovery_appends_to_the_same_journal(self, tmp_path):
         from repro.serve import JobJournal, replay_journal
 
@@ -753,6 +777,104 @@ class TestProcessPool:
         assert pooled.rows() == baseline.rows()
 
 
+class _RecordingPool:
+    """Stand-in pool capturing submissions, for placement unit tests."""
+
+    def __init__(self, workers: int) -> None:
+        self.submitted = {worker_id: [] for worker_id in range(workers)}
+
+    def submit(self, worker_id, jobs):
+        self.submitted[worker_id].extend(jobs)
+
+
+class TestDeadLanePlacement:
+    """Regression: between ``reap()`` and ``restart()`` a lane's queue
+    belongs to a corpse -- ``restart()`` swaps in a fresh queue, so any
+    placement that targets the lane in that window (a dispatcher wave,
+    an expiring retry task) would be silently dropped and the job stuck
+    ASSIGNED forever."""
+
+    def _service(self, tmp_path, workers, alive):
+        corpus = AppCorpus(size=4, base_seed=913700, profile=SERVE_PROFILE)
+        source = CorpusSource(corpus)
+        service = VettingService(
+            source, config=_pool_config(tmp_path, workers=workers)
+        )
+        service._pool = _RecordingPool(workers)
+        service._owned = [{} for _ in range(workers)]
+        service._lane_loads = [0.0] * workers
+        service._lane_alive = list(alive)
+        service._deferred = []
+        return service, source.jobs(4)
+
+    def test_dead_lane_never_receives_placements(self, tmp_path):
+        service, jobs = self._service(tmp_path, 2, [False, True])
+        # The dead lane's load was reset to 0.0 at reap time, which
+        # (pre-fix) made it the preferred LPT target.
+        service._lane_loads = [0.0, 500.0]
+        service._place_pooled(make_batches(jobs))
+        assert service._pool.submitted[0] == []
+        assert len(service._pool.submitted[1]) == 4
+        assert all(job.state == JobState.ASSIGNED for job in jobs)
+
+    def test_all_lanes_dead_parks_batches_until_restart(self, tmp_path):
+        service, jobs = self._service(tmp_path, 1, [False])
+        service._place_pooled(make_batches(jobs))
+        assert service._pool.submitted[0] == []
+        assert service._deferred
+        # Parked jobs are untouched: no attempt burned, no ASSIGNED
+        # state that would strand them if the service shut down now.
+        assert all(job.attempts == 0 for job in jobs)
+        # The pump loop re-places the parked batches after restart.
+        service._lane_alive[0] = True
+        deferred, service._deferred = service._deferred, []
+        service._place_pooled(deferred)
+        assert len(service._pool.submitted[0]) == 4
+        assert all(job.attempts == 1 for job in jobs)
+
+
+class TestLaneProgressMarker:
+    def test_reap_reads_exact_starts_from_marker(self, tmp_path):
+        """A lane SIGKILLed *between* jobs consumed no extra start: the
+        marker says exactly how many it consumed, where the old
+        results-plus-one heuristic would drift the fault schedule."""
+        from repro.serve.pool import (
+            PoolSpec,
+            ProcessWorkerPool,
+            _progress_path,
+        )
+
+        spec = PoolSpec(state_dir=str(tmp_path / "state"))
+        pool = ProcessWorkerPool(spec, 1)
+        marker = _progress_path(spec.state_dir, 0)
+        marker.write_bytes(b"%010d\n" % 3)
+        pool._lane_results[0] = 3
+        heuristic = pool._starts[0] + pool._lane_results[0] + 1
+        assert heuristic == 4  # what reap would have guessed pre-fix
+        assert pool._read_starts(0, fallback=heuristic) == 3
+        marker.unlink()  # unreadable marker falls back to the guess
+        assert pool._read_starts(0, fallback=heuristic) == 4
+
+    def test_spawn_seeds_marker_with_carried_starts(self, tmp_path):
+        """A lane killed before its first job must read back what it
+        inherited, not a stale prior incarnation's counter."""
+        from repro.serve.pool import (
+            PoolSpec,
+            ProcessWorkerPool,
+            _progress_path,
+        )
+
+        spec = PoolSpec(state_dir=str(tmp_path / "state"))
+        pool = ProcessWorkerPool(spec, 1)
+        pool._starts[0] = 5
+        pool._spawn(0)
+        try:
+            marker = _progress_path(spec.state_dir, 0)
+            assert int(marker.read_text().strip()) == 5
+        finally:
+            pool.stop()
+
+
 # -- orchestrator crash + journal recovery -------------------------------------
 
 
@@ -889,6 +1011,81 @@ class TestStreamingFeeds:
         feed = DirectoryFeed(inbox, poll_s=0.01)
         report = serve_stream(feed, config=ServeConfig(workers=1))
         assert report.ok and report.submitted == 0
+
+    def test_stdin_feed_reader_is_daemon_and_cancellable(self):
+        """Regression: the blocking readline must not run on the loop's
+        default executor -- executor threads are joined at interpreter
+        shutdown, so a run cancelled before stdin EOF would hang exit.
+        A dedicated daemon thread parks harmlessly instead."""
+        import os
+        import threading
+
+        from repro.serve import StdinFeed
+
+        read_fd, write_fd = os.pipe()
+        stream = os.fdopen(read_fd, "r")
+        feed = StdinFeed(stream=stream)
+
+        async def scenario():
+            generator = feed.jobs().__aiter__()
+            task = asyncio.ensure_future(generator.__anext__())
+            await asyncio.sleep(0.05)
+            pumps = [
+                thread
+                for thread in threading.enumerate()
+                if thread.name == "gdroid-stdin-feed"
+            ]
+            assert pumps and all(thread.daemon for thread in pumps)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return pumps
+
+        pumps = asyncio.run(scenario())
+        # EOF unblocks the parked reader; it must wind down on its own.
+        os.close(write_fd)
+        for thread in pumps:
+            thread.join(timeout=2.0)
+            assert not thread.is_alive()
+        stream.close()
+
+    def test_recovery_replays_watch_jobs_from_their_paths(self, tmp_path):
+        """Regression: a crashed ``--watch`` run journals jobs whose
+        ``source`` is a ``.gdx`` path.  ``--recover`` rebuilds with a
+        corpus-backed source, which must load those journaled paths --
+        not regenerate unrelated corpus apps by index."""
+        from repro.apk.loader import load_gdx
+        from repro.bench.harness import evaluate_app
+        from repro.serve import JobJournal, recover
+        from repro.serve.sharder import classify as classify_nodes
+
+        inbox = tmp_path / "inbox"
+        self._write_apps(inbox, [11, 12])
+        paths = sorted(inbox.glob("*.gdx"))
+        journal_path = tmp_path / "journal.jsonl"
+        with JobJournal(journal_path) as journal:
+            for index, path in enumerate(paths):
+                size = float(path.stat().st_size)
+                journal.admit(
+                    VetJob(
+                        job_id=f"feed-{index:04d}",
+                        index=index,
+                        package=path.stem,
+                        source=str(path),
+                        est_cost=size,
+                        size_class=classify_nodes(size / 12.0),
+                    )
+                )
+        corpus = AppCorpus(size=4, base_seed=913800, profile=SERVE_PROFILE)
+        report = recover(
+            CorpusSource(corpus),
+            _pool_config(tmp_path, pool="async", workers=1),
+        )
+        assert report.ok and report.completed == 2
+        by_index = {job.index: job for job in report.jobs}
+        for index, path in enumerate(paths):
+            expected = evaluate_app(load_gdx(path))
+            assert by_index[index].row == expected
 
 
 # -- the journal-recovery acceptance test --------------------------------------
