@@ -193,6 +193,25 @@ class GeneratorProfile:
     #: tainted value leaves through a component boundary instead of a
     #: data sink).  Off by default.
     leak_via_icc: bool = False
+    #: Intent-target binding mode for the injected ICC leak: ``""``
+    #: emits no binding (the legacy over-approximated send),
+    #: ``"constant"`` binds the Intent to the app's synthesized
+    #: ``.Target`` component with a compile-time-constant name (the
+    #: resolver classifies the send ``exact``), ``"dynamic"`` computes
+    #: the name at runtime (unresolvable, stays ``over-approx``).
+    #: Either non-empty mode also appends the ``.Target`` component.
+    icc_target_mode: str = ""
+    #: When True (with ``icc_target_mode="constant"``) the ``.Target``
+    #: component's callback forwards its Intent parameter into a data
+    #: sink, so the app contains a full linked inter-component leak.
+    icc_linked_leak: bool = False
+    #: Data-sink API the linked receiver calls (default: Log.d).
+    icc_linked_sink: str = ""
+    #: When True the random statement mix never emits background ICC
+    #: sends; the injected leak's send (if any) is the only one.  Keeps
+    #: ground-truth ICC scenarios free of untracked sends without
+    #: shifting the RNG stream (the roll is drawn either way).
+    suppress_icc_noise: bool = False
 
     def scaled(self, scale: float) -> "GeneratorProfile":
         """Copy with selected constants overridden."""
@@ -279,6 +298,9 @@ class AppGenerator:
         ]
         # One leaky method (if any) carries the source -> sink flow.
         leak_carrier = rng.randrange(len(flat)) if leaky and flat else -1
+        icc_target = (
+            f"{package}.Target" if profile.icc_target_mode else None
+        )
         for index, (layer_index, signature) in enumerate(flat):
             methods.append(
                 self._make_method(
@@ -289,6 +311,7 @@ class AppGenerator:
                     globals_,
                     knobs,
                     inject_leak=(index == leak_carrier),
+                    icc_target=icc_target,
                 )
             )
 
@@ -296,6 +319,12 @@ class AppGenerator:
         components = self._make_components(
             rng, package, methods, top_layer_count
         )
+        if profile.icc_target_mode:
+            # Appended after the drawn components/methods so the RNG
+            # stream (and thus every other draw) is unchanged.
+            target_method, target_component = self._make_icc_target(package)
+            methods.append(target_method)
+            components.append(target_component)
         app = AndroidApp(
             package=package,
             components=components,
@@ -399,20 +428,83 @@ class AppGenerator:
             for callback in rng.sample(wanted, take):
                 method = rng.choice(candidates)
                 callbacks[callback] = str(method.signature)
+            exported = rng.random() < 0.35
+            # Exported components always advertise an intent filter:
+            # an exported, filter-less component is the exposure smell
+            # MAN-003 flags, and the generator's contract is a corpus
+            # that lints clean.  Derived from the already-drawn flag,
+            # so the RNG stream is unchanged.
+            if index == 0:
+                filters = ["android.intent.action.MAIN"]
+            elif exported:
+                filters = ["android.intent.action.VIEW"]
+            else:
+                filters = []
             components.append(
                 Component(
                     name=f"{package}.Comp{index}",
                     kind=kind,
                     callbacks=callbacks,
-                    exported=rng.random() < 0.35,
-                    intent_filters=(
-                        ["android.intent.action.MAIN"]
-                        if index == 0
-                        else []
-                    ),
+                    exported=exported,
+                    intent_filters=filters,
                 )
             )
         return components
+
+    def _make_icc_target(
+        self, package: str
+    ) -> Tuple[Method, Component]:
+        """The synthesized in-app receiver of resolved Intent sends.
+
+        Deterministic (no RNG): a private activity whose ``onCreate``
+        forwards its Intent parameter into a data sink when
+        ``icc_linked_leak`` is set, and does nothing otherwise.  Not
+        exported and without intent filters, so it never widens the
+        over-approximated receiver set -- only exact resolution
+        reaches it.
+        """
+        profile = self.profile
+        signature = MethodSignature(
+            owner=f"{package}.Target",
+            name="onCreate",
+            param_types=(ObjectType("android.content.Intent"),),
+            return_type=VOID,
+        )
+        statements: List[Statement] = []
+        if profile.icc_linked_leak:
+            sink = profile.icc_linked_sink or SINK_APIS[2]
+            blob = sink[sink.rindex("(") + 1 : sink.rindex(")")]
+            arity = max(1, len(_split_params(blob)))
+            statements.append(
+                CallStatement(
+                    label="L0",
+                    callee=sink,
+                    args=("a0",) * arity,
+                    result=None,
+                )
+            )
+        statements.append(
+            ReturnStatement(label=f"L{len(statements)}", operand=None)
+        )
+        method = Method(
+            signature=signature,
+            parameters=[
+                Parameter(
+                    name="a0", type=ObjectType("android.content.Intent")
+                )
+            ],
+            locals=[],
+            statements=statements,
+            handlers=[],
+        )
+        component = Component(
+            name=f"{package}.Target",
+            kind=ComponentKind.ACTIVITY,
+            callbacks={"onCreate": str(signature)},
+            exported=False,
+            intent_filters=[],
+        )
+        return method, component
 
     # -- method bodies --------------------------------------------------------------
 
@@ -425,6 +517,7 @@ class AppGenerator:
         globals_: Sequence[GlobalField],
         knobs: _AppKnobs,
         inject_leak: bool,
+        icc_target: Optional[str] = None,
     ) -> Method:
         profile = self.profile
         statement_target = max(
@@ -480,6 +573,7 @@ class AppGenerator:
             callees=callees,
             returns_object=signature.return_type.is_object,
             knobs=knobs,
+            icc_target=icc_target,
         )
         statements = builder.build(statement_target, inject_leak)
         return Method(
@@ -542,6 +636,7 @@ class _BodyBuilder:
         callees: List[Tuple[str, int, bool]],
         returns_object: bool,
         knobs: Optional[_AppKnobs] = None,
+        icc_target: Optional[str] = None,
     ) -> None:
         self.rng = rng
         self.profile = profile
@@ -556,6 +651,7 @@ class _BodyBuilder:
         self.globals = globals_
         self.callees = callees
         self.returns_object = returns_object
+        self.icc_target = icc_target
         self.statements: List[Statement] = []
         self.handlers: List[ExceptionHandler] = []
         #: Labels the handler injector must not clobber (the injected
@@ -727,7 +823,10 @@ class _BodyBuilder:
             elif roll < call_hi:
                 statement = self._emit_call()
             elif roll < call_hi + 0.008:
-                statement = self._emit_icc_send()
+                if self.profile.suppress_icc_noise:
+                    statement = EmptyStatement(label=self._label())
+                else:
+                    statement = self._emit_icc_send()
             elif roll < call_hi + 0.018:
                 statement = MonitorStatement(
                     label=self._label(),
@@ -976,6 +1075,39 @@ class _BodyBuilder:
             )
             loaded = clean
             self._sanitized_result = clean
+        if profile.leak_via_icc and profile.icc_target_mode and self.icc_target:
+            # Bind the Intent's explicit target right before the send.
+            # The binding's Intent register IS the send's (shared
+            # points-to), so the resolver associates the two sites.
+            from repro.vetting.sources_sinks import ICC_TARGET_APIS
+
+            set_class = min(
+                sig
+                for sig, category in ICC_TARGET_APIS.items()
+                if category == "class"
+            )
+            used = {carrier, helper, loaded}
+            spare = [v for v in self.object_vars if v not in used]
+            name_var = spare[0] if spare else carrier
+            if profile.icc_target_mode == "constant":
+                name_rhs: object = LiteralExpr(value=self.icc_target)
+            else:
+                # A heap load is opaque to the string lattice (TOP):
+                # the ground-truth *unresolvable* binding.
+                name_rhs = AccessExpr(base=helper, field_name="fCtx")
+            self.statements.append(
+                AssignmentStatement(
+                    label=self._label(), lhs=name_var, rhs=name_rhs
+                )
+            )
+            self.statements.append(
+                CallStatement(
+                    label=self._label(),
+                    callee=set_class,
+                    args=(loaded, name_var),
+                    result=None,
+                )
+            )
         self.statements.append(self._emit_external_call(sink, None))
         sink_call = self.statements.pop()
         assert isinstance(sink_call, CallStatement)
@@ -997,6 +1129,23 @@ class _BodyBuilder:
         self.protected_labels.update(
             statement.label for statement in self.statements[first_injected:]
         )
+
+    def _entry_target(self, label: str, labels: List[str]) -> str:
+        """Clamp jumps into the injected chain to its first statement.
+
+        Only active for ICC-target profiles: a branch into the middle
+        of the chain would join an unbound path into the target-name
+        register and lift the string lattice to TOP, destroying the
+        ground-truth *resolvable* label.  Entering at the chain head
+        re-executes the whole chain, which preserves both the taint
+        and the constant.  No RNG is drawn either way.
+        """
+        if self.icc_target is None or label not in self.protected_labels:
+            return label
+        for candidate in labels:
+            if candidate in self.protected_labels:
+                return candidate
+        return label  # pragma: no cover - protected_labels is non-empty
 
     def _wire_control(self) -> None:
         """Replace some nops with ifs/gotos/switches with valid targets."""
@@ -1046,13 +1195,14 @@ class _BodyBuilder:
                 self.statements[index] = IfStatement(
                     label=labels[index],
                     condition=self._pvar(),
-                    target=target,
+                    target=self._entry_target(target, labels),
                 )
             elif roll < 0.62 and index + 2 < count:
                 # Forward goto: skip a small range.
                 target = labels[min(count - 1, index + rng.randint(1, 4))]
                 self.statements[index] = GotoStatement(
-                    label=labels[index], target=target
+                    label=labels[index],
+                    target=self._entry_target(target, labels),
                 )
             elif roll < 0.7 and index + 3 < count:
                 case_labels = rng.sample(range(index + 1, count), k=min(2, count - index - 1))
@@ -1060,10 +1210,10 @@ class _BodyBuilder:
                     label=labels[index],
                     operand=self._pvar(),
                     cases=tuple(
-                        (value, labels[target])
+                        (value, self._entry_target(labels[target], labels))
                         for value, target in enumerate(sorted(case_labels))
                     ),
-                    default=labels[index + 1],
+                    default=self._entry_target(labels[index + 1], labels),
                 )
             elif roll < 0.73:
                 self.statements[index] = ThrowStatement(
@@ -1086,6 +1236,45 @@ def _split_params(blob: str) -> List[str]:
             i += 1
         out.append(blob[start:i])
     return out
+
+
+#: ICC-resolution ground-truth scenarios ``icc_scenario_profile``
+#: accepts (also the CLI's ``generate --icc-scenario`` choices).
+ICC_SCENARIOS = ("constant-target", "dynamic-target", "linked-leak")
+
+
+def icc_scenario_profile(
+    scenario: str, scale: float = 1.0
+) -> GeneratorProfile:
+    """Profile for one ICC-resolution ground-truth scenario.
+
+    ``constant-target``: the injected leak's Intent is bound to the
+    in-app ``.Target`` component with a compile-time constant, and the
+    target is inert -- resolution is ``exact``, the receiver set is
+    empty, and the app must produce *no* exposure findings.
+    ``dynamic-target``: the binding is computed at runtime, so the send
+    stays ``over-approx``.  ``linked-leak``: constant binding plus a
+    receiver that forwards the Intent into a data sink -- the full
+    inter-component leak stitching must surface as a single finding.
+    """
+    if scenario not in ICC_SCENARIOS:
+        raise ValueError(
+            f"unknown ICC scenario {scenario!r}; "
+            f"expected one of {', '.join(ICC_SCENARIOS)}"
+        )
+    return GeneratorProfile(
+        scale=scale,
+        layers_low=2,
+        layers_high=4,
+        leaky_fraction=1.0,
+        leak_via_icc=True,
+        distinct_leak_vars=True,
+        suppress_icc_noise=True,
+        icc_target_mode=(
+            "dynamic" if scenario == "dynamic-target" else "constant"
+        ),
+        icc_linked_leak=scenario == "linked-leak",
+    )
 
 
 def generate_app(

@@ -46,7 +46,10 @@ import repro
 #: 4: rows carry per-severity finding counts and keys carry the rule-pack
 #: fingerprint -- a row vetted under one pack (or under none) can never
 #: serve a sweep running a different pack.
-CACHE_SCHEMA = 4
+#: 5: keys carry the ICC-resolution mode -- a row vetted with resolved
+#: receiver sets (and stitched linked findings) can never serve a
+#: ``--no-resolve-icc`` sweep or vice versa.
+CACHE_SCHEMA = 5
 
 _FALSY = {"0", "false", "off", "no"}
 
@@ -105,6 +108,7 @@ def row_key(
     fingerprint: str,
     targets_fp: str = "",
     rules_fp: str = "",
+    resolve_fp: str = "",
 ) -> str:
     """Cache key for one app of one corpus under one config matrix.
 
@@ -117,10 +121,16 @@ def row_key(
     of the pack the sweep vets under, or ``""`` when no pack is run.
     A row's ``finding_counts`` are a function of the pack, so rows
     vetted under different packs must never alias.
+
+    ``resolve_fp`` marks the ICC-resolution mode the sweep vets under
+    (``""`` for the resolving default, ``"no-resolve-icc"`` for the
+    legacy over-approximation).  A row's finding counts can differ
+    between the two -- a linked leak only surfaces when stitching runs
+    -- so the modes must never alias.
     """
     blob = json.dumps(
         [base_seed, size, profile_fp, index, fingerprint, targets_fp,
-         rules_fp],
+         rules_fp, resolve_fp],
         sort_keys=True,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

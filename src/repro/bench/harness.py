@@ -176,19 +176,23 @@ def evaluate_app(
     app: AndroidApp,
     workload: Optional[AppWorkload] = None,
     rules=None,
+    resolve_icc: bool = True,
 ) -> AppEvaluation:
     """Run the full experiment matrix for one app.
 
     With ``rules`` (a :class:`repro.rules.pack.RulePack`) the app is
     additionally vetted under the pack and the row carries per-severity
-    finding counts.
+    finding counts.  ``resolve_icc=False`` vets with the legacy
+    receiver over-approximation (no string solver, no stitching).
     """
     workload = workload or AppWorkload.build(app)
     finding_counts = (0, 0, 0, 0, 0)
     if rules is not None:
         from repro.vetting.report import vet_workload
 
-        vetted = vet_workload(app, workload, rules=rules)
+        vetted = vet_workload(
+            app, workload, rules=rules, resolve_icc=resolve_icc
+        )
         finding_counts = finding_severity_counts(vetted.findings)
     priced = {
         name: GDroid(config).price(workload)
@@ -239,7 +243,12 @@ def _lint_error_row(app: AndroidApp, index: int, error) -> LintErrorRow:
 
 
 def evaluate_or_lint_row(
-    app: AndroidApp, index: int, strict: bool, targets=None, rules=None
+    app: AndroidApp,
+    index: int,
+    strict: bool,
+    targets=None,
+    rules=None,
+    resolve_icc: bool = True,
 ) -> "EvaluationRow":
     """Evaluate one app; under ``strict`` convert lint rejection to a row.
 
@@ -258,14 +267,16 @@ def evaluate_or_lint_row(
     """
     if targets is None:
         if not strict:
-            return evaluate_app(app, rules=rules)
+            return evaluate_app(app, rules=rules, resolve_icc=resolve_icc)
         from repro.lint import LintError
 
         try:
             workload = AppWorkload.build(app, lint_gate=True)
         except LintError as error:
             return _lint_error_row(app, index, error)
-        return evaluate_app(app, workload, rules=rules)
+        return evaluate_app(
+            app, workload, rules=rules, resolve_icc=resolve_icc
+        )
 
     from repro.lint import LintError
     from repro.vetting.targeted import build_targeted_workload
@@ -283,7 +294,12 @@ def evaluate_or_lint_row(
             index=index,
             targets=targets.sinks,
         )
-    return evaluate_app(targeted.sliced_app, targeted.workload, rules=rules)
+    return evaluate_app(
+        targeted.sliced_app,
+        targeted.workload,
+        rules=rules,
+        resolve_icc=resolve_icc,
+    )
 
 
 def _relint_cached_row(
@@ -310,9 +326,12 @@ def _relint_cached_row(
 
 #: Process-wide evaluation cache:
 #: (base_seed, size, profile fingerprint, index, targets fingerprint,
-#: rules fingerprint) -> row.  The targets fingerprint is "" for
-#: full-IDFG sweeps; the rules fingerprint is "" for pack-less sweeps.
-_CACHE: Dict[Tuple[int, int, str, int, str, str], AppEvaluation] = {}
+#: rules fingerprint, resolve mode) -> row.  The targets fingerprint
+#: is "" for full-IDFG sweeps; the rules fingerprint is "" for
+#: pack-less sweeps; the resolve mode is "resolve-icc" or "".
+_CACHE: Dict[
+    Tuple[int, int, str, int, str, str, str], AppEvaluation
+] = {}
 
 
 @dataclass
@@ -397,6 +416,7 @@ def evaluate_corpus(
     strict: bool = False,
     targets=None,
     rules=None,
+    resolve_icc: bool = True,
 ) -> List[EvaluationRow]:
     """Evaluate a corpus slice with caching and optional parallelism.
 
@@ -458,6 +478,7 @@ def evaluate_corpus(
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
     targets_fp = targets.fingerprint() if targets is not None else ""
     rules_fp = rules.fingerprint() if rules is not None else ""
+    resolve_fp = "" if resolve_icc else "no-resolve-icc"
     rows: Dict[int, EvaluationRow] = {}
     missing: List[int] = []
     disk_keys: Dict[int, str] = {}
@@ -465,7 +486,7 @@ def evaluate_corpus(
         for index in range(count):
             key = (
                 corpus.base_seed, corpus.size, profile_fp, index,
-                targets_fp, rules_fp,
+                targets_fp, rules_fp, resolve_fp,
             )
             row = _CACHE.get(key)
             if row is not None:
@@ -479,6 +500,7 @@ def evaluate_corpus(
                     fingerprint,
                     targets_fp,
                     rules_fp,
+                    resolve_fp,
                 )
                 row = disk.load(disk_keys[index])
                 if row is not None:
@@ -504,7 +526,7 @@ def evaluate_corpus(
             if jobs > 1 and len(missing) > 1:
                 fresh = evaluate_parallel(
                     corpus, missing, jobs, strict=strict, targets=targets,
-                    rules=rules,
+                    rules=rules, resolve_icc=resolve_icc,
                 )
                 stats.workers = min(jobs, len(missing))
             else:
@@ -512,7 +534,8 @@ def evaluate_corpus(
                 for index in missing:
                     with obs.span(f"app[{index}]", category="app", index=index):
                         fresh[index] = evaluate_or_lint_row(
-                            corpus.app(index), index, strict, targets, rules
+                            corpus.app(index), index, strict, targets,
+                            rules, resolve_icc,
                         )
         stats.evaluated = len(missing)
         stats.evaluate_s = time.perf_counter() - evaluated_at
@@ -526,7 +549,7 @@ def evaluate_corpus(
                     continue  # lint-error / targeted-skip rows: never cached
                 _CACHE[
                     (corpus.base_seed, corpus.size, profile_fp, index,
-                     targets_fp, rules_fp)
+                     targets_fp, rules_fp, resolve_fp)
                 ] = row
                 if disk.enabled:
                     disk.store(disk_keys[index], row)

@@ -97,7 +97,8 @@ ChunkResult = Tuple[
 
 def _evaluate_chunk(
     task: Tuple[
-        int, int, GeneratorProfile, Sequence[int], bool, bool, Any, Any
+        int, int, GeneratorProfile, Sequence[int], bool, bool, Any, Any,
+        bool,
     ]
 ) -> ChunkResult:
     """Worker body: regenerate the corpus and evaluate one index chunk.
@@ -121,6 +122,7 @@ def _evaluate_chunk(
     base_seed, size, profile, indices, strict, trace, *rest = task
     targets = rest[0] if rest else None
     rules = rest[1] if len(rest) > 1 else None
+    resolve_icc = rest[2] if len(rest) > 2 else True
     corpus = AppCorpus(size=size, base_seed=base_seed, profile=profile)
     tracer = obs.Tracer() if trace else None
     previous = obs.activate(tracer) if tracer is not None else None
@@ -134,7 +136,8 @@ def _evaluate_chunk(
                     (
                         index,
                         evaluate_or_lint_row(
-                            corpus.app(index), index, strict, targets, rules
+                            corpus.app(index), index, strict, targets,
+                            rules, resolve_icc,
                         ),
                     )
                 )
@@ -157,6 +160,7 @@ def evaluate_parallel(
     strict: bool = False,
     targets=None,
     rules=None,
+    resolve_icc: bool = True,
 ) -> Dict[int, "EvaluationRow"]:
     """Evaluate ``indices`` of ``corpus`` across ``jobs`` workers.
 
@@ -180,6 +184,7 @@ def evaluate_parallel(
             trace,
             targets,
             rules,
+            resolve_icc,
         )
         for chunk in chunks
     ]

@@ -56,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=7)
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--out", required=True, help="output .gdx path")
+    generate.add_argument(
+        "--icc-scenario", default=None, metavar="KIND",
+        choices=["constant-target", "dynamic-target", "linked-leak"],
+        help="generate an ICC-resolution ground-truth app instead of a "
+        "corpus one: constant-target (exact, inert receiver), "
+        "dynamic-target (unresolvable) or linked-leak (source in one "
+        "component, sink in another)",
+    )
 
     analyze = sub.add_parser("analyze", help="build an app's IDFG")
     analyze.add_argument("app", help="input .gdx path")
@@ -95,6 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
     vet.add_argument(
         "--findings-html", default=None, metavar="PATH",
         help="with --rules, write a self-contained HTML findings report",
+    )
+    vet.add_argument(
+        "--resolve-icc",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resolve ICC send targets via interprocedural string-"
+        "constant propagation and stitch taint across exactly-resolved "
+        "in-app edges (default: on; --no-resolve-icc restores the "
+        "kind-wide receiver over-approximation)",
     )
 
     packs = sub.add_parser(
@@ -256,6 +273,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "cache the pack by name)",
     )
     serve.add_argument(
+        "--resolve-icc",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resolve ICC send targets and stitch linked leaks when "
+        "vetting jobs (default: on)",
+    )
+    serve.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full JSON job records instead of the summary",
     )
@@ -340,7 +364,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    app = generate_app(args.seed, GeneratorProfile(scale=args.scale))
+    if getattr(args, "icc_scenario", None):
+        from repro.apk.generator import icc_scenario_profile
+
+        profile = icc_scenario_profile(args.icc_scenario, scale=args.scale)
+    else:
+        profile = GeneratorProfile(scale=args.scale)
+    app = generate_app(args.seed, profile)
     nbytes = save_gdx(app, args.out)
     print(
         f"wrote {args.out}: {app.package}, {app.method_count()} methods, "
@@ -453,7 +483,11 @@ def _cmd_vet(args: argparse.Namespace) -> int:
     workload = AppWorkload.build(app)
     result = GDroid(GDroidConfig.all_optimizations()).price(workload)
     report = vet_workload(
-        app, workload, analysis_time_s=result.modeled_time_s, rules=rules
+        app,
+        workload,
+        analysis_time_s=result.modeled_time_s,
+        rules=rules,
+        resolve_icc=args.resolve_icc,
     )
     print(report.summary())
     if rules is not None:
@@ -818,6 +852,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 targets=targets,
                 targeted_every=args.targets_every,
                 rules=args.rules,
+                resolve_icc=args.resolve_icc,
             )
     except ServiceCrash as error:
         print(f"service crashed: {error}", file=sys.stderr)

@@ -23,6 +23,7 @@ from repro.dataflow.ifds import IfdsSolver, IfdsFlow
 from repro.dataflow.iterative import ConventionalIterative, reverse_post_order
 from repro.dataflow.lattice import SetFactStore
 from repro.dataflow.matrix_store import MatrixFactStore
+from repro.dataflow.strings import StringConstantSolver
 from repro.dataflow.summaries import MethodSummary, SummaryBuilder
 from repro.dataflow.transfer import TransferFunctions
 from repro.dataflow.worklist import SequentialWorklist, analyze_app_reference
@@ -41,6 +42,7 @@ __all__ = [
     "MethodSummary",
     "SequentialWorklist",
     "SetFactStore",
+    "StringConstantSolver",
     "Slot",
     "SummaryBuilder",
     "TransferFunctions",

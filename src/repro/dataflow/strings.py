@@ -1,0 +1,156 @@
+"""Interprocedural string-constant propagation (the ICC resolver's
+value analysis).
+
+A second IDE client over the same ICFG worklist substrate as
+:class:`repro.dataflow.ide.IdeConstantSolver`: where the base solver
+tracks integer copy-constants, this one tracks *component-name
+strings* -- the values ``Intent.setClassName`` / ``Intent.setAction``
+call sites consume.  The lattice is
+
+    ``BOTTOM``  (undefined / unreached)
+      < string constants (including concatenations of constants)
+      < ``TOP``  (provably non-constant)
+
+String constants are wrapped as ``("s", value)`` tuples so program
+strings can never collide with the ``"bottom"`` / ``"top"`` sentinel
+strings the base lattice uses.
+
+Transformer differences from the copy-constant base:
+
+* string literals become constants; integer literals kill to ``TOP``
+  (the lattice only carries strings);
+* ``a + b`` concatenates when both operands are string constants;
+* call results are *killed*: an external call's result is ``TOP``
+  (its return value is opaque), an internal call's result is erased so
+  only the interprocedural return edges can (re)establish it.  The
+  inherited fixed point never kills call results itself, so without
+  this a constant assigned before the call would survive it -- stale
+  and unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dataflow.ide import (
+    BOTTOM,
+    TOP,
+    IdeConstantSolver,
+    Value,
+    _call_result,
+    meet,
+)
+from repro.ir.expressions import (
+    BinaryExpr,
+    CallRhs,
+    LiteralExpr,
+    VariableNameExpr,
+)
+from repro.ir.statements import CallStatement, Statement, callee_of
+
+#: Tag of the wrapped string-constant lattice values.
+_CONST_TAG = "s"
+
+
+def const(value: str) -> Tuple[str, str]:
+    """Wrap a program string as a lattice constant."""
+    return (_CONST_TAG, value)
+
+
+def is_const(value: Value) -> bool:
+    """True for wrapped string constants (neither BOTTOM nor TOP)."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and value[0] == _CONST_TAG
+        and isinstance(value[1], str)
+    )
+
+
+def const_value(value: Value) -> Optional[str]:
+    """The program string of a wrapped constant, or None."""
+    return value[1] if is_const(value) else None
+
+
+class StringConstantSolver(IdeConstantSolver):
+    """String/component-name constants over the whole-app ICFG.
+
+    Inherits the interprocedural fixed point (call edges map argument
+    values onto parameters, return edges map returned values onto call
+    results); only the per-statement transformer changes.
+    """
+
+    def _transform(
+        self, statement: Statement, env: Dict[str, Value]
+    ) -> Dict[str, Value]:
+        from repro.ir.statements import AssignmentStatement
+
+        # Plain call statements: kill the result binding (the base
+        # class treats them as the identity, which is stale for any
+        # variable the call rewrites).
+        if isinstance(statement, CallStatement):
+            if statement.result is None:
+                return env
+            out = dict(env)
+            self._kill_result(statement, statement.result, out)
+            return out
+        if not isinstance(statement, AssignmentStatement):
+            return env
+        if statement.lhs_access is not None:
+            return env
+
+        rhs = statement.rhs
+        target = statement.lhs
+        out = dict(env)
+        if isinstance(rhs, LiteralExpr):
+            if isinstance(rhs.value, str):
+                out[target] = const(rhs.value)
+            else:
+                out[target] = TOP
+        elif isinstance(rhs, VariableNameExpr):
+            out[target] = env.get(rhs.name, BOTTOM)
+        elif isinstance(rhs, BinaryExpr) and rhs.op == "+":
+            left = env.get(rhs.left, BOTTOM)
+            right = env.get(rhs.right, BOTTOM)
+            if is_const(left) and is_const(right):
+                out[target] = const(left[1] + right[1])
+            elif left == BOTTOM or right == BOTTOM:
+                out[target] = BOTTOM
+            else:
+                out[target] = TOP
+        elif isinstance(rhs, CallRhs):
+            self._kill_result(statement, target, out)
+        else:
+            # Arithmetic, loads, comparisons, casts, foreign
+            # expressions: never a known string.
+            out[target] = TOP
+        return out
+
+    def _kill_result(
+        self, statement: Statement, result: str, out: Dict[str, Value]
+    ) -> None:
+        """Erase a call's result binding from the out environment.
+
+        External callees return opaque values (``TOP``); internal
+        callees' results are dropped to ``BOTTOM`` (absence) so the
+        return edges of the inherited fixed point are their only
+        writers -- :func:`repro.dataflow.ide.meet` then combines the
+        actually-returned values across call targets.
+        """
+        callee = callee_of(statement)
+        if callee is not None and callee in self.app.method_table:
+            out.pop(result, None)
+        else:
+            out[result] = TOP
+
+
+__all__ = [
+    "BOTTOM",
+    "TOP",
+    "StringConstantSolver",
+    "const",
+    "const_value",
+    "is_const",
+    "meet",
+    "_call_result",
+]

@@ -37,6 +37,7 @@ RULES: Dict[str, Tuple[str, str]] = {
     "CG-002": (SEVERITY_ERROR, "callee signature string is unparseable"),
     "MAN-001": (SEVERITY_WARNING, "component declares no callbacks"),
     "MAN-002": (SEVERITY_WARNING, "component has no lifecycle callback of its kind"),
+    "MAN-003": (SEVERITY_WARNING, "exported component lacks an intent filter while the app sends Intents to its kind"),
     "FP-001": (SEVERITY_ERROR, "compiled transfer plan indexes outside the fact pools"),
     "FP-002": (SEVERITY_ERROR, "object value assigned to a register outside the fact pools"),
     "FP-003": (SEVERITY_ERROR, "heap store through a base register outside the fact pools"),

@@ -10,7 +10,7 @@ measures).  The fact-pool sanitizer lives in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.ir.component import LIFECYCLE_CALLBACKS
 from repro.ir.expressions import ExceptionExpr
@@ -293,12 +293,27 @@ class CallGraphPass(LintPass):
 
 
 class ManifestPass(LintPass):
-    """Manifest/component consistency: lifecycle endpoints present."""
+    """Manifest/component consistency: lifecycle endpoints present,
+    exported components advertise how they are reached."""
 
     name = "manifest"
-    rules = ("MAN-001", "MAN-002")
+    rules = ("MAN-001", "MAN-002", "MAN-003")
+
+    @staticmethod
+    def _icc_send_kinds(ctx: LintContext) -> Set[str]:
+        """Component kinds some ICC send site in the app targets."""
+        from repro.vetting.sources_sinks import ICC_SEND_APIS
+
+        kinds: Set[str] = set()
+        for method in ctx.app.methods:
+            for statement in method.statements:
+                callee = callee_of(statement)
+                if callee is not None and callee in ICC_SEND_APIS:
+                    kinds.add(ICC_SEND_APIS[callee])
+        return kinds
 
     def run(self, ctx: LintContext, emit: Emitter) -> None:
+        send_kinds: Optional[Set[str]] = None
         for component in ctx.app.components:
             if not component.callbacks:
                 emit(
@@ -315,3 +330,15 @@ class ManifestPass(LintPass):
                     f"of its lifecycle set ({', '.join(sorted(lifecycle))})",
                     hint="analysis entry points come from lifecycle callbacks",
                 )
+                continue
+            if component.exported and not component.intent_filters:
+                if send_kinds is None:
+                    send_kinds = self._icc_send_kinds(ctx)
+                if component.kind.value in send_kinds:
+                    emit(
+                        "MAN-003", component.name, "", -1,
+                        f"exported {component.kind.value} component has no "
+                        "intent filter, yet the app sends Intents to "
+                        f"{component.kind.value} components",
+                        hint="declare an intent filter or unexport the component",
+                    )

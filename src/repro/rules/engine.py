@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rules.findings import (
     KIND_ICC,
+    KIND_ICC_LINKED,
     KIND_LINT,
     KIND_TAINT,
     Finding,
@@ -31,6 +32,7 @@ def build_findings(
     *,
     flows: Sequence = (),
     icc_flows: Sequence = (),
+    linked_flows: Sequence = (),
     witnesses: Optional[Dict[str, Tuple[str, ...]]] = None,
     sanitizer_kills: Sequence = (),
     manifest=None,
@@ -97,7 +99,11 @@ def build_findings(
         e.signature: e.category for e in registry.entries(KIND_SOURCE)
     }
     for icc_flow in icc_flows:
-        rule = pack.match_icc(icc_flow.target_kind, icc_flow.escapes_app)
+        rule = pack.match_icc(
+            icc_flow.target_kind,
+            icc_flow.escapes_app,
+            getattr(icc_flow, "resolution", "over-approx"),
+        )
         if rule is None:
             continue
         source_categories = tuple(
@@ -127,6 +133,54 @@ def build_findings(
                 sink_category=icc_flow.target_kind,
                 implied_permissions=implied,
                 permission_declared=permission_declared,
+                resolution=getattr(icc_flow, "resolution", ""),
+            )
+        )
+
+    for linked in linked_flows:
+        send = linked.send
+        rule = pack.match_icc(
+            send.target_kind, send.escapes_app, send.resolution, linked=True
+        )
+        if rule is None:
+            continue
+        source_categories = tuple(
+            sorted(
+                {
+                    source_category_of.get(api, "?")
+                    for api in linked.source_apis
+                }
+            )
+        )
+        implied, permission_declared = _permission_check(source_categories)
+        findings.append(
+            Finding(
+                rule_id=rule.id,
+                pack=pack.name,
+                kind=KIND_ICC_LINKED,
+                severity=cap_severity(rule.severity, permission_declared),
+                confidence=rule.confidence,
+                package=package_name,
+                method=linked.sink_method,
+                sink_label=linked.sink_label,
+                sink_api=linked.sink_api,
+                message=rule.description
+                or (
+                    f"linked inter-component leak via "
+                    f"{', '.join(linked.components)}"
+                ),
+                source_apis=tuple(linked.source_apis),
+                source_categories=source_categories,
+                sink_category=linked.sink_category,
+                # The stitched path, send -> components -> sink.
+                witness=(
+                    f"{send.method} @ {send.send_label}",
+                    *linked.components,
+                    f"{linked.sink_method} @ {linked.sink_label}",
+                ),
+                implied_permissions=implied,
+                permission_declared=permission_declared,
+                resolution=send.resolution,
             )
         )
 

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Bump when the JSON layout of findings documents changes.
-FINDINGS_SCHEMA_VERSION = 1
+#: 2: per-finding ``resolution`` provenance + ``icc-linked`` kind.
+FINDINGS_SCHEMA_VERSION = 2
 
 #: Severity bands, least to most severe.
 SEVERITIES: Tuple[str, ...] = ("info", "low", "medium", "high", "critical")
@@ -28,6 +29,7 @@ SEVERITY_RANK: Dict[str, int] = {
 #: Finding kinds.
 KIND_TAINT = "taint"
 KIND_ICC = "icc"
+KIND_ICC_LINKED = "icc-linked"
 KIND_LINT = "lint"
 
 
@@ -86,6 +88,9 @@ class Finding:
     implied_permissions: Tuple[str, ...] = ()
     #: True/False when a manifest was checked; None when unknown.
     permission_declared: Optional[bool] = None
+    #: How the receiver set of an ICC finding was computed (``exact`` /
+    #: ``filtered`` / ``over-approx``); "" for non-ICC findings.
+    resolution: str = ""
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serializable)."""
@@ -106,6 +111,7 @@ class Finding:
             "witness": list(self.witness),
             "implied_permissions": list(self.implied_permissions),
             "permission_declared": self.permission_declared,
+            "resolution": self.resolution,
         }
 
 

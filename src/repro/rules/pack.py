@@ -55,6 +55,10 @@ WILDCARD = "*"
 
 _COMPONENT_KINDS = ("activity", "service", "receiver", "provider")
 
+#: Valid values for an ICC rule's ``resolutions`` selector (mirrors
+#: :data:`repro.vetting.icc_resolve.RESOLUTIONS`).
+_RESOLUTIONS = frozenset(("exact", "filtered", "over-approx"))
+
 
 class PackError(ValueError):
     """A rule-pack document failed validation."""
@@ -98,10 +102,32 @@ class IccRule:
     exported_only: bool
     severity: str
     confidence: float
+    #: Resolution provenances the rule applies to ("*" matches any).
+    #: An exposure rule scoped to ``["over-approx", "filtered"]`` stays
+    #: silent on sends whose target resolved exactly (the
+    #: constant-target false-positive fix).
+    resolutions: Tuple[str, ...] = (WILDCARD,)
+    #: When True the rule selects *linked* inter-component leaks
+    #: (:class:`repro.vetting.icc.LinkedIccFlow`) instead of plain
+    #: tainted sends; linked flows never match non-linked rules.
+    linked: bool = False
 
-    def matches(self, target_kind: str, escapes_app: bool) -> bool:
+    def matches(
+        self,
+        target_kind: str,
+        escapes_app: bool,
+        resolution: str = "over-approx",
+        linked: bool = False,
+    ) -> bool:
         """True when the rule selects this ICC flow."""
+        if self.linked != linked:
+            return False
         if self.exported_only and not escapes_app:
+            return False
+        if (
+            WILDCARD not in self.resolutions
+            and resolution not in self.resolutions
+        ):
             return False
         return WILDCARD in self.targets or target_kind in self.targets
 
@@ -173,6 +199,8 @@ class RulePack:
                     "exported_only": r.exported_only,
                     "severity": r.severity,
                     "confidence": r.confidence,
+                    "resolutions": list(r.resolutions),
+                    "linked": r.linked,
                 }
                 for r in self.icc_rules
             ],
@@ -202,11 +230,15 @@ class RulePack:
         return None
 
     def match_icc(
-        self, target_kind: str, escapes_app: bool
+        self,
+        target_kind: str,
+        escapes_app: bool,
+        resolution: str = "over-approx",
+        linked: bool = False,
     ) -> Optional[IccRule]:
         """First ICC rule selecting the flow (declaration order)."""
         for rule in self.icc_rules:
-            if rule.matches(target_kind, escapes_app):
+            if rule.matches(target_kind, escapes_app, resolution, linked):
                 return rule
         return None
 
@@ -373,6 +405,14 @@ def parse_pack(document: Dict, origin: str = "<pack>") -> RulePack:
                 confidence=_check_confidence(
                     raw.get("confidence"), origin, where
                 ),
+                resolutions=_check_selector(
+                    raw.get("resolutions", [WILDCARD]),
+                    _RESOLUTIONS,
+                    origin,
+                    where,
+                    "resolution",
+                ),
+                linked=bool(raw.get("linked", False)),
             )
         )
 
@@ -488,6 +528,18 @@ def default_pack() -> RulePack:
             )
         )
     icc_rules = (
+        IccRule(
+            id="DEF-ICC-LINKED",
+            description=(
+                "sensitive data crosses a resolved component boundary and "
+                "reaches a sink in the receiving component"
+            ),
+            targets=(WILDCARD,),
+            exported_only=False,
+            severity=severity_band(9),
+            confidence=0.9,
+            linked=True,
+        ),
         IccRule(
             id="DEF-ICC-EXPORTED",
             description="sensitive data in an Intent to an exported component",

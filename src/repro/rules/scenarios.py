@@ -43,6 +43,15 @@ from repro.vetting.sources_sinks import (
 #: Scenario kinds, cycled in this order.
 SCENARIO_KINDS = ("leak", "sanitized", "clean")
 
+#: Kinds that contain a reportable flow (recall is judged on these).
+#: ``linked-leak`` is an ICC-pack extra: source in one component, sink
+#: in another, joined by an exactly-resolved Intent edge.
+POSITIVE_KINDS = ("leak", "linked-leak")
+
+#: Extra ICC-resolution scenarios appended for ``scenarios_via_icc``
+#: packs that register a data sink and a linked rule.
+ICC_EXTRA_KINDS = ("linked-leak", "constant-clean")
+
 #: Default scenario corpus shape (small apps, fast gate).
 DEFAULT_COUNT = 6
 DEFAULT_BASE_SEED = 7000
@@ -54,12 +63,13 @@ class Scenario:
     """One ground-truth-labeled app for one pack."""
 
     name: str
-    #: ``leak`` / ``sanitized`` / ``clean``.
+    #: ``leak`` / ``sanitized`` / ``clean`` / ``linked-leak`` /
+    #: ``constant-clean``.
     kind: str
     seed: int
     app: AndroidApp
     manifest: AndroidManifest
-    #: Rule expected to fire (leak scenarios only).
+    #: Rule expected to fire (positive scenarios only).
     expected_rule: Optional[str] = None
     #: Severity that rule carried when the scenario was built.
     expected_severity: Optional[str] = None
@@ -67,7 +77,7 @@ class Scenario:
     @property
     def is_positive(self) -> bool:
         """True when the scenario contains a reportable flow."""
-        return self.kind == "leak"
+        return self.kind in POSITIVE_KINDS
 
 
 def _scenario_profile(
@@ -102,6 +112,9 @@ def _with_exposed_component(app: AndroidApp, kind: str) -> AndroidApp:
         kind=component_kind,
         callbacks={callback: target},
         exported=True,
+        # Advertised, so MAN-003 (exported + unadvertised + ICC sends
+        # in the app) stays quiet on ground-truth corpora.
+        intent_filters=["android.intent.action.VIEW"],
     )
     return AndroidApp(
         package=app.package,
@@ -191,7 +204,87 @@ def scenario_corpus(
                 expected_severity=expected_severity,
             )
         )
+    if pack.scenarios_via_icc:
+        scenarios.extend(
+            _icc_resolution_scenarios(
+                pack, registry, sources, sinks, base_seed + count, scale,
+                permissions,
+            )
+        )
     return tuple(scenarios)
+
+
+def _icc_resolution_scenarios(
+    pack: RulePack,
+    registry,
+    sources: Tuple[str, ...],
+    sends: Tuple[str, ...],
+    base_seed: int,
+    scale: float,
+    permissions: Tuple[str, ...],
+) -> List[Scenario]:
+    """Ground-truth ICC-resolution extras for an ICC-centric pack.
+
+    * ``linked-leak`` -- positive: the Intent's target resolves exactly
+      to the in-app ``.Target`` component, whose callback forwards the
+      payload into one of the pack's data sinks.  The pack's *linked*
+      rule must fire.
+    * ``constant-clean`` -- negative: the same exactly-resolved,
+      internal-only send, but the receiver never touches a sink.
+      Without resolution this is the classic internal-boundary false
+      positive; a resolution-aware pack must stay silent.
+
+    Skipped (empty list) when the pack lacks a data sink or a linked
+    rule, so mutated packs still build a corpus.
+    """
+    from repro.lint import LintError, run_lint
+
+    data_sinks = registry.signatures(KIND_SINK)
+    send = next(
+        (s for s in sends if registry.category_of(s) == "activity"),
+        sends[0],
+    )
+    send_kind = registry.category_of(send) or "activity"
+    linked_rule = pack.match_icc(
+        send_kind, escapes_app=False, resolution="exact", linked=True
+    )
+    if not data_sinks or linked_rule is None:
+        return []
+    scenarios: List[Scenario] = []
+    for offset in range(2 * len(ICC_EXTRA_KINDS)):
+        kind = ICC_EXTRA_KINDS[offset % len(ICC_EXTRA_KINDS)]
+        linked = kind == "linked-leak"
+        profile = GeneratorProfile(
+            scale=scale,
+            layers_low=2,
+            layers_high=4,
+            leaky_fraction=1.0,
+            leak_sources=(sources[offset % len(sources)],),
+            leak_sinks=(send,),
+            leak_via_icc=True,
+            distinct_leak_vars=True,
+            icc_target_mode="constant",
+            icc_linked_leak=linked,
+            icc_linked_sink=data_sinks[0],
+            suppress_icc_noise=True,
+        )
+        seed = base_seed + offset
+        app = generate_app(seed, profile)
+        report = run_lint(app)
+        if not report.is_clean:
+            raise LintError(report)
+        scenarios.append(
+            Scenario(
+                name=f"{pack.name}-{kind}-{offset}",
+                kind=kind,
+                seed=seed,
+                app=app,
+                manifest=manifest_of(app, permissions=permissions),
+                expected_rule=linked_rule.id if linked else None,
+                expected_severity=linked_rule.severity if linked else None,
+            )
+        )
+    return scenarios
 
 
 @dataclass(frozen=True)
@@ -230,15 +323,17 @@ class ScenarioReport:
 
     @property
     def positives(self) -> int:
-        return sum(1 for r in self.results if r.kind == "leak")
+        return sum(1 for r in self.results if r.kind in POSITIVE_KINDS)
 
     @property
     def hits(self) -> int:
-        return sum(1 for r in self.results if r.kind == "leak" and r.hit)
+        return sum(
+            1 for r in self.results if r.kind in POSITIVE_KINDS and r.hit
+        )
 
     @property
     def recall(self) -> float:
-        """Fraction of leak scenarios whose expected rule fired."""
+        """Fraction of positive scenarios whose expected rule fired."""
         return self.hits / self.positives if self.positives else 1.0
 
     @property
@@ -325,7 +420,7 @@ def evaluate_pack(
             manifest=scenario.manifest,
         )
         fired = tuple(sorted({f.rule_id for f in report.findings}))
-        if scenario.kind == "leak":
+        if scenario.is_positive:
             hit = scenario.expected_rule in fired
             matching = [
                 f

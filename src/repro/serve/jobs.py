@@ -59,6 +59,9 @@ class VetJob:
     #: A name, not a compiled pack: job records stay JSON-serializable
     #: and workers resolve (and cache) the pack themselves.
     rules: Optional[str] = None
+    #: Whether workers resolve ICC targets (and stitch linked leaks)
+    #: when vetting this job.  Mirrors ``gdroid vet --resolve-icc``.
+    resolve_icc: bool = True
     state: str = JobState.PENDING
     #: Processing attempts started (first run counts as attempt 1).
     attempts: int = 0
@@ -100,6 +103,7 @@ class VetJob:
             "size_class": self.size_class,
             "targets": list(self.targets) if self.targets else None,
             "rules": self.rules,
+            "resolve_icc": self.resolve_icc,
             "state": self.state,
             "attempts": self.attempts,
             "workers": list(self.workers),

@@ -79,6 +79,7 @@ def job_spec(job: VetJob) -> Dict[str, Any]:
         "size_class": job.size_class,
         "targets": list(job.targets) if job.targets else None,
         "rules": job.rules,
+        "resolve_icc": job.resolve_icc,
     }
 
 
@@ -93,6 +94,7 @@ def job_from_spec(spec: Dict[str, Any]) -> VetJob:
         size_class=spec["size_class"],
         targets=list(spec["targets"]) if spec.get("targets") else None,
         rules=spec.get("rules"),
+        resolve_icc=bool(spec.get("resolve_icc", True)),
     )
 
 

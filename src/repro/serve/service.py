@@ -148,6 +148,7 @@ class CorpusSource:
         targets=None,
         targeted_every: int = 1,
         rules: Optional[str] = None,
+        resolve_icc: bool = True,
     ) -> List[VetJob]:
         """Job records for the first ``count`` corpus apps.
 
@@ -182,6 +183,7 @@ class CorpusSource:
                     size_class=classify(nodes),
                     targets=job_targets,
                     rules=rules,
+                    resolve_icc=resolve_icc,
                 )
             )
         return jobs
@@ -1019,6 +1021,7 @@ def run_soak(
     targets=None,
     targeted_every: int = 1,
     rules: Optional[str] = None,
+    resolve_icc: bool = True,
     **fault_overrides,
 ) -> SoakReport:
     """Push a corpus slice through a fresh service instance.
@@ -1034,7 +1037,11 @@ def run_soak(
     source = CorpusSource(corpus)
     count = corpus.size if apps is None else min(apps, corpus.size)
     jobs = source.jobs(
-        count, targets=targets, targeted_every=targeted_every, rules=rules
+        count,
+        targets=targets,
+        targeted_every=targeted_every,
+        rules=rules,
+        resolve_icc=resolve_icc,
     )
     injector = (
         build_injector(

@@ -91,6 +91,7 @@ def run_pipeline(
     vet: bool,
     targets=None,
     rules=None,
+    resolve_icc: bool = True,
 ) -> PipelineResult:
     """loader -> lint gate -> GDroid kernel -> vetting report, once.
 
@@ -141,7 +142,11 @@ def run_pipeline(
         from repro.vetting.report import vet_workload
 
         report = vet_workload(
-            app, workload, analysis_time_s=latency or 0.0, rules=rules
+            app,
+            workload,
+            analysis_time_s=latency or 0.0,
+            rules=rules,
+            resolve_icc=resolve_icc,
         )
         if vet:
             verdict, risk = report.verdict, report.risk_score
@@ -380,5 +385,6 @@ class DeviceWorker:
                 service.config.vet,
                 targets,
                 rules,
+                resolve_icc=getattr(job, "resolve_icc", True),
             )
         service.on_job_success(job, self, result)

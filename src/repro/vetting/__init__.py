@@ -16,7 +16,8 @@ plugin layer:
 """
 
 from repro.vetting.ddg import DataDependenceGraph, build_ddg
-from repro.vetting.icc import IccAnalysis, IccFlow
+from repro.vetting.icc import IccAnalysis, IccFlow, LinkedIccFlow
+from repro.vetting.icc_resolve import RESOLUTIONS, IccResolver
 from repro.vetting.report import VettingReport, vet_app, vet_workload
 from repro.vetting.sources_sinks import (
     CATEGORY_PERMISSIONS,
@@ -51,7 +52,10 @@ __all__ = [
     "ICC_SEND_APIS",
     "IccAnalysis",
     "IccFlow",
+    "IccResolver",
     "KIND_SANITIZER",
+    "LinkedIccFlow",
+    "RESOLUTIONS",
     "SINK_CATEGORIES",
     "SOURCE_CATEGORIES",
     "SanitizerKill",

@@ -13,6 +13,20 @@ substrate:
   over-approximation inter-app analyses must make when the concrete
   Intent target is not a compile-time constant.
 
+With resolution enabled (the default), each send site is first run
+through :class:`repro.vetting.icc_resolve.IccResolver`: send sites
+whose Intent target is statically derivable carry ``resolution:
+exact`` or ``filtered`` provenance and a receiver set that is a
+*subset* of the over-approximation; everything else keeps the legacy
+set under ``resolution: over-approx``.
+
+Resolution also enables *stitching*: for an ``exact`` send whose
+target is an in-app component, :meth:`IccAnalysis.stitch` seeds the
+receiving component's callbacks with the Intent's taint and continues
+the taint fixed point, so IccTA-style linked inter-component leaks
+(source in component A, sink in component B) surface as single
+:class:`LinkedIccFlow` records instead of two disconnected halves.
+
 The result complements :mod:`repro.vetting.taint`'s direct sink flows:
 an app can be clean on direct exfiltration yet still leak through a
 collusive or hijackable component boundary (DialDroid's "collusive
@@ -24,15 +38,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.dataflow.idfg import IDFG
 from repro.ir.app import AndroidApp
 from repro.ir.component import ComponentKind
+from repro.vetting.icc_resolve import (
+    RESOLUTION_EXACT,
+    RESOLUTION_OVER_APPROX,
+    IccResolver,
+)
 from repro.vetting.sources_sinks import (
     DEFAULT_REGISTRY,
     KIND_ICC_SEND,
     ApiRegistry,
 )
-from repro.vetting.taint import TaintAnalysis, _call_sites
+from repro.vetting.taint import TaintAnalysis, TaintFlow, _call_sites
 
 
 @dataclass(frozen=True)
@@ -46,19 +66,61 @@ class IccFlow:
     target_kind: str
     #: Source APIs whose data may ride in the Intent.
     source_apis: Tuple[str, ...]
-    #: Exported components of the matching kind that could receive it.
+    #: Exported components of the matching kind that could receive it
+    #: (sorted; a subset of the over-approximation when resolved).
     candidate_receivers: Tuple[str, ...]
+    #: How the receiver set was computed: ``exact`` (constant explicit
+    #: target), ``filtered`` (constant action matched against intent
+    #: filters) or ``over-approx`` (the legacy kind-wide set).
+    resolution: str = RESOLUTION_OVER_APPROX
+    #: In-app components an ``exact`` Intent provably reaches (the
+    #: stitching phase's entry points); empty otherwise.
+    resolved_targets: Tuple[str, ...] = ()
 
     @property
     def escapes_app(self) -> bool:
         """True when an *exported* component could hijack the Intent."""
         return bool(self.candidate_receivers)
 
-    def __str__(self) -> str:  # pragma: no cover - display helper
+    def __str__(self) -> str:
         receivers = ", ".join(self.candidate_receivers) or "(internal only)"
-        return (
+        rendered = (
             f"{self.method} @ {self.send_label}: Intent({self.target_kind}) "
             f"carries {len(self.source_apis)} source(s) -> {receivers}"
+        )
+        if self.resolution != RESOLUTION_OVER_APPROX:
+            rendered += f" [{self.resolution}]"
+        return rendered
+
+
+@dataclass(frozen=True)
+class LinkedIccFlow:
+    """An inter-component leak stitched across a resolved ICC edge.
+
+    The sending half packs source data into an Intent whose target
+    resolved exactly to an in-app component; the receiving half is a
+    sink flow that only exists once the receiver's callbacks are
+    seeded with that Intent's taint.
+    """
+
+    #: The resolved send this leak crosses.
+    send: IccFlow
+    #: The in-app components the Intent reaches (the stitched edge).
+    components: Tuple[str, ...]
+    #: The receiving half: the sink reached inside the target.
+    sink_method: str
+    sink_label: str
+    sink_api: str
+    sink_category: str
+    #: Source APIs linking the halves (send ∩ receiver provenance).
+    source_apis: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        components = ", ".join(self.components)
+        return (
+            f"{self.send.method} @ {self.send.send_label} ="
+            f" Intent => [{components}] => {self.sink_method} @ "
+            f"{self.sink_label}: {self.sink_category}"
         )
 
 
@@ -71,6 +133,7 @@ class IccAnalysis:
         idfg: IDFG,
         taint: Optional[TaintAnalysis] = None,
         registry: Optional[ApiRegistry] = None,
+        resolve: bool = True,
     ) -> None:
         self.app = app
         self.idfg = idfg
@@ -85,14 +148,27 @@ class IccAnalysis:
             e.signature: e.category
             for e in self.registry.entries(KIND_ICC_SEND)
         }
+        self._resolve = resolve
+        #: Built lazily at the first tainted send site, so apps with
+        #: nothing to resolve never pay for the string solver.
+        self.resolver: Optional[IccResolver] = None
+
+    def _ensure_resolver(self) -> Optional[IccResolver]:
+        if self._resolve and self.resolver is None:
+            self.resolver = IccResolver(
+                self.app, self.idfg, registry=self.registry
+            )
+        return self.resolver
 
     def _receivers_for(self, kind: str) -> Tuple[str, ...]:
         wanted = ComponentKind(kind)
         return tuple(
-            component.name
-            for component in self.app.components
-            if component.kind == wanted
-            and (component.exported or component.intent_filters)
+            sorted(
+                component.name
+                for component in self.app.components
+                if component.kind == wanted
+                and (component.exported or component.intent_filters)
+            )
         )
 
     def run(self) -> List[IccFlow]:
@@ -112,6 +188,29 @@ class IccAnalysis:
                     )
                 if not provenance:
                     continue
+                over_approx = self._receivers_for(kind)
+                resolution = RESOLUTION_OVER_APPROX
+                receivers = over_approx
+                targets: Tuple[str, ...] = ()
+                resolver = self._ensure_resolver()
+                if resolver is not None:
+                    intent_var = site.args[0] if site.args else None
+                    resolved = resolver.resolve(
+                        signature, site.node, intent_var, over_approx
+                    )
+                    resolution = resolved.resolution
+                    receivers = resolved.receivers
+                    targets = resolved.components
+                    obs.count("icc.resolve.sites", 1)
+                    obs.count(
+                        "icc.resolve."
+                        + resolution.replace("-", "_"),
+                        1,
+                    )
+                    obs.count(
+                        "icc.resolve.receivers_pruned",
+                        len(over_approx) - len(receivers),
+                    )
                 flows.append(
                     IccFlow(
                         method=signature,
@@ -119,7 +218,107 @@ class IccAnalysis:
                         send_api=site.callee,
                         target_kind=kind,
                         source_apis=tuple(sorted(provenance)),
-                        candidate_receivers=self._receivers_for(kind),
+                        candidate_receivers=receivers,
+                        resolution=resolution,
+                        resolved_targets=targets,
                     )
                 )
         return flows
+
+    # -- inter-component stitching ---------------------------------------------
+
+    def stitch(self, flows: List[IccFlow]) -> List[LinkedIccFlow]:
+        """Continue taint into exactly-resolved in-app receivers.
+
+        For every ``exact`` send targeting an in-app component, the
+        target's callback methods are seeded with the Intent's
+        provenance -- on the parameter instance *and* on its
+        ``pfield`` heap cells, mirroring how Intent extras arrive as
+        object state -- and the (monotone) taint fixed point resumes.
+        Sink flows that only exist under the stitched seeds become
+        :class:`LinkedIccFlow` records, attributed to every send whose
+        provenance they carry.
+
+        Mutates the shared :class:`TaintAnalysis`; run it after the
+        direct flows have been collected.
+        """
+        stitchable = [
+            flow
+            for flow in flows
+            if flow.resolution == RESOLUTION_EXACT and flow.resolved_targets
+        ]
+        if not stitchable:
+            return []
+        with obs.span(
+            f"icc.resolve.stitch:{self.app.package}", category="vetting"
+        ):
+            baseline = {self._flow_key(flow) for flow in self.taint.flows}
+            by_name = {c.name: c for c in self.app.components}
+            seeded = False
+            for send in stitchable:
+                provenance = frozenset(send.source_apis)
+                for name in send.resolved_targets:
+                    component = by_name.get(name)
+                    if component is None:
+                        continue
+                    for target in component.callbacks.values():
+                        seeded |= self._seed_method(target, provenance)
+            if not seeded:
+                return []
+            obs.count("icc.resolve.stitched_sends", len(stitchable))
+            linked: List[LinkedIccFlow] = []
+            for flow in self.taint.run():
+                if self._flow_key(flow) in baseline:
+                    continue
+                for send in stitchable:
+                    overlap = set(flow.source_apis) & set(send.source_apis)
+                    if not overlap:
+                        continue
+                    linked.append(
+                        LinkedIccFlow(
+                            send=send,
+                            components=send.resolved_targets,
+                            sink_method=flow.method,
+                            sink_label=flow.sink_label,
+                            sink_api=flow.sink_api,
+                            sink_category=flow.sink_category,
+                            source_apis=tuple(sorted(overlap)),
+                        )
+                    )
+            obs.count("icc.resolve.linked_flows", len(linked))
+        return linked
+
+    @staticmethod
+    def _flow_key(flow: TaintFlow) -> Tuple[str, str, str, Tuple[str, ...]]:
+        return (
+            flow.method,
+            flow.sink_label,
+            flow.sink_api,
+            flow.source_apis,
+        )
+
+    def _seed_method(self, signature: str, provenance) -> bool:
+        """Taint every parameter (and its heap cells) of one callback."""
+        if (
+            signature not in self.idfg.method_facts
+            or signature not in self.app.method_table
+        ):
+            return False
+        facts = self.idfg.method_facts[signature]
+        space = facts.space
+        method = self.app.method_table[signature]
+        if not method.parameters:
+            return False
+        down = self.taint.param_taint.setdefault(signature, {})
+        taint = self.taint.tainted.setdefault(signature, {})
+        changed = False
+        for index in range(len(method.parameters)):
+            changed |= self.taint._merge(down, index, provenance)
+            inst = space.param_instance(index)
+            if inst is not None:
+                changed |= self.taint._merge(taint, inst, provenance)
+            for field in space.fields:
+                pinst = space.pfield_instance(index, field)
+                if pinst is not None:
+                    changed |= self.taint._merge(taint, pinst, provenance)
+        return changed

@@ -16,7 +16,7 @@ from repro.core.config import GDroidConfig
 from repro.core.engine import AppWorkload, GDroid
 from repro.ir.app import AndroidApp
 from repro.vetting.ddg import DataDependenceGraph, build_ddg
-from repro.vetting.icc import IccAnalysis, IccFlow
+from repro.vetting.icc import IccAnalysis, IccFlow, LinkedIccFlow
 from repro.vetting.sources_sinks import (
     DEFAULT_REGISTRY,
     KIND_SOURCE,
@@ -54,6 +54,9 @@ class VettingReport:
     #: Taint facts dropped at registered sanitizer calls (evidence for
     #: why a would-be flow did not surface).
     sanitizer_kills: Tuple[SanitizerKill, ...] = ()
+    #: Inter-component leaks stitched across resolved ICC edges
+    #: (source in one component, sink in another).
+    linked_flows: Tuple[LinkedIccFlow, ...] = ()
 
     @property
     def is_suspicious(self) -> bool:
@@ -76,6 +79,10 @@ class VettingReport:
             lines.append(f"icc flows : {len(self.icc_flows)}")
             for icc_flow in self.icc_flows:
                 lines.append(f"  - {icc_flow}")
+        if self.linked_flows:
+            lines.append(f"linked    : {len(self.linked_flows)}")
+            for linked in self.linked_flows:
+                lines.append(f"  - {linked}")
         if self.implied_permissions:
             lines.append(
                 "permissions: " + ", ".join(self.implied_permissions)
@@ -85,7 +92,9 @@ class VettingReport:
 
 
 def _grade(
-    flows: Tuple[TaintFlow, ...], icc_flows: Tuple[IccFlow, ...] = ()
+    flows: Tuple[TaintFlow, ...],
+    icc_flows: Tuple[IccFlow, ...] = (),
+    linked_flows: Tuple[LinkedIccFlow, ...] = (),
 ) -> Tuple[int, str]:
     score = 0
     if flows:
@@ -98,6 +107,10 @@ def _grade(
         # Tainted Intents to hijackable (exported) components are a
         # serious channel; internal-only ones are merely noteworthy.
         score = max(score, 6 if icc_flow.escapes_app else 3)
+    if linked_flows:
+        # A proven source-to-sink path across components is as bad as
+        # a direct identifier exfiltration.
+        score = max(score, 9)
     if score == 0:
         return 0, "clean"
     if score >= 7:
@@ -113,12 +126,15 @@ def vet_workload(
     analysis_time_s: float = 0.0,
     rules: Optional["RulePack"] = None,
     manifest: Optional["AndroidManifest"] = None,
+    resolve_icc: bool = True,
 ) -> VettingReport:
     """Vet an app whose IDFG has already been constructed."""
     from repro import obs
 
     with obs.span(f"vet:{app.package}", category="vetting"):
-        return _vet_workload(app, workload, analysis_time_s, rules, manifest)
+        return _vet_workload(
+            app, workload, analysis_time_s, rules, manifest, resolve_icc
+        )
 
 
 def _vet_workload(
@@ -127,6 +143,7 @@ def _vet_workload(
     analysis_time_s: float,
     rules: Optional["RulePack"] = None,
     manifest: Optional["AndroidManifest"] = None,
+    resolve_icc: bool = True,
 ) -> VettingReport:
     registry: ApiRegistry = (
         rules.registry() if rules is not None else DEFAULT_REGISTRY
@@ -135,9 +152,17 @@ def _vet_workload(
         workload.analyzed_app, workload.idfg, registry=registry
     )
     flows = tuple(analysis.run())
-    icc_flows = tuple(
-        IccAnalysis(workload.analyzed_app, workload.idfg, analysis).run()
+    icc = IccAnalysis(
+        workload.analyzed_app,
+        workload.idfg,
+        analysis,
+        resolve=resolve_icc,
     )
+    icc_flow_list = icc.run()
+    icc_flows = tuple(icc_flow_list)
+    linked_flows: Tuple[LinkedIccFlow, ...] = ()
+    if resolve_icc:
+        linked_flows = tuple(icc.stitch(icc_flow_list))
     ddgs = build_ddg(workload.analyzed_app, workload.idfg)
 
     witnesses: Dict[str, Tuple[str, ...]] = {}
@@ -151,7 +176,7 @@ def _vet_workload(
                 witnesses[flow.sink_label] = tuple(path)
                 break
 
-    score, verdict = _grade(flows, icc_flows)
+    score, verdict = _grade(flows, icc_flows, linked_flows)
     category_permissions = registry.category_permissions(KIND_SOURCE)
     permissions = tuple(
         sorted(
@@ -172,6 +197,7 @@ def _vet_workload(
             app,
             flows=flows,
             icc_flows=icc_flows,
+            linked_flows=linked_flows,
             witnesses=witnesses,
             sanitizer_kills=tuple(analysis.sanitizer_kills),
             manifest=manifest,
@@ -187,6 +213,7 @@ def _vet_workload(
         witnesses=witnesses,
         findings=findings,
         sanitizer_kills=tuple(analysis.sanitizer_kills),
+        linked_flows=linked_flows,
     )
 
 
@@ -195,6 +222,7 @@ def vet_app(
     config: Optional[GDroidConfig] = None,
     rules: Optional["RulePack"] = None,
     manifest: Optional["AndroidManifest"] = None,
+    resolve_icc: bool = True,
 ) -> VettingReport:
     """Full pipeline: GDroid IDFG construction, then the taint plugin."""
     config = config or GDroidConfig.all_optimizations()
@@ -206,4 +234,5 @@ def vet_app(
         analysis_time_s=result.modeled_time_s,
         rules=rules,
         manifest=manifest,
+        resolve_icc=resolve_icc,
     )

@@ -30,11 +30,18 @@ KIND_ICC_SEND = "icc-send"
 #: returned value is considered clean).  The default registry ships
 #: none -- sanitizers arrive with rule packs (:mod:`repro.rules`).
 KIND_SANITIZER = "sanitizer"
+#: An Intent *target binding*: the API writes the Intent's destination
+#: (``setClassName`` -> an explicit component, ``setAction`` -> a
+#: filter-matched action).  The ICC resolver
+#: (:mod:`repro.vetting.icc_resolve`) keys its string-constant lookup
+#: on these call sites.
+KIND_ICC_TARGET = "icc-target"
 
 #: Every kind an :class:`ApiEntry` may carry; anything else is a typo
 #: that would make the entry silently unmatchable.
 VALID_KINDS = frozenset(
-    (KIND_SOURCE, KIND_SINK, KIND_ICC_SEND, KIND_SANITIZER)
+    (KIND_SOURCE, KIND_SINK, KIND_ICC_SEND, KIND_SANITIZER,
+     KIND_ICC_TARGET)
 )
 
 #: Categories are short identifier-ish tokens (``UNIQUE_IDENTIFIER``,
@@ -255,6 +262,20 @@ DEFAULT_REGISTRY = ApiRegistry(
             KIND_ICC_SEND,
             "service",
         ),
+        # ICC target bindings: these calls *write* an Intent's
+        # destination.  The resolver evaluates their string argument
+        # under the interprocedural constant lattice to shrink the
+        # receiver over-approximation (IccTA-style target resolution).
+        ApiEntry(
+            "android.content.Intent.setClassName(Landroid/content/Intent;Ljava/lang/String;)V",
+            KIND_ICC_TARGET,
+            "class",
+        ),
+        ApiEntry(
+            "android.content.Intent.setAction(Landroid/content/Intent;Ljava/lang/String;)V",
+            KIND_ICC_TARGET,
+            "action",
+        ),
     ]
 )
 
@@ -274,6 +295,12 @@ SINK_CATEGORIES: Dict[str, str] = {
 #: ICC send API -> component kind the Intent is delivered to.
 ICC_SEND_APIS: Dict[str, str] = {
     e.signature: e.category for e in DEFAULT_REGISTRY.entries(KIND_ICC_SEND)
+}
+
+#: ICC target-binding API -> binding kind (``class`` / ``action``).
+ICC_TARGET_APIS: Dict[str, str] = {
+    e.signature: e.category
+    for e in DEFAULT_REGISTRY.entries(KIND_ICC_TARGET)
 }
 
 #: Source category -> Android permission implied by reading that data
@@ -310,6 +337,11 @@ def is_sink(callee: str) -> bool:
 def is_icc_send(callee: str) -> bool:
     """True when the API sends an Intent across components."""
     return DEFAULT_REGISTRY.is_kind(callee, KIND_ICC_SEND)
+
+
+def is_icc_target(callee: str) -> bool:
+    """True when the API binds an Intent's destination."""
+    return DEFAULT_REGISTRY.is_kind(callee, KIND_ICC_TARGET)
 
 
 def is_sanitizer(callee: str) -> bool:

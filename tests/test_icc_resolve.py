@@ -1,0 +1,207 @@
+"""ICC target-resolution tests (repro.vetting.icc_resolve)."""
+
+from repro.apk.generator import (
+    ICC_SCENARIOS,
+    generate_app,
+    icc_scenario_profile,
+)
+from repro.core.engine import AppWorkload
+from repro.ir.parser import parse_app
+from repro.vetting.icc import IccAnalysis
+from repro.vetting.icc_resolve import (
+    RESOLUTION_EXACT,
+    RESOLUTION_FILTERED,
+    RESOLUTION_OVER_APPROX,
+    RESOLUTIONS,
+)
+from repro.vetting.report import vet_app
+
+SRC = "android.telephony.TelephonyManager.getDeviceId()Ljava/lang/String;"
+START = "android.content.Context.startActivity(Landroid/content/Intent;)V"
+SET_CLASS = (
+    "android.content.Intent.setClassName"
+    "(Landroid/content/Intent;Ljava/lang/String;)V"
+)
+SET_ACTION = (
+    "android.content.Intent.setAction"
+    "(Landroid/content/Intent;Ljava/lang/String;)V"
+)
+RANDOM = "java.util.UUID.randomUUID()Ljava/lang/String;"
+
+APP_TEMPLATE = f"""
+app com.res category tools
+component com.res.Sender activity exported
+  callback onCreate com.res.Sender.send()V
+end
+component com.res.Stealer activity exported
+  filter android.intent.action.VIEW
+  callback onCreate com.res.Sender.noop()V
+end
+component com.res.Mirror activity exported
+  filter android.intent.action.SEND
+  callback onCreate com.res.Sender.noop()V
+end
+method com.res.Sender.send()V
+  local id: Ljava/lang/String;
+  local name: Ljava/lang/String;
+  local intent: Landroid/content/Intent;
+  L0: call id := {SRC}()
+  L1: intent := new android.content.Intent
+  L2: intent.fData := id
+  L3: BINDING
+  L4: call {START}(intent)
+  L5: return
+end
+method com.res.Sender.noop()V
+  L0: return
+end
+"""
+
+
+def flows_for(binding: str, prefix: str = ""):
+    source = APP_TEMPLATE.replace("L3: BINDING", binding)
+    if prefix:
+        source = source.replace("L0: call id :=", prefix + "\n  L0: call id :=")
+    app = parse_app(source)
+    workload = AppWorkload.build(app, record_mer=False)
+    analysis = IccAnalysis(workload.analyzed_app, workload.idfg)
+    return analysis, analysis.run()
+
+
+#: Every exported activity: the legacy kind-wide receiver set.
+OVER_APPROX = ("com.res.Mirror", "com.res.Sender", "com.res.Stealer")
+
+
+class TestClassification:
+    def test_constant_class_binding_is_exact(self):
+        _, flows = flows_for(
+            f'L3: name := "com.res.Stealer"\n'
+            f"  La: call {SET_CLASS}(intent, name)"
+        )
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_EXACT
+        assert flow.candidate_receivers == ("com.res.Stealer",)
+        assert flow.resolved_targets == ("com.res.Stealer",)
+        assert set(flow.candidate_receivers) <= set(OVER_APPROX)
+
+    def test_constant_action_binding_is_filtered(self):
+        _, flows = flows_for(
+            f'L3: name := "android.intent.action.VIEW"\n'
+            f"  La: call {SET_ACTION}(intent, name)"
+        )
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_FILTERED
+        # Only the component advertising the VIEW filter survives.
+        assert flow.candidate_receivers == ("com.res.Stealer",)
+        assert flow.resolved_targets == ()
+
+    def test_dynamic_class_binding_stays_over_approx(self):
+        _, flows = flows_for(
+            f"L3: call name := {RANDOM}()\n"
+            f"  La: call {SET_CLASS}(intent, name)"
+        )
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_OVER_APPROX
+        assert flow.candidate_receivers == OVER_APPROX
+
+    def test_unbound_send_stays_over_approx(self):
+        _, flows = flows_for("L3: nop")
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_OVER_APPROX
+        assert flow.candidate_receivers == OVER_APPROX
+
+    def test_binding_on_other_intent_does_not_apply(self):
+        # The constant binds a *different* Intent instance; points-to
+        # association must keep the tainted send over-approximated.
+        _, flows = flows_for(
+            'L3: other := new android.content.Intent\n'
+            f'  La: name := "com.res.Stealer"\n'
+            f"  Lb: call {SET_CLASS}(other, name)",
+        )
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_OVER_APPROX
+        assert flow.candidate_receivers == OVER_APPROX
+
+    def test_exact_target_naming_external_component_is_internal_only(self):
+        # A constant class target outside the app: nothing in-app can
+        # receive it, so the hijack surface collapses to empty.
+        _, flows = flows_for(
+            f'L3: name := "com.elsewhere.Export"\n'
+            f"  La: call {SET_CLASS}(intent, name)"
+        )
+        flow = flows[0]
+        assert flow.resolution == RESOLUTION_EXACT
+        assert flow.candidate_receivers == ()
+        assert not flow.escapes_app
+
+    def test_interprocedural_constant_resolves(self):
+        source = APP_TEMPLATE.replace(
+            "L3: BINDING",
+            "L3: call name := com.res.Sender.target()Ljava/lang/String;()\n"
+            f"  La: call {SET_CLASS}(intent, name)",
+        ) + (
+            "method com.res.Sender.target()Ljava/lang/String;\n"
+            "  local r: Ljava/lang/String;\n"
+            '  L0: r := "com.res.Mirror"\n'
+            "  L1: return r\n"
+            "end\n"
+        )
+        app = parse_app(source)
+        workload = AppWorkload.build(app, record_mer=False)
+        flows = IccAnalysis(workload.analyzed_app, workload.idfg).run()
+        assert flows[0].resolution == RESOLUTION_EXACT
+        assert flows[0].candidate_receivers == ("com.res.Mirror",)
+
+
+class TestResolveDisabled:
+    def test_resolve_off_reproduces_legacy_flows(self):
+        source = APP_TEMPLATE.replace(
+            "L3: BINDING",
+            f'L3: name := "com.res.Stealer"\n'
+            f"  La: call {SET_CLASS}(intent, name)",
+        )
+        app = parse_app(source)
+        workload = AppWorkload.build(app, record_mer=False)
+        analysis = IccAnalysis(
+            workload.analyzed_app, workload.idfg, resolve=False
+        )
+        flows = analysis.run()
+        assert analysis.resolver is None
+        assert flows[0].resolution == RESOLUTION_OVER_APPROX
+        assert flows[0].candidate_receivers == OVER_APPROX
+        assert flows[0].resolved_targets == ()
+        assert analysis.stitch(flows) == []
+
+
+class TestSubsetProperty:
+    def test_resolved_subset_of_over_approx_across_corpus(self):
+        """resolved ⊆ over-approx for every send of every scenario app."""
+        profiles = [
+            (scenario, icc_scenario_profile(scenario, scale=0.35))
+            for scenario in ICC_SCENARIOS
+        ]
+        profiles.append(("default", None))
+        checked = 0
+        for scenario, profile in profiles:
+            for seed in (41, 4242):
+                app = generate_app(seed, profile)
+                resolved = vet_app(app)
+                legacy = vet_app(app, resolve_icc=False)
+                over = {
+                    (f.method, f.send_label): f.candidate_receivers
+                    for f in legacy.icc_flows
+                }
+                assert len(resolved.icc_flows) == len(legacy.icc_flows)
+                for flow in resolved.icc_flows:
+                    key = (flow.method, flow.send_label)
+                    assert flow.resolution in RESOLUTIONS
+                    assert set(flow.candidate_receivers) <= set(over[key])
+                    assert flow.candidate_receivers == tuple(
+                        sorted(flow.candidate_receivers)
+                    )
+                    checked += 1
+                for flow in legacy.icc_flows:
+                    assert flow.resolution == RESOLUTION_OVER_APPROX
+                assert legacy.linked_flows == ()
+        assert checked > 0

@@ -397,7 +397,7 @@ class TestMutationHarness:
     def test_full_recall_on_small_corpus(self, capsys):
         assert lint_mutants.run_harness(apps=4, scale=0.06) == 0
         out = capsys.readouterr().out
-        assert "recall: 17/17" in out
+        assert "recall: 18/18" in out
 
     def test_matrix_covers_every_pass(self):
         expected = {rule for _, rule, _ in lint_mutants.MUTATORS}

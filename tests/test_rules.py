@@ -392,8 +392,8 @@ class TestFindingsModule:
 
 
 class TestCacheAliasing:
-    def test_schema_covers_rule_packs(self):
-        assert CACHE_SCHEMA == 4
+    def test_schema_covers_icc_resolution(self):
+        assert CACHE_SCHEMA == 5
 
     def test_row_key_varies_with_rules_fingerprint(self):
         plain = row_key(1, 2, "pf", 0, "cf")

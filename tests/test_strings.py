@@ -1,0 +1,167 @@
+"""Interprocedural string-constant lattice tests (repro.dataflow.strings)."""
+
+from repro.cfg.icfg import build_icfg
+from repro.dataflow.strings import (
+    BOTTOM,
+    TOP,
+    StringConstantSolver,
+    const,
+    const_value,
+    is_const,
+)
+from repro.ir.parser import parse_app
+
+
+def solve(source: str, roots=None) -> StringConstantSolver:
+    app = parse_app(source)
+    icfg = build_icfg(app, roots=roots or tuple(app.method_table))
+    solver = StringConstantSolver(app, icfg=icfg)
+    solver.solve()
+    return solver
+
+
+class TestLatticeHelpers:
+    def test_const_round_trip(self):
+        wrapped = const("com.a.Target")
+        assert is_const(wrapped)
+        assert const_value(wrapped) == "com.a.Target"
+
+    def test_sentinels_are_not_constants(self):
+        # The tuple wrapper exists so a program string can never
+        # collide with the sentinel strings of the base lattice.
+        assert not is_const(TOP)
+        assert not is_const(BOTTOM)
+        assert not is_const("top")
+        assert const_value(const("top")) == "top"
+        assert const_value(TOP) is None
+
+
+STRAIGHT_LINE = """
+app com.s category tools
+component com.s.Main activity exported
+  callback onCreate com.s.Main.run()V
+end
+method com.s.Main.run()V
+  local a: Ljava/lang/String;
+  local b: Ljava/lang/String;
+  local c: Ljava/lang/String;
+  local n: I
+  L0: a := "com.s."
+  L1: b := "Target"
+  L2: c := a + b
+  L3: n := 7
+  L4: b := a
+  L5: return
+end
+"""
+
+
+class TestIntraprocedural:
+    def test_literal_copy_and_concat(self):
+        solver = solve(STRAIGHT_LINE)
+        env = solver.environment_at("com.s.Main.run()V", "L5")
+        assert const_value(env.of("a")) == "com.s."
+        assert const_value(env.of("c")) == "com.s.Target"
+        assert const_value(env.of("b")) == "com.s."
+
+    def test_integer_literal_kills_to_top(self):
+        solver = solve(STRAIGHT_LINE)
+        env = solver.environment_at("com.s.Main.run()V", "L5")
+        assert env.of("n") is TOP
+
+    def test_unread_variable_is_bottom(self):
+        solver = solve(STRAIGHT_LINE)
+        env = solver.environment_at("com.s.Main.run()V", "L1")
+        assert env.of("c") is BOTTOM
+
+
+BRANCHY = """
+app com.b category tools
+component com.b.Main activity exported
+  callback onCreate com.b.Main.run(I)V
+end
+method com.b.Main.run(I)V
+  local x: Ljava/lang/String;
+  local y: Ljava/lang/String;
+  L0: if p0 then goto L3
+  L1: x := "same"
+  L2: goto L5
+  L3: x := "same"
+  L4: y := "other"
+  L5: return
+end
+"""
+
+
+class TestMeet:
+    def test_agreeing_branches_stay_constant(self):
+        solver = solve(BRANCHY)
+        env = solver.environment_at("com.b.Main.run(I)V", "L5")
+        assert const_value(env.of("x")) == "same"
+
+    def test_one_sided_binding_survives_meet(self):
+        # y is bound on only one path; meet with BOTTOM (absence)
+        # keeps the constant rather than smashing it to TOP.
+        solver = solve(BRANCHY)
+        env = solver.environment_at("com.b.Main.run(I)V", "L5")
+        assert const_value(env.of("y")) == "other"
+
+    def test_disagreeing_branches_go_top(self):
+        source = BRANCHY.replace('L3: x := "same"', 'L3: x := "else"')
+        solver = solve(source)
+        env = solver.environment_at("com.b.Main.run(I)V", "L5")
+        assert env.of("x") is TOP
+
+
+INTERPROC = """
+app com.i category tools
+component com.i.Main activity exported
+  callback onCreate com.i.Main.run()V
+end
+method com.i.Main.run()V
+  local t: Ljava/lang/String;
+  local u: Ljava/lang/String;
+  L0: t := "stale"
+  L1: call t := com.i.Main.name()Ljava/lang/String;()
+  L2: call u := java.util.UUID.randomUUID()Ljava/lang/String;()
+  L3: return
+end
+method com.i.Main.name()Ljava/lang/String;
+  local r: Ljava/lang/String;
+  L0: r := "com.i.Target"
+  L1: return r
+end
+"""
+
+
+class TestInterprocedural:
+    def test_internal_return_establishes_constant(self):
+        solver = solve(INTERPROC)
+        env = solver.environment_at("com.i.Main.run()V", "L3")
+        assert const_value(env.of("t")) == "com.i.Target"
+
+    def test_external_call_result_is_opaque(self):
+        solver = solve(INTERPROC)
+        env = solver.environment_at("com.i.Main.run()V", "L3")
+        assert env.of("u") is TOP
+
+    def test_internal_call_kills_stale_binding(self):
+        # The pre-call constant "stale" must not survive the call: the
+        # return edge is the only writer of the result variable.
+        source = INTERPROC.replace(
+            'L0: r := "com.i.Target"',
+            "L0: call r := java.util.UUID.randomUUID()Ljava/lang/String;()",
+        )
+        solver = solve(source)
+        env = solver.environment_at("com.i.Main.run()V", "L3")
+        assert const_value(env.of("t")) != "stale"
+        assert not is_const(env.of("t"))
+
+    def test_plain_call_statement_kills_nothing_without_result(self):
+        source = INTERPROC.replace(
+            "call u := java.util.UUID.randomUUID()Ljava/lang/String;()",
+            "call android.util.Log.d(Ljava/lang/String;)V(t)",
+        )
+        solver = solve(source)
+        env = solver.environment_at("com.i.Main.run()V", "L3")
+        assert const_value(env.of("t")) == "com.i.Target"

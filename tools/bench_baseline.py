@@ -77,6 +77,19 @@ SERVE_WORKER_COUNTS = (1, 2, 4)
 #: Sink category of the demand-driven informational metrics.
 TARGETED_SINKS = "SMS"
 
+#: ICC-resolution sweep shape: seeds per ground-truth scenario kind and
+#: the base seed / generator scale of the sweep corpus.
+ICC_SEEDS_PER_SCENARIO = 4
+ICC_BASE_SEED = 993300
+ICC_SCALE = 0.4
+
+#: Informational metric names :func:`collect_icc_metrics` produces.
+ICC_METRIC_NAMES = (
+    "icc_resolved_fraction",
+    "icc_receiver_shrinkage",
+    "icc_linked_flows",
+)
+
 
 def serve_metric_names(counts: Sequence[int] = SERVE_WORKER_COUNTS) -> List[str]:
     """Informational metric names produced by :func:`collect_serve_metrics`."""
@@ -186,6 +199,66 @@ def collect_serve_metrics(
     return metrics
 
 
+def collect_icc_metrics(
+    per_scenario: int = ICC_SEEDS_PER_SCENARIO,
+    base_seed: int = ICC_BASE_SEED,
+    scale: float = ICC_SCALE,
+) -> Dict[str, Any]:
+    """ICC target-resolution quality over the ground-truth sweep corpus.
+
+    Informational only (the values are deterministic functions of the
+    sweep seeds, but they measure *analysis precision*, not the cost
+    model the gating metrics guard):
+
+    * ``icc_resolved_fraction`` -- tainted sends classified better than
+      ``over-approx`` (``exact`` or ``filtered``);
+    * ``icc_receiver_shrinkage`` -- 1 minus the ratio of resolved
+      receiver-set sizes to the legacy over-approximated sizes (0 when
+      resolution never prunes anything);
+    * ``icc_linked_flows`` -- inter-component leaks stitched across
+      exactly-resolved edges.
+    """
+    from repro.apk.generator import (
+        ICC_SCENARIOS,
+        generate_app,
+        icc_scenario_profile,
+    )
+    from repro.vetting.report import vet_app
+
+    sends = resolved = 0
+    over_receivers = resolved_receivers = 0
+    linked = 0
+    for kind_index, scenario in enumerate(ICC_SCENARIOS):
+        profile = icc_scenario_profile(scenario, scale=scale)
+        for offset in range(per_scenario):
+            seed = base_seed + kind_index * per_scenario + offset
+            app = generate_app(seed, profile)
+            report = vet_app(app)
+            legacy = vet_app(app, resolve_icc=False)
+            over = {
+                (flow.method, flow.send_label): flow.candidate_receivers
+                for flow in legacy.icc_flows
+            }
+            for flow in report.icc_flows:
+                sends += 1
+                if flow.resolution != "over-approx":
+                    resolved += 1
+                resolved_receivers += len(flow.candidate_receivers)
+                over_receivers += len(
+                    over[(flow.method, flow.send_label)]
+                )
+            linked += len(report.linked_flows)
+    return {
+        "icc_resolved_fraction": resolved / sends if sends else 0.0,
+        "icc_receiver_shrinkage": (
+            1.0 - resolved_receivers / over_receivers
+            if over_receivers
+            else 0.0
+        ),
+        "icc_linked_flows": linked,
+    }
+
+
 @dataclass(frozen=True)
 class Delta:
     """One metric's baseline-vs-current comparison."""
@@ -287,6 +360,7 @@ def cmd_record(args: argparse.Namespace) -> int:
         )
     )
     collected["informational"].update(collect_serve_metrics(corpus))
+    collected["informational"].update(collect_icc_metrics())
     baseline = {
         "schema": BASELINE_SCHEMA,
         "version": repro.__version__,
@@ -353,6 +427,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
         # pooled soaks are too slow for every compare); report the
         # recorded scaling so it stays visible in CI logs.
         for name in serve_metric_names():
+            if name in base_info:
+                print(
+                    f"  {name:24s} {base_info[name]:12.6g}  "
+                    "(informational, recorded)"
+                )
+        # ICC-resolution precision is deterministic but measured over
+        # its own scenario sweep; ``record`` computes it, compare just
+        # keeps the recorded values visible.
+        for name in ICC_METRIC_NAMES:
             if name in base_info:
                 print(
                     f"  {name:24s} {base_info[name]:12.6g}  "

@@ -421,6 +421,46 @@ def mutate_no_lifecycle(app: AndroidApp) -> Optional[AndroidApp]:
     return _rebuild(app, components=list(app.components) + [ghost])
 
 
+def mutate_strip_intent_filter(app: AndroidApp) -> Optional[AndroidApp]:
+    """Unadvertise an exported component the app sends Intents to.
+
+    Stripping the intent filters from an exported component whose kind
+    some ICC send site targets leaves a reachable-but-unadvertised
+    hijack surface -- exactly MAN-003's defect class.  The component
+    keeps its lifecycle callbacks, so MAN-001/MAN-002 stay quiet.
+    """
+    from repro.ir.statements import callee_of
+    from repro.vetting.sources_sinks import ICC_SEND_APIS
+
+    send_kinds = {
+        ICC_SEND_APIS[callee]
+        for method in app.methods
+        for statement in method.statements
+        if (callee := callee_of(statement)) in ICC_SEND_APIS
+    }
+    if not send_kinds:
+        return None
+    for position, component in enumerate(app.components):
+        if not (
+            component.exported
+            and component.intent_filters
+            and component.callbacks
+            and component.kind.value in send_kinds
+        ):
+            continue
+        stripped = Component(
+            name=component.name,
+            kind=component.kind,
+            callbacks=dict(component.callbacks),
+            exported=True,
+            intent_filters=[],
+        )
+        components = list(app.components)
+        components[position] = stripped
+        return _rebuild(app, components=components)
+    return None
+
+
 def mutate_primitive_alloc(app: AndroidApp) -> Optional[AndroidApp]:
     """Allocate an object into a primitive register (dropped GEN)."""
     for position, method in enumerate(app.methods):
@@ -476,6 +516,7 @@ MUTATORS: List[Tuple[str, str, Callable[[AndroidApp], Optional[AndroidApp]]]] = 
     ("bad-callee-signature", "CG-002", mutate_bad_callee_signature),
     ("dead-component", "MAN-001", mutate_dead_component),
     ("no-lifecycle", "MAN-002", mutate_no_lifecycle),
+    ("strip-intent-filter", "MAN-003", mutate_strip_intent_filter),
     ("primitive-alloc", "FP-002", mutate_primitive_alloc),
     ("primitive-base-store", "FP-003", mutate_primitive_base_store),
 ]
@@ -581,9 +622,23 @@ def run_pack_harness() -> int:
 
 
 def run_harness(
-    apps: int = 12, scale: float = 0.06, base_seed: int = 2020
+    apps: int = 12,
+    scale: float = 0.06,
+    base_seed: int = 2020,
+    only: Optional[str] = None,
 ) -> int:
-    """Run the full matrix; print a report; return a process exit code."""
+    """Run the full matrix; print a report; return a process exit code.
+
+    ``only`` restricts the matrix to a single defect class (still with
+    the clean-corpus check), for a focused CI step.
+    """
+    mutators = MUTATORS
+    if only is not None:
+        mutators = [row for row in MUTATORS if row[0] == only]
+        if not mutators:
+            known = ", ".join(name for name, _, _ in MUTATORS)
+            print(f"FAIL unknown defect class {only!r}; known: {known}")
+            return 2
     profile = GeneratorProfile(scale=scale, layers_low=2, layers_high=4)
     generator = AppGenerator(profile)
     corpus = [generator.generate(base_seed + i) for i in range(apps)]
@@ -597,7 +652,7 @@ def run_harness(
         print(f"ok   clean-corpus: {apps} generated apps, zero diagnostics")
 
     caught = 0
-    for name, expected, mutator in MUTATORS:
+    for name, expected, mutator in mutators:
         mutated = None
         host = ""
         for app in corpus:
@@ -620,7 +675,7 @@ def run_harness(
                 f"lint fired {sorted(fired) or '{}'} (in {host})"
             )
 
-    total = len(MUTATORS)
+    total = len(mutators)
     recall = caught / total if total else 0.0
     print(
         f"recall: {caught}/{total} defect classes ({recall:.0%}); "
@@ -635,6 +690,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=0.06)
     parser.add_argument("--base-seed", type=int, default=2020)
     parser.add_argument(
+        "--only", default=None, metavar="DEFECT",
+        help="run a single defect class from the matrix (e.g. "
+        "strip-intent-filter)",
+    )
+    parser.add_argument(
         "--packs", action="store_true",
         help="rule-pack mutation mode: assert the scenario gate catches "
         "a dropped sanitizer and a flipped severity in every shipped pack",
@@ -642,7 +702,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.packs:
         return run_pack_harness()
-    return run_harness(args.apps, args.scale, args.base_seed)
+    return run_harness(args.apps, args.scale, args.base_seed, args.only)
 
 
 if __name__ == "__main__":
