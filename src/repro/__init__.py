@@ -80,7 +80,7 @@ def __getattr__(name: str):
     return value
 
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalysisResult",

@@ -1,0 +1,168 @@
+"""``.gdx`` container differ: classify methods between two app versions.
+
+The incremental pipeline (:mod:`repro.dataflow.incremental`) never
+needs a diff to be *correct* -- content-addressed SCC keys make reuse
+exact -- but operators do: ``gdroid vet --baseline OLD.gdx`` reports
+what a version bump actually touched, and the CI incremental-smoke job
+uploads the structured report as an artifact.
+
+Methods are compared by :func:`repro.dataflow.fingerprint.
+method_fingerprint` (exact printed body, signature included):
+
+* shared signature, equal fingerprint  -> ``unchanged``
+* shared signature, different fingerprint -> ``modified``
+* signature only in the new version -> ``added``
+* signature only in the old version -> ``removed``
+
+Added/removed pairs whose *body* fingerprints (signature header
+stripped) match are additionally reported as ``renamed`` -- they still
+count as added+removed for re-analysis purposes (a renamed method's
+callers changed textually), but the rename is worth surfacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.apk.dex import GdxFormatError
+from repro.apk.loader import PathLike, load_gdx
+from repro.dataflow.fingerprint import body_fingerprint, method_fingerprint
+from repro.ir.app import AndroidApp
+
+
+class BaselineError(Exception):
+    """A baseline ``.gdx`` could not be loaded (missing or corrupt).
+
+    Raised by :func:`load_baseline` with the offending path in
+    :attr:`path`; the CLI maps it to a structured message and exit
+    code 2.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"baseline {path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def load_baseline(path: PathLike) -> AndroidApp:
+    """Load a baseline container, wrapping failures in BaselineError."""
+    try:
+        return load_gdx(path)
+    except GdxFormatError as error:
+        raise BaselineError(str(path), f"corrupt container: {error}")
+    except OSError as error:
+        raise BaselineError(str(path), f"unreadable: {error}")
+
+
+@dataclass(frozen=True)
+class AppDiff:
+    """Method-level classification between two app versions."""
+
+    old_package: str
+    new_package: str
+    unchanged: Tuple[str, ...]
+    modified: Tuple[str, ...]
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    #: ``(old signature, new signature)`` pairs with identical bodies.
+    renamed: Tuple[Tuple[str, str], ...]
+    components_added: Tuple[str, ...]
+    components_removed: Tuple[str, ...]
+
+    @property
+    def is_identical(self) -> bool:
+        """True when the two versions have byte-identical method sets."""
+        return not (
+            self.modified
+            or self.added
+            or self.removed
+            or self.components_added
+            or self.components_removed
+        )
+
+    @property
+    def dirty_count(self) -> int:
+        """Methods the bump touched (modified + added + removed)."""
+        return len(self.modified) + len(self.added) + len(self.removed)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready structure (the CI diff-report artifact)."""
+        return {
+            "old_package": self.old_package,
+            "new_package": self.new_package,
+            "unchanged": list(self.unchanged),
+            "modified": list(self.modified),
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "renamed": [list(pair) for pair in self.renamed],
+            "components_added": list(self.components_added),
+            "components_removed": list(self.components_removed),
+        }
+
+    def summary(self) -> str:
+        """One-line report for CLI output."""
+        parts = [
+            f"{len(self.unchanged)} unchanged",
+            f"{len(self.modified)} modified",
+            f"{len(self.added)} added",
+            f"{len(self.removed)} removed",
+        ]
+        if self.renamed:
+            parts.append(f"{len(self.renamed)} renamed")
+        if self.components_added or self.components_removed:
+            parts.append(
+                f"components +{len(self.components_added)}"
+                f"/-{len(self.components_removed)}"
+            )
+        return "diff vs baseline: " + ", ".join(parts)
+
+
+def diff_apps(old: AndroidApp, new: AndroidApp) -> AppDiff:
+    """Classify every method of ``new`` against baseline ``old``."""
+    old_fps = {
+        str(method.signature): method_fingerprint(method)
+        for method in old.methods
+    }
+    new_fps = {
+        str(method.signature): method_fingerprint(method)
+        for method in new.methods
+    }
+    unchanged: List[str] = []
+    modified: List[str] = []
+    for signature in sorted(new_fps):
+        if signature not in old_fps:
+            continue
+        if new_fps[signature] == old_fps[signature]:
+            unchanged.append(signature)
+        else:
+            modified.append(signature)
+    added = sorted(set(new_fps) - set(old_fps))
+    removed = sorted(set(old_fps) - set(new_fps))
+
+    # Rename detection: greedy one-to-one body-fingerprint matching
+    # over the sorted added/removed sets (deterministic pairing).
+    removed_by_body: Dict[str, List[str]] = {}
+    for signature in removed:
+        body = body_fingerprint(old.method_table[signature])
+        removed_by_body.setdefault(body, []).append(signature)
+    renamed: List[Tuple[str, str]] = []
+    for signature in added:
+        body = body_fingerprint(new.method_table[signature])
+        candidates = removed_by_body.get(body)
+        if candidates:
+            renamed.append((candidates.pop(0), signature))
+
+    old_components = {component.name for component in old.components}
+    new_components = {component.name for component in new.components}
+    return AppDiff(
+        old_package=old.package,
+        new_package=new.package,
+        unchanged=tuple(unchanged),
+        modified=tuple(modified),
+        added=tuple(added),
+        removed=tuple(removed),
+        renamed=tuple(renamed),
+        components_added=tuple(sorted(new_components - old_components)),
+        components_removed=tuple(sorted(old_components - new_components)),
+    )

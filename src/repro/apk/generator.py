@@ -1284,3 +1284,69 @@ def generate_app(
 ) -> AndroidApp:
     """Generate one deterministic synthetic app."""
     return AppGenerator(profile, self_check=self_check).generate(seed)
+
+
+def mutate_app(
+    app: AndroidApp, seed: int = 0, count: int = 1
+) -> Tuple[AndroidApp, Tuple[str, ...]]:
+    """Produce a realistic version bump of an existing app.
+
+    ``count`` deterministically chosen method bodies (never synthesized
+    ``__env__`` methods) each gain one fresh allocation into an
+    object-typed local, prepended at entry under a fresh ``X<n>`` label
+    -- a minimal edit a point release would make.  Prepending preserves
+    every jump target and catch range (both are label-addressed), so
+    the mutated app revalidates under the same invariants.
+
+    Returns ``(new_app, mutated_signatures)``.  The mutation is a pure
+    function of ``(app, seed, count)``, so version bumps are as
+    reproducible as the corpus itself.
+    """
+    rng = random.Random(seed)
+    eligible = [
+        method
+        for method in app.methods
+        if method.signature.name != "__env__"
+        and method.statements
+        and any(isinstance(v.type, ObjectType) for v in method.locals)
+    ]
+    if not eligible or count <= 0:
+        return app, ()
+    chosen = {
+        str(method.signature)
+        for method in rng.sample(eligible, k=min(count, len(eligible)))
+    }
+    methods: List[Method] = []
+    for method in app.methods:
+        if str(method.signature) not in chosen:
+            methods.append(method)
+            continue
+        target = next(
+            v for v in method.locals if isinstance(v.type, ObjectType)
+        )
+        used = {statement.label for statement in method.statements}
+        serial = 0
+        while f"X{serial}" in used:
+            serial += 1
+        allocation = AssignmentStatement(
+            label=f"X{serial}",
+            lhs=target.name,
+            rhs=NewExpr(allocated=target.type),
+        )
+        methods.append(
+            Method(
+                method.signature,
+                method.parameters,
+                method.locals,
+                (allocation,) + method.statements,
+                method.handlers,
+            )
+        )
+    mutated = AndroidApp(
+        app.package,
+        app.components,
+        methods,
+        app.global_fields,
+        app.category,
+    )
+    return mutated, tuple(sorted(chosen))

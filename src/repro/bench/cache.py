@@ -20,8 +20,11 @@ invalidates stale entries instead of serving them.
 
 Layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-gdroid``), one
 ``<key>.json`` per row, written atomically (temp file + ``os.replace``)
-so concurrent workers never observe torn entries.  ``REPRO_BENCH_CACHE=0``
-or the ``gdroid bench --no-cache`` flag disables the cache entirely.
+so concurrent workers never observe torn entries; the ``summaries/``
+subtree underneath is the cache's second level, the per-method summary
+store that incremental re-vets (``--baseline``) reuse.
+``REPRO_BENCH_CACHE=0`` or the ``gdroid bench --no-cache`` flag
+disables the cache entirely.
 """
 
 from __future__ import annotations
@@ -49,7 +52,11 @@ import repro
 #: 5: keys carry the ICC-resolution mode -- a row vetted with resolved
 #: receiver sets (and stitched linked findings) can never serve a
 #: ``--no-resolve-icc`` sweep or vice versa.
-CACHE_SCHEMA = 5
+#: 6: the cache is two-level -- run rows sit on top of a per-method
+#: summary store (``summaries/`` subtree, content-addressed SCC
+#: entries keyed by body + callee-summary fingerprints) backing
+#: incremental re-vets; pre-incremental rows are invalidated.
+CACHE_SCHEMA = 6
 
 _FALSY = {"0", "false", "off", "no"}
 
@@ -137,7 +144,16 @@ def row_key(
 
 
 class EvaluationCache:
-    """File-per-row JSON cache with hit/miss/store accounting."""
+    """Two-level cache: file-per-row JSON rows over a summary store.
+
+    The top level holds finished :class:`AppEvaluation` rows (one JSON
+    file per row key).  The bottom level -- reachable via
+    :meth:`summary_store` -- is a :class:`repro.dataflow.incremental.
+    MethodSummaryStore` rooted at ``root/summaries``, holding per-SCC
+    method summaries and fixed points that incremental re-vets reuse.
+    Both levels share the root (``REPRO_CACHE_DIR``) and the enabled
+    flag, but account hits/misses separately.
+    """
 
     def __init__(
         self, root: Optional[Path] = None, enabled: bool = True
@@ -151,6 +167,17 @@ class EvaluationCache:
         self.purged = 0
         #: Crash-orphaned ``.tmp-*`` files swept on open.
         self.tmp_purged = self._sweep_stale_tmp() if enabled else 0
+        self._summaries: Optional[Any] = None
+
+    def summary_store(self):
+        """The method-summary level of the cache (built on first use)."""
+        if self._summaries is None:
+            from repro.dataflow.incremental import MethodSummaryStore
+
+            self._summaries = MethodSummaryStore(
+                root=self.root / "summaries", enabled=self.enabled
+            )
+        return self._summaries
 
     def _sweep_stale_tmp(self, max_age_s: float = TMP_MAX_AGE_S) -> int:
         """Delete ``.tmp-*`` droppings older than ``max_age_s``.

@@ -149,8 +149,38 @@ class TargetedSkipRow:
     targets: Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class IncrementalVetRow:
+    """A corpus row produced by a baseline-seeded incremental re-vet.
+
+    Produced by :func:`evaluate_corpus` with ``baseline=``: the app is
+    vetted through :func:`repro.dataflow.incremental.vet_incremental`
+    after its baseline version seeded the summary store, and the row
+    records the reuse accounting instead of the pricing matrix.  Never
+    disk-cached -- reuse numbers are relative to this run's store
+    state, so a cached copy would be meaningless.
+    """
+
+    package: str
+    category: str
+    index: int
+    methods_total: int
+    methods_reused: int
+    methods_recomputed: int
+    #: Modeled worklist visits of a from-scratch run vs this run.
+    visits_cold: float
+    visits_incremental: float
+    modeled_speedup: float
+    verdict: str
+    risk_score: int
+    flow_count: int
+    finding_count: int
+
+
 #: What one corpus index evaluates to under ``strict=True``.
-EvaluationRow = Union[AppEvaluation, LintErrorRow, TargetedSkipRow]
+EvaluationRow = Union[
+    AppEvaluation, LintErrorRow, TargetedSkipRow, IncrementalVetRow
+]
 
 
 #: The four GPU configurations of the cumulative evaluation.
@@ -353,6 +383,11 @@ class CorpusRunStats:
     tmp_purged: int = 0
     #: Cache-served rows re-verified by the strict lint gate.
     strict_relints: int = 0
+    #: Summary-store SCC hits/misses (baseline-seeded sweeps only).
+    summary_hits: int = 0
+    summary_misses: int = 0
+    #: Method fixed points restored instead of recomputed.
+    methods_reused: int = 0
     #: Requested worker count and what was actually used.
     jobs: int = 1
     workers: int = 1
@@ -386,6 +421,12 @@ class CorpusRunStats:
             extras += f", {self.tmp_purged} stale tmp swept"
         if self.strict_relints:
             extras += f", {self.strict_relints} strict re-lints"
+        if self.summary_hits or self.summary_misses:
+            extras += (
+                f"\n  incremental: {self.summary_hits} summary hits, "
+                f"{self.summary_misses} misses, "
+                f"{self.methods_reused} methods reused"
+            )
         return (
             f"corpus run: {self.apps} apps in {self.total_s:.2f}s "
             f"({self.apps_per_second:.2f} apps/s)\n"
@@ -408,6 +449,60 @@ def last_run_stats() -> Optional[CorpusRunStats]:
     return _LAST_RUN_STATS
 
 
+def _evaluate_incremental(
+    corpus: AppCorpus,
+    baseline,
+    count: int,
+    rules,
+    resolve_icc: bool,
+    disk,
+    stats: CorpusRunStats,
+) -> Dict[int, EvaluationRow]:
+    """Baseline-seeded incremental sweep: one IncrementalVetRow per app.
+
+    ``baseline`` provides the version-N app per index (any object with
+    an ``app(index)`` method -- typically another :class:`AppCorpus`,
+    or the corpus itself to model resubmission).  Rows are never
+    cached; the summary store underneath *is* the cache.
+    """
+    from repro.dataflow.incremental import vet_incremental
+
+    store = disk.summary_store()
+    rows: Dict[int, EvaluationRow] = {}
+    for index in range(count):
+        app = corpus.app(index)
+        with obs.span(
+            f"incremental[{index}]", category="app", index=index
+        ):
+            report, inc = vet_incremental(
+                app,
+                baseline.app(index),
+                store,
+                rules=rules,
+                resolve_icc=resolve_icc,
+            )
+        rows[index] = IncrementalVetRow(
+            package=app.package,
+            category=app.category,
+            index=index,
+            methods_total=inc.methods_total,
+            methods_reused=inc.methods_reused,
+            methods_recomputed=inc.methods_recomputed,
+            visits_cold=inc.visits_cold,
+            visits_incremental=inc.visits_incremental,
+            modeled_speedup=inc.modeled_speedup,
+            verdict=report.verdict,
+            risk_score=report.risk_score,
+            flow_count=len(report.flows),
+            finding_count=len(report.findings),
+        )
+        stats.methods_reused += inc.methods_reused
+        stats.evaluated += 1
+    stats.summary_hits = store.hits
+    stats.summary_misses = store.misses
+    return rows
+
+
 def evaluate_corpus(
     corpus: AppCorpus,
     limit: Optional[int] = None,
@@ -417,6 +512,7 @@ def evaluate_corpus(
     targets=None,
     rules=None,
     resolve_icc: bool = True,
+    baseline=None,
 ) -> List[EvaluationRow]:
     """Evaluate a corpus slice with caching and optional parallelism.
 
@@ -444,6 +540,15 @@ def evaluate_corpus(
     vetted under the pack and its row carries per-severity finding
     counts.  Cache keys fingerprint the pack content, so rows vetted
     under different packs -- or under no pack -- never alias.
+
+    With ``baseline`` (any object exposing ``app(index)``, typically
+    the previous-version corpus -- or this corpus itself to model
+    resubmission) every app is vetted *incrementally*: the baseline
+    app seeds the cache's method-summary store, the new version reuses
+    every untouched SCC, and the row is an :class:`IncrementalVetRow`
+    carrying the reuse accounting.  Incremental rows are never
+    row-cached (the summary store underneath is the cache) and the
+    sweep runs serially.
 
     An explicit ``limit=0`` evaluates nothing; ``limit=None`` means the
     whole corpus.
@@ -473,6 +578,29 @@ def evaluate_corpus(
         tmp_purged=disk.tmp_purged,
     )
     started = time.perf_counter()
+
+    if baseline is not None:
+        with obs.span(
+            "corpus.evaluate", category="evaluate", missing=count
+        ):
+            rows = _evaluate_incremental(
+                corpus, baseline, count, rules, resolve_icc, disk, stats
+            )
+        stats.evaluate_s = time.perf_counter() - started
+        stats.total_s = stats.evaluate_s
+        obs.count("corpus.apps", count)
+        obs.count("corpus.evaluated", stats.evaluated)
+        obs.count("corpus.tmp_purged", stats.tmp_purged)
+        obs.count("corpus.cache_purged", stats.cache_purged)
+        obs.count("corpus.incremental.summary_hits", stats.summary_hits)
+        obs.count(
+            "corpus.incremental.summary_misses", stats.summary_misses
+        )
+        obs.count(
+            "corpus.incremental.methods_reused", stats.methods_reused
+        )
+        _LAST_RUN_STATS = stats
+        return [rows[index] for index in range(count)]
 
     profile_fp = profile_fingerprint(corpus.profile)
     fingerprint = config_fingerprint(_CONFIGS) if disk.enabled else ""
@@ -562,5 +690,9 @@ def evaluate_corpus(
     obs.count("corpus.disk_hits", stats.disk_hits)
     obs.count("corpus.evaluated", stats.evaluated)
     obs.count("corpus.strict_relints", stats.strict_relints)
+    # Purge sweeps only ever surfaced on cache open; count them so the
+    # run ledger (gdroid stats) shows them alongside the hit counters.
+    obs.count("corpus.tmp_purged", stats.tmp_purged)
+    obs.count("corpus.cache_purged", stats.cache_purged)
     _LAST_RUN_STATS = stats
     return [rows[index] for index in range(count)]

@@ -4,7 +4,7 @@ Subcommands::
 
     gdroid generate  --seed 7 --out app.gdx [--scale 1.0]
     gdroid analyze   app.gdx [--config plain|mat|mat-grp|full] [--all]
-    gdroid vet       app.gdx [--rules PACK]
+    gdroid vet       app.gdx [--rules PACK] [--baseline OLD.gdx]
     gdroid packs     [--validate] [--scan --html report.html]
     gdroid corpus    --apps 20 [--scale 1.0]      # Table I statistics
     gdroid bench     --apps 12 [--scale 1.0] [--rules PACK]
@@ -64,6 +64,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "dynamic-target (unresolvable) or linked-leak (source in one "
         "component, sink in another)",
     )
+    generate.add_argument(
+        "--mutate-from", default=None, metavar="BASE.gdx",
+        help="instead of generating from scratch, load BASE.gdx and "
+        "mutate K method bodies (a realistic version bump for "
+        "incremental re-vetting); --seed/--scale are ignored",
+    )
+    generate.add_argument(
+        "--mutate-methods", type=int, default=1, metavar="K",
+        help="with --mutate-from, how many method bodies to touch",
+    )
+    generate.add_argument(
+        "--mutate-seed", type=int, default=0, metavar="N",
+        help="with --mutate-from, the deterministic mutation seed",
+    )
 
     analyze = sub.add_parser("analyze", help="build an app's IDFG")
     analyze.add_argument("app", help="input .gdx path")
@@ -112,6 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "constant propagation and stitch taint across exactly-resolved "
         "in-app edges (default: on; --no-resolve-icc restores the "
         "kind-wide receiver over-approximation)",
+    )
+    vet.add_argument(
+        "--baseline", default=None, metavar="OLD.gdx",
+        help="incremental re-vet: seed the per-method summary store "
+        "from this previous version, print the method-level diff, and "
+        "recompute only dirty SCCs (bit-identical to a cold vet)",
     )
 
     packs = sub.add_parser(
@@ -280,6 +300,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "vetting jobs (default: on)",
     )
     serve.add_argument(
+        "--baseline", default=None, metavar="REF",
+        help="re-vet every job incrementally: 'corpus' seeds the "
+        "summary store from each job's own container (resubmission), "
+        "any other value is a prior-version .gdx path",
+    )
+    serve.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the full JSON job records instead of the summary",
     )
@@ -345,6 +371,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="print JSON job records instead of one line per job",
     )
+    submit.add_argument(
+        "--baseline", default=None, metavar="REF",
+        help="re-vet incrementally: 'corpus' treats each file as a "
+        "resubmission of itself, any other value is a prior-version "
+        ".gdx path",
+    )
 
     report = sub.add_parser(
         "report", help="aggregate persisted benchmark results to markdown"
@@ -364,6 +396,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if getattr(args, "mutate_from", None):
+        from repro.apk.diff import BaselineError, load_baseline
+        from repro.apk.generator import mutate_app
+
+        try:
+            base = load_baseline(args.mutate_from)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        app, touched = mutate_app(
+            base, seed=args.mutate_seed, count=args.mutate_methods
+        )
+        nbytes = save_gdx(app, args.out)
+        print(
+            f"wrote {args.out}: {app.package}, mutated "
+            f"{len(touched)}/{app.method_count()} methods, {nbytes} bytes"
+        )
+        for signature in touched:
+            print(f"  touched {signature}")
+        return 0
     if getattr(args, "icc_scenario", None):
         from repro.apk.generator import icc_scenario_profile
 
@@ -466,6 +518,37 @@ def _cmd_vet(args: argparse.Namespace) -> int:
         except PackError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.baseline:
+        if spec is not None:
+            print(
+                "error: --baseline cannot be combined with --targets "
+                "(an incremental re-vet is always a full vet)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.apk.diff import BaselineError, diff_apps, load_baseline
+        from repro.bench.cache import EvaluationCache
+        from repro.dataflow.incremental import vet_incremental
+
+        try:
+            baseline_app = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        app = load_gdx(args.app)
+        print(diff_apps(baseline_app, app).summary())
+        report, stats = vet_incremental(
+            app,
+            baseline_app,
+            EvaluationCache().summary_store(),
+            rules=rules,
+            resolve_icc=args.resolve_icc,
+        )
+        print(stats.summary())
+        print(report.summary())
+        if rules is not None:
+            _render_findings(report, rules, args)
+        return 0 if not report.is_suspicious else 2
     app = load_gdx(args.app)
     if spec is not None:
         from repro.vetting.targeted import vet_targeted
@@ -853,6 +936,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 targeted_every=args.targets_every,
                 rules=args.rules,
                 resolve_icc=args.resolve_icc,
+                baseline=args.baseline,
             )
     except ServiceCrash as error:
         print(f"service crashed: {error}", file=sys.stderr)
@@ -884,7 +968,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     config = ServeConfig(
         workers=args.workers, max_attempts=args.max_attempts
     )
-    report = submit_paths(args.apps, config=config)
+    report = submit_paths(args.apps, config=config, baseline=args.baseline)
     if args.as_json:
         print(json.dumps(report.to_json(), sort_keys=True, indent=2))
     else:

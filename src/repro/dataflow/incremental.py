@@ -1,0 +1,395 @@
+"""Incremental SBDA: persist per-method fixed points, re-run only dirty work.
+
+A production vetting service sees the same app at version N and N+1,
+where a one-method diff used to recompute the whole IDFG.  This module
+makes the re-run pay only for what changed:
+
+* Per-method fixed points are pure functions of ``(printed method
+  body, callee summaries)`` -- the fact space consults only the
+  callees' footprints and the transfer compiler only the callees'
+  summaries.  :class:`MethodSummaryStore` therefore persists finished
+  SCC results content-addressed by :func:`repro.dataflow.fingerprint.
+  scc_store_key`: the members' body fingerprints plus the *summary
+  content* fingerprints of out-of-SCC in-app callees.
+* :func:`analyze_app_incremental` replays the exact bottom-up SBDA
+  schedule of :func:`repro.dataflow.worklist.analyze_app_reference`,
+  but consults the store per SCC first.  A hit restores the members'
+  summaries and node facts without running a single worklist visit; a
+  miss computes the SCC exactly as the reference does and persists it.
+
+The dirty-seeding property falls out of the keying: editing one method
+changes that SCC's key (recompute) and -- only if the edit changes the
+method's *summary content* -- the keys of its callers, transitively.
+Callers whose callee summaries are unchanged hit the store, which is
+sound because their inputs are bit-identical to the cold run's.  The
+result is asserted ``IDFG.equivalent_to`` the cold reference in tests,
+benchmarks, and the CI incremental-smoke gate.
+
+Costs are modeled in worklist node visits: a stored SCC records the
+visits its cold computation executed; a reused method is charged
+:data:`REUSED_METHOD_COST` visit-equivalents.  ``modeled_speedup`` is
+the cold total over the incremental total, deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.callgraph import CallGraph, SBDALayering
+from repro.cfg.environment import app_with_environments
+from repro.dataflow.facts import CalleeFootprint, FactSpace
+from repro.dataflow.fingerprint import (
+    method_fingerprint,
+    scc_store_key,
+    summary_fingerprint,
+    summary_from_payload,
+    summary_to_payload,
+)
+from repro.dataflow.idfg import IDFG, MethodFacts
+from repro.dataflow.summaries import MethodSummary, SummaryBuilder
+from repro.dataflow.worklist import SequentialWorklist, _is_self_recursive
+from repro.ir.app import AndroidApp
+
+#: Bump when the store entry layout or the keying scheme changes.
+STORE_SCHEMA = 1
+
+#: Modeled cost (in worklist node visits) of serving one method from
+#: the store instead of re-running its fixed point.  Loading facts is
+#: a JSON parse plus a fact-space rebuild -- far below one visit of
+#: transfer-function work, but charged conservatively as one.
+REUSED_METHOD_COST = 1.0
+
+
+class MethodSummaryStore:
+    """Content-addressed store of finished SCC analyses.
+
+    One JSON file per SCC key under ``root`` (default: the bench
+    cache's ``summaries/`` subdirectory, so ``REPRO_CACHE_DIR`` governs
+    both levels of the two-level cache).  Writes are atomic (temp file
+    + ``os.replace``); corrupt entries are deleted on load and counted
+    in :attr:`purged`, mirroring :class:`repro.bench.cache.
+    EvaluationCache`.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, enabled: bool = True
+    ) -> None:
+        if root is None:
+            from repro.bench.cache import cache_dir
+
+            root = cache_dir() / "summaries"
+        self.root = Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Corrupt or schema-mismatched entries deleted on load.
+        self.purged = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(
+        self, key: str, members: Sequence[str]
+    ) -> Optional[Dict[str, Any]]:
+        """Fetch one SCC entry, or None on miss/corruption.
+
+        ``members`` is the expected signature set; an entry that fails
+        to parse, carries the wrong schema, or covers a different
+        member set is purged and counted as a miss.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["schema"] != STORE_SCHEMA:
+                raise ValueError("store schema mismatch")
+            if set(entry["members"]) != set(members):
+                raise ValueError("store member mismatch")
+        except (ValueError, TypeError, KeyError):
+            self.misses += 1
+            try:
+                path.unlink()
+                self.purged += 1
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        key: str,
+        results: Dict[str, MethodFacts],
+        summaries: Dict[str, MethodSummary],
+        visits: int,
+    ) -> None:
+        """Persist one finished SCC atomically; failures are non-fatal."""
+        if not self.enabled:
+            return
+        entry = {
+            "schema": STORE_SCHEMA,
+            "visits": visits,
+            "members": {
+                signature: {
+                    "summary": summary_to_payload(summaries[signature]),
+                    "node_facts": [
+                        sorted(facts) for facts in result.node_facts
+                    ],
+                    "exit_facts": sorted(result.exit_facts),
+                }
+                for signature, result in results.items()
+            },
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(entry, sort_keys=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+
+@dataclass
+class IncrementalStats:
+    """Reuse accounting for one :func:`analyze_app_incremental` call."""
+
+    methods_total: int = 0
+    #: Methods whose fixed point was restored from the store.
+    methods_reused: int = 0
+    #: Methods whose fixed point was (re)computed this run.
+    methods_recomputed: int = 0
+    scc_hits: int = 0
+    scc_misses: int = 0
+    #: Modeled cold cost: worklist visits a from-scratch run executes
+    #: (stored SCCs contribute their recorded visits).
+    visits_cold: float = 0.0
+    #: Modeled cost actually paid this run: visits executed plus
+    #: :data:`REUSED_METHOD_COST` per reused method.
+    visits_incremental: float = 0.0
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Cold cost over incremental cost (1.0 on an all-miss run)."""
+        if self.visits_incremental <= 0:
+            return 1.0
+        return self.visits_cold / self.visits_incremental
+
+    def summary(self) -> str:
+        """One-line counter report for CLI output."""
+        return (
+            f"incremental: {self.methods_reused}/{self.methods_total} "
+            f"methods reused ({self.scc_hits} SCC hits, "
+            f"{self.scc_misses} misses), modeled cost "
+            f"{self.visits_incremental:.0f} vs {self.visits_cold:.0f} "
+            f"cold ({self.modeled_speedup:.1f}x)"
+        )
+
+
+@dataclass
+class IncrementalResult:
+    """IDFG plus reuse accounting from an incremental analysis."""
+
+    #: The analyzed app (environments applied), matching the IDFG.
+    analyzed_app: AndroidApp
+    idfg: IDFG
+    stats: IncrementalStats
+    #: Per-SCC store keys in bottom-up order (diff reports).
+    keys: Tuple[str, ...] = ()
+
+
+class _IncrementalWorkload:
+    """Duck-typed stand-in for :class:`repro.core.engine.AppWorkload`.
+
+    :func:`repro.vetting.report.vet_workload` consumes only
+    ``analyzed_app`` and ``idfg``; the incremental path never builds
+    the GPU pricing profile, so a full workload would be wasted work.
+    """
+
+    __slots__ = ("analyzed_app", "idfg")
+
+    def __init__(self, analyzed_app: AndroidApp, idfg: IDFG) -> None:
+        self.analyzed_app = analyzed_app
+        self.idfg = idfg
+
+
+def analyze_app_incremental(
+    app: AndroidApp,
+    store: MethodSummaryStore,
+    with_environments: bool = True,
+) -> IncrementalResult:
+    """Reference-equivalent analysis that reuses stored SCC results.
+
+    Replays the bottom-up SBDA schedule of ``analyze_app_reference``;
+    each SCC is served from ``store`` when its key (member bodies +
+    out-of-SCC callee summary contents) matches a finished entry, and
+    computed-and-persisted otherwise.  The returned IDFG is
+    bit-identical to the cold reference by construction (asserted in
+    tests and the CI incremental-smoke gate).
+    """
+    if with_environments and app.components:
+        app = app_with_environments(app)
+    layering = SBDALayering(CallGraph(app))
+    call_graph = layering.call_graph
+
+    summaries: Dict[str, MethodSummary] = {}
+    footprints: Dict[str, CalleeFootprint] = {}
+    summary_fps: Dict[str, str] = {}
+    method_facts: Dict[str, MethodFacts] = {}
+    stats = IncrementalStats(methods_total=len(app.methods))
+    keys: List[str] = []
+
+    for scc in layering.bottom_up():
+        scc_set = set(scc)
+        callee_fps = {
+            (callee, summary_fps[callee])
+            for signature in scc
+            for callee in call_graph.callees(signature)
+            if callee not in scc_set
+        }
+        key = scc_store_key(
+            STORE_SCHEMA,
+            [
+                [signature, method_fingerprint(app.method_table[signature])]
+                for signature in scc
+            ],
+            [list(pair) for pair in callee_fps],
+        )
+        keys.append(key)
+
+        entry = store.load(key, scc)
+        if entry is not None:
+            # Restore every member's summary before building any fact
+            # space: recursive members consult each other's footprints.
+            for signature in scc:
+                summary = summary_from_payload(
+                    entry["members"][signature]["summary"]
+                )
+                summaries[signature] = summary
+                footprints[signature] = summary.footprint()
+                summary_fps[signature] = summary_fingerprint(summary)
+            for signature in scc:
+                member = entry["members"][signature]
+                space = FactSpace(app.method_table[signature], footprints)
+                method_facts[signature] = MethodFacts(
+                    space=space,
+                    node_facts=tuple(
+                        frozenset(facts) for facts in member["node_facts"]
+                    ),
+                    exit_facts=frozenset(member["exit_facts"]),
+                )
+            stats.scc_hits += 1
+            stats.methods_reused += len(scc)
+            stats.visits_cold += float(entry["visits"])
+            stats.visits_incremental += REUSED_METHOD_COST * len(scc)
+            continue
+
+        # Miss: compute exactly as compute_summaries/analyze_app_reference
+        # would.  For a non-recursive method the summary-building run
+        # already *is* the final pass (same callee summaries), so its
+        # facts are reused; recursive SCCs get one extra per-member run
+        # with the converged summaries to produce final-pass facts.
+        executed = 0
+        results: Dict[str, MethodFacts] = {}
+        if len(scc) == 1 and not _is_self_recursive(app, scc[0]):
+            signature = scc[0]
+            worklist = SequentialWorklist(
+                app.method_table[signature], summaries
+            )
+            result = worklist.run()
+            executed += worklist.visits
+            summaries[signature] = SummaryBuilder(result.space).build(
+                result.exit_facts
+            )
+            results[signature] = result
+        else:
+            for signature in scc:
+                summaries[signature] = MethodSummary(signature=signature)
+            changed = True
+            while changed:
+                changed = False
+                for signature in scc:
+                    worklist = SequentialWorklist(
+                        app.method_table[signature], summaries
+                    )
+                    result = worklist.run()
+                    executed += worklist.visits
+                    updated = SummaryBuilder(result.space).build(
+                        result.exit_facts
+                    )
+                    if updated != summaries[signature]:
+                        summaries[signature] = updated
+                        changed = True
+            for signature in scc:
+                worklist = SequentialWorklist(
+                    app.method_table[signature], summaries
+                )
+                results[signature] = worklist.run()
+                executed += worklist.visits
+
+        for signature in scc:
+            footprints[signature] = summaries[signature].footprint()
+            summary_fps[signature] = summary_fingerprint(
+                summaries[signature]
+            )
+            method_facts[signature] = results[signature]
+        store.store(key, results, summaries, executed)
+        stats.scc_misses += 1
+        stats.methods_recomputed += len(scc)
+        stats.visits_cold += float(executed)
+        stats.visits_incremental += float(executed)
+
+    idfg = IDFG(method_facts=method_facts, summaries=summaries)
+    return IncrementalResult(
+        analyzed_app=app, idfg=idfg, stats=stats, keys=tuple(keys)
+    )
+
+
+def vet_incremental(
+    app: AndroidApp,
+    baseline_app: Optional[AndroidApp],
+    store: MethodSummaryStore,
+    rules=None,
+    resolve_icc: bool = True,
+):
+    """Vet ``app`` reusing everything its baseline version already paid for.
+
+    The baseline (version N of the app, or None to rely on whatever the
+    store already holds) is analyzed first so its SCC results are
+    guaranteed present; the new version then hits the store for every
+    SCC the version bump left untouched.  Returns ``(report, stats)``
+    where ``stats`` accounts the *new* app's run only -- the number the
+    ">= 10x cheaper re-vet" gates measure.
+    """
+    from repro.vetting.report import vet_workload
+
+    if baseline_app is not None:
+        analyze_app_incremental(baseline_app, store)
+    result = analyze_app_incremental(app, store)
+    workload = _IncrementalWorkload(
+        analyzed_app=result.analyzed_app, idfg=result.idfg
+    )
+    report = vet_workload(
+        app, workload, rules=rules, resolve_icc=resolve_icc
+    )
+    return report, result.stats

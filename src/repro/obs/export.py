@@ -157,6 +157,19 @@ def render_ledger(ledger: Dict[str, Any], top: int = 5) -> str:
         width = max(len(name) for name in counters)
         for name, value in counters.items():
             lines.append(f"    {name:<{width}}  {value:,.0f}")
+    run_stats = ledger.get("run_stats")
+    if run_stats:
+        # Embedded CorpusRunStats: purge sweeps and hit counts used to
+        # be visible only on cache open; the ledger now renders them.
+        lines.append("  run stats:")
+        width = max(len(name) for name in run_stats)
+        for name in sorted(run_stats):
+            value = run_stats[name]
+            if isinstance(value, float):
+                rendered = f"{value:,.3f}"
+            else:
+                rendered = f"{value}"
+            lines.append(f"    {name:<{width}}  {rendered}")
     spans = sorted(
         ledger["spans"], key=lambda s: s["duration_s"], reverse=True
     )[:top]

@@ -62,6 +62,10 @@ class VetJob:
     #: Whether workers resolve ICC targets (and stitch linked leaks)
     #: when vetting this job.  Mirrors ``gdroid vet --resolve-icc``.
     resolve_icc: bool = True
+    #: Baseline ref for incremental re-vetting: ``"corpus"`` (the job's
+    #: own container -- resubmission), a ``.gdx`` path (the previous
+    #: version), or None (cold vet).  Mirrors ``gdroid vet --baseline``.
+    baseline: Optional[str] = None
     state: str = JobState.PENDING
     #: Processing attempts started (first run counts as attempt 1).
     attempts: int = 0
@@ -104,6 +108,7 @@ class VetJob:
             "targets": list(self.targets) if self.targets else None,
             "rules": self.rules,
             "resolve_icc": self.resolve_icc,
+            "baseline": self.baseline,
             "state": self.state,
             "attempts": self.attempts,
             "workers": list(self.workers),

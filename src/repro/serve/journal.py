@@ -80,6 +80,7 @@ def job_spec(job: VetJob) -> Dict[str, Any]:
         "targets": list(job.targets) if job.targets else None,
         "rules": job.rules,
         "resolve_icc": job.resolve_icc,
+        "baseline": job.baseline,
     }
 
 
@@ -95,6 +96,7 @@ def job_from_spec(spec: Dict[str, Any]) -> VetJob:
         targets=list(spec["targets"]) if spec.get("targets") else None,
         rules=spec.get("rules"),
         resolve_icc=bool(spec.get("resolve_icc", True)),
+        baseline=spec.get("baseline"),
     )
 
 
@@ -272,7 +274,11 @@ def row_from_payload(payload: Optional[Dict[str, Any]]) -> Any:
     if payload is None:
         return None
     from repro.bench.cache import _row_from_payload
-    from repro.bench.harness import LintErrorRow, TargetedSkipRow
+    from repro.bench.harness import (
+        IncrementalVetRow,
+        LintErrorRow,
+        TargetedSkipRow,
+    )
 
     kind, data = payload["type"], dict(payload["data"])
     if kind == "AppEvaluation":
@@ -283,6 +289,8 @@ def row_from_payload(payload: Optional[Dict[str, Any]]) -> Any:
     if kind == "TargetedSkipRow":
         data["targets"] = tuple(data["targets"])
         return TargetedSkipRow(**data)
+    if kind == "IncrementalVetRow":
+        return IncrementalVetRow(**data)
     raise ValueError(f"unknown row payload type {kind!r}")
 
 
@@ -407,12 +415,16 @@ def make_result_record(
     latency_s: Optional[float] = None,
     fault: Optional[str] = None,
     error: Optional[str] = None,
+    incremental: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One attempt's outcome, as the JSON record workers publish.
 
     ``kind`` is ``"ok"`` (row attached), ``"corrupt"`` (structured
     non-retryable failure) or ``"fault"`` (retryable; ``fault`` names
-    the kind, e.g. ``oom`` / ``error``).
+    the kind, e.g. ``oom`` / ``error``).  ``incremental`` carries the
+    summary-store reuse counters of a baseline job so pool workers can
+    ship them back to the orchestrator's ``serve.incremental.*``
+    accounting.
     """
     return {
         "job_id": job_id,
@@ -428,4 +440,5 @@ def make_result_record(
         "latency_s": latency_s,
         "fault": fault,
         "error": error,
+        "incremental": incremental,
     }

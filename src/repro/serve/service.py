@@ -149,6 +149,7 @@ class CorpusSource:
         targeted_every: int = 1,
         rules: Optional[str] = None,
         resolve_icc: bool = True,
+        baseline: Optional[str] = None,
     ) -> List[VetJob]:
         """Job records for the first ``count`` corpus apps.
 
@@ -161,6 +162,11 @@ class CorpusSource:
 
         With ``rules`` (a pack name/path) every job vets under that
         rule pack; workers resolve and cache the pack by name.
+
+        With ``baseline`` every job re-vets incrementally against a
+        baseline ref: ``"corpus"`` marks the job as a resubmission of
+        its own container (the summary store is seeded from it), any
+        other value is a prior-version ``.gdx`` path.
         """
         count = self.corpus.size if count is None else count
         jobs = []
@@ -184,6 +190,7 @@ class CorpusSource:
                     targets=job_targets,
                     rules=rules,
                     resolve_icc=resolve_icc,
+                    baseline=baseline,
                 )
             )
         return jobs
@@ -207,7 +214,7 @@ class PathSource:
     def __init__(self, paths: Sequence[str]) -> None:
         self.paths = [str(path) for path in paths]
 
-    def jobs(self) -> List[VetJob]:
+    def jobs(self, baseline: Optional[str] = None) -> List[VetJob]:
         jobs = []
         for index, path in enumerate(self.paths):
             try:
@@ -223,6 +230,7 @@ class PathSource:
                     # File bytes proxy CFG nodes well enough for LPT.
                     est_cost=size,
                     size_class=classify(size / 12.0),
+                    baseline=baseline,
                 )
             )
         return jobs
@@ -836,6 +844,7 @@ class VettingService:
                     risk_score=record.get("risk_score"),
                     latency_s=record.get("latency_s"),
                     findings=record.get("findings"),
+                    incremental=record.get("incremental"),
                 ),
             )
         elif kind == "corrupt":
@@ -925,6 +934,17 @@ class VettingService:
         job.engine = worker.engine
         if result.findings:
             self._count("serve.findings", result.findings)
+        incremental = getattr(result, "incremental", None)
+        if incremental:
+            self._count("serve.incremental.jobs")
+            self._count("serve.incremental.hits", incremental.get("hits", 0))
+            self._count(
+                "serve.incremental.misses", incremental.get("misses", 0)
+            )
+            self._count(
+                "serve.incremental.reused_methods",
+                incremental.get("methods_reused", 0),
+            )
         if not worker.healthy:
             self._count(f"serve.fallback.{worker.engine}")
         self._finish(job, JobState.DONE)
@@ -1022,6 +1042,7 @@ def run_soak(
     targeted_every: int = 1,
     rules: Optional[str] = None,
     resolve_icc: bool = True,
+    baseline: Optional[str] = None,
     **fault_overrides,
 ) -> SoakReport:
     """Push a corpus slice through a fresh service instance.
@@ -1032,6 +1053,9 @@ def run_soak(
     job demand-driven (see :meth:`CorpusSource.jobs`) so mixed
     targeted/full soaks exercise both pipelines under the same faults.
     ``rules`` (a pack name/path) makes every job vet under that pack.
+    ``baseline`` re-vets every job incrementally (``"corpus"`` =
+    resubmission of the job's own container; otherwise a ``.gdx``
+    path of the previous version).
     """
     config = config or ServeConfig()
     source = CorpusSource(corpus)
@@ -1042,6 +1066,7 @@ def run_soak(
         targeted_every=targeted_every,
         rules=rules,
         resolve_icc=resolve_icc,
+        baseline=baseline,
     )
     injector = (
         build_injector(
@@ -1055,12 +1080,19 @@ def run_soak(
 
 
 def submit_paths(
-    paths: Sequence[str], config: Optional[ServeConfig] = None
+    paths: Sequence[str],
+    config: Optional[ServeConfig] = None,
+    baseline: Optional[str] = None,
 ) -> SoakReport:
-    """Vet submitted ``.gdx`` files through a fresh service instance."""
+    """Vet submitted ``.gdx`` files through a fresh service instance.
+
+    ``baseline`` marks every submission as an incremental re-vet:
+    ``"corpus"`` treats each file as a resubmission of itself, any
+    other value is a prior-version ``.gdx`` path.
+    """
     source = PathSource(paths)
     service = VettingService(source, config=config or ServeConfig())
-    return service.run(source.jobs())
+    return service.run(source.jobs(baseline=baseline))
 
 
 def serve_stream(feed, config: Optional[ServeConfig] = None) -> SoakReport:

@@ -81,6 +81,10 @@ class PipelineResult:
     latency_s: Optional[float]
     #: Total rule-pack findings (None unless the pass ran with rules).
     findings: Optional[int] = None
+    #: Summary-store reuse counters (None unless the job carried a
+    #: baseline ref): hits, misses, methods_reused, methods_recomputed,
+    #: modeled_speedup -- plain JSON so pool workers can ship it.
+    incremental: Optional[dict] = None
 
 
 def run_pipeline(
@@ -92,6 +96,7 @@ def run_pipeline(
     targets=None,
     rules=None,
     resolve_icc: bool = True,
+    baseline_app: Optional["AndroidApp"] = None,
 ) -> PipelineResult:
     """loader -> lint gate -> GDroid kernel -> vetting report, once.
 
@@ -110,6 +115,15 @@ def run_pipeline(
     With ``rules`` (a :class:`repro.rules.pack.RulePack`) the vetting
     pass runs under the pack: sanitizer-aware taint, graded findings on
     the row (per-severity counts) and in the result (total).
+
+    With ``baseline_app`` (the previously-vetted version of the same
+    app, or the app itself to model resubmission) the job takes the
+    incremental path: the baseline seeds the method-summary store, the
+    new version reuses every untouched SCC, and the result carries an
+    :class:`repro.bench.harness.IncrementalVetRow` plus the reuse
+    counters the service surfaces as ``serve.incremental.*``.
+    ``targets`` is not combinable with a baseline (the CLI rejects the
+    pair); the baseline path wins if both are passed.
     """
     from repro.bench.harness import (
         _lint_error_row,
@@ -117,6 +131,10 @@ def run_pipeline(
         finding_severity_counts,
     )
 
+    if baseline_app is not None:
+        return _run_incremental_pipeline(
+            app, index, baseline_app, vet, rules, resolve_icc
+        )
     if targets is not None:
         return _run_targeted_pipeline(
             app, index, engine, strict, vet, targets, rules
@@ -161,6 +179,61 @@ def run_pipeline(
     return PipelineResult(
         row=row, verdict=verdict, risk_score=risk, latency_s=latency,
         findings=findings,
+    )
+
+
+def _run_incremental_pipeline(
+    app: "AndroidApp",
+    index: int,
+    baseline_app: "AndroidApp",
+    vet: bool,
+    rules=None,
+    resolve_icc: bool = True,
+) -> PipelineResult:
+    """The baseline-seeded incremental variant of :func:`run_pipeline`.
+
+    The summary store lives at the default two-level cache root
+    (``REPRO_CACHE_DIR``), so pool worker processes share reuse through
+    the filesystem exactly like the row cache.
+    """
+    from repro.bench.harness import IncrementalVetRow
+    from repro.dataflow.incremental import (
+        MethodSummaryStore,
+        vet_incremental,
+    )
+
+    store = MethodSummaryStore()
+    report, inc = vet_incremental(
+        app, baseline_app, store, rules=rules, resolve_icc=resolve_icc
+    )
+    row = IncrementalVetRow(
+        package=app.package,
+        category=app.category,
+        index=index,
+        methods_total=inc.methods_total,
+        methods_reused=inc.methods_reused,
+        methods_recomputed=inc.methods_recomputed,
+        visits_cold=inc.visits_cold,
+        visits_incremental=inc.visits_incremental,
+        modeled_speedup=inc.modeled_speedup,
+        verdict=report.verdict,
+        risk_score=report.risk_score,
+        flow_count=len(report.flows),
+        finding_count=len(report.findings),
+    )
+    return PipelineResult(
+        row=row,
+        verdict=report.verdict if vet else None,
+        risk_score=report.risk_score if vet else None,
+        latency_s=None,
+        findings=len(report.findings) if rules is not None else None,
+        incremental={
+            "hits": inc.scc_hits,
+            "misses": inc.scc_misses,
+            "methods_reused": inc.methods_reused,
+            "methods_recomputed": inc.methods_recomputed,
+            "modeled_speedup": inc.modeled_speedup,
+        },
     )
 
 
@@ -377,6 +450,23 @@ class DeviceWorker:
 
                 targets = TargetSpec(sinks=tuple(job.targets))
             rules = resolve_pack(job.rules) if job.rules else None
+            baseline_app = None
+            baseline = getattr(job, "baseline", None)
+            if baseline == "corpus":
+                # Resubmission: the baseline is this very container, so
+                # the first attempt seeds the store and the measured
+                # pass hits it end to end.
+                baseline_app = app
+            elif baseline:
+                from repro.apk.loader import load_gdx
+
+                try:
+                    baseline_app = load_gdx(baseline)
+                except (OSError, GdxFormatError) as error:
+                    service.on_corrupt_apk(
+                        job, self, f"baseline: {error}"
+                    )
+                    return
             result = run_pipeline(
                 app,
                 job.index,
@@ -386,5 +476,6 @@ class DeviceWorker:
                 targets,
                 rules,
                 resolve_icc=getattr(job, "resolve_icc", True),
+                baseline_app=baseline_app,
             )
         service.on_job_success(job, self, result)

@@ -1,0 +1,195 @@
+"""``.gdx`` container differ edge cases and the CLI baseline surface.
+
+Satellite coverage for the incremental pipeline's operator-facing
+half: identical containers, removed components, renamed-but-identical
+bodies (body-fingerprint pairing), and corrupt baselines surfacing as
+structured errors with exit code 2.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apk.diff import BaselineError, diff_apps, load_baseline
+from repro.apk.generator import GeneratorProfile, generate_app, mutate_app
+from repro.apk.loader import save_gdx
+from repro.cli import main
+from repro.ir.parser import parse_app
+
+PROFILE = GeneratorProfile(scale=0.1)
+
+OLD_SOURCE = """
+app com.diff category tools
+component com.diff.Main activity exported
+  callback onCreate com.diff.Main.run()V
+end
+component com.diff.Extra service
+  callback onStart com.diff.Main.run()V
+end
+method com.diff.Main.run()V
+  local s: Ljava/lang/String;
+  L0: s := "hello"
+  L1: return
+end
+method com.diff.Main.helper()V
+  local i: I
+  L0: i := 1
+  L1: return
+end
+"""
+
+#: Version 2: ``Extra`` component dropped, ``helper`` renamed to
+#: ``helper2`` with a byte-identical body, ``run`` untouched.
+NEW_SOURCE = """
+app com.diff category tools
+component com.diff.Main activity exported
+  callback onCreate com.diff.Main.run()V
+end
+method com.diff.Main.run()V
+  local s: Ljava/lang/String;
+  L0: s := "hello"
+  L1: return
+end
+method com.diff.Main.helper2()V
+  local i: I
+  L0: i := 1
+  L1: return
+end
+"""
+
+
+class TestDiffApps:
+    def test_identical_containers(self):
+        app = generate_app(7, PROFILE)
+        again = generate_app(7, PROFILE)
+        diff = diff_apps(app, again)
+        assert diff.is_identical
+        assert diff.dirty_count == 0
+        assert len(diff.unchanged) == len(app.methods)
+        assert not diff.renamed
+        assert "0 modified" in diff.summary()
+
+    def test_mutation_classifies_as_modified(self):
+        app = generate_app(7, PROFILE)
+        new, touched = mutate_app(app, seed=4, count=1)
+        diff = diff_apps(app, new)
+        assert not diff.is_identical
+        assert diff.modified == tuple(sorted(touched))
+        assert diff.dirty_count == 1
+
+    def test_removed_component_and_rename_detection(self):
+        old = parse_app(OLD_SOURCE)
+        new = parse_app(NEW_SOURCE)
+        diff = diff_apps(old, new)
+        assert diff.components_removed == ("com.diff.Extra",)
+        assert not diff.components_added
+        # The rename is surfaced as a body-fingerprint pair *and*
+        # still counts as added+removed for re-analysis purposes.
+        assert diff.renamed == (
+            ("com.diff.Main.helper()V", "com.diff.Main.helper2()V"),
+        )
+        assert diff.added == ("com.diff.Main.helper2()V",)
+        assert diff.removed == ("com.diff.Main.helper()V",)
+        assert not diff.is_identical
+        assert "1 renamed" in diff.summary()
+        assert "components +0/-1" in diff.summary()
+
+    def test_to_json_is_serializable_and_complete(self):
+        old = parse_app(OLD_SOURCE)
+        new = parse_app(NEW_SOURCE)
+        document = json.loads(json.dumps(diff_apps(old, new).to_json()))
+        assert document["old_package"] == "com.diff"
+        assert document["renamed"] == [
+            ["com.diff.Main.helper()V", "com.diff.Main.helper2()V"]
+        ]
+        assert document["components_removed"] == ["com.diff.Extra"]
+
+
+class TestLoadBaseline:
+    def test_missing_file_raises_structured_error(self, tmp_path):
+        with pytest.raises(BaselineError) as excinfo:
+            load_baseline(tmp_path / "absent.gdx")
+        assert "unreadable" in str(excinfo.value)
+        assert excinfo.value.path.endswith("absent.gdx")
+
+    def test_corrupt_container_raises_structured_error(self, tmp_path):
+        bad = tmp_path / "bad.gdx"
+        bad.write_bytes(b"\x00\x01 definitely not a gdx container")
+        with pytest.raises(BaselineError) as excinfo:
+            load_baseline(bad)
+        assert "corrupt container" in str(excinfo.value)
+
+
+class TestCliBaseline:
+    @pytest.fixture()
+    def app_gdx(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "app.gdx"
+        save_gdx(generate_app(7, PROFILE), path)
+        return path
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, app_gdx, capsys):
+        bad = tmp_path / "bad.gdx"
+        bad.write_bytes(b"garbage")
+        code = main(["vet", str(app_gdx), "--baseline", str(bad)])
+        assert code == 2
+        assert "corrupt container" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_2(self, tmp_path, app_gdx, capsys):
+        code = main(
+            ["vet", str(app_gdx), "--baseline", str(tmp_path / "no.gdx")]
+        )
+        assert code == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_baseline_conflicts_with_targets(
+        self, tmp_path, app_gdx, capsys
+    ):
+        code = main(
+            [
+                "vet",
+                str(app_gdx),
+                "--baseline",
+                str(app_gdx),
+                "--targets",
+                "SMS",
+            ]
+        )
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_self_baseline_reuses_everything(self, app_gdx, capsys):
+        code = main(
+            ["vet", str(app_gdx), "--baseline", str(app_gdx)]
+        )
+        output = capsys.readouterr().out
+        assert code in (0, 2)  # suspicious apps legitimately exit 2
+        assert "diff vs baseline" in output
+        assert "0 modified" in output
+        assert "incremental:" in output
+
+    def test_generate_mutate_from_writes_a_bumped_container(
+        self, tmp_path, app_gdx, capsys
+    ):
+        out = tmp_path / "bumped.gdx"
+        code = main(
+            [
+                "generate",
+                "--mutate-from",
+                str(app_gdx),
+                "--mutate-methods",
+                "2",
+                "--mutate-seed",
+                "5",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mutated 2/" in output
+        baseline = load_baseline(app_gdx)
+        bumped = load_baseline(out)
+        assert diff_apps(baseline, bumped).dirty_count == 2

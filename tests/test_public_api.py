@@ -23,7 +23,7 @@ class TestTopLevel:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
 
 PACKAGES = [

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI guard: a CACHE_SCHEMA bump must document itself.
+
+Every row in the on-disk evaluation cache is keyed under
+``CACHE_SCHEMA`` (``src/repro/bench/cache.py``); bumping it silently
+invalidates every operator's cache.  The module therefore keeps a
+history comment block above the constant -- one ``#: N: reason`` line
+per schema generation -- and this checker fails CI when the constant
+is bumped without a matching history entry (or when history entries
+skip a generation).
+
+Usage::
+
+    python tools/check_cache_schema.py [path/to/cache.py]
+
+Exit codes: 0 = consistent, 1 = schema/history mismatch,
+2 = could not parse the module at all.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_MODULE = (
+    Path(__file__).resolve().parent.parent / "src" / "repro" / "bench" / "cache.py"
+)
+
+SCHEMA_RE = re.compile(r"^CACHE_SCHEMA\s*=\s*(\d+)\s*$", re.MULTILINE)
+HISTORY_RE = re.compile(r"^#:\s*(\d+):\s*\S", re.MULTILINE)
+
+
+def check(text: str) -> list:
+    """Problem strings for one cache.py source (empty = consistent)."""
+    problems = []
+    schema_match = SCHEMA_RE.search(text)
+    if schema_match is None:
+        return ["no `CACHE_SCHEMA = <int>` assignment found"]
+    schema = int(schema_match.group(1))
+    history = sorted(int(m.group(1)) for m in HISTORY_RE.finditer(text))
+    if not history:
+        return [f"CACHE_SCHEMA = {schema} but no `#: N: reason` history lines"]
+    if schema > 1 and schema not in history:
+        problems.append(
+            f"CACHE_SCHEMA was bumped to {schema} without a matching "
+            f"`#: {schema}: <why old rows are invalid>` history entry "
+            f"(history covers: {history})"
+        )
+    missing = [
+        generation
+        for generation in range(2, schema + 1)
+        if generation not in history
+    ]
+    if missing and missing != [schema]:
+        problems.append(
+            f"history skips generation(s) {missing}; every bump since "
+            "schema 1 must document why it invalidated old rows"
+        )
+    stale = [generation for generation in history if generation > schema]
+    if stale:
+        problems.append(
+            f"history documents generation(s) {stale} beyond "
+            f"CACHE_SCHEMA = {schema}; bump the constant or drop the lines"
+        )
+    return problems
+
+
+def main(argv) -> int:
+    module = Path(argv[1]) if len(argv) > 1 else DEFAULT_MODULE
+    try:
+        text = module.read_text()
+    except OSError as error:
+        print(f"error: cannot read {module}: {error}", file=sys.stderr)
+        return 2
+    problems = check(text)
+    if problems:
+        for problem in problems:
+            print(f"cache-schema guard: {problem}", file=sys.stderr)
+        return 1
+    schema = int(SCHEMA_RE.search(text).group(1))
+    print(f"cache-schema guard: CACHE_SCHEMA = {schema}, history consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

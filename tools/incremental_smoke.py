@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI incremental-smoke gate: version bumps re-vet cheap and exact.
+
+For each app in a deterministic corpus slice this script:
+
+1. generates the app (the "old" version) and seeds a throwaway
+   summary store from it;
+2. mutates one method body (``repro.apk.generator.mutate_app``) to
+   form the "new" version and diffs the two containers;
+3. re-analyzes the new version incrementally and a second time cold
+   (reference worklist, no store);
+4. asserts the incremental fixpoint is bit-identical to the cold one
+   (node-fact sets via ``IDFG.equivalent_to`` plus flows / ICC flows /
+   linked flows / risk score through the vetting pipeline) and that
+   the modeled re-vet cost is at least ``--min-speedup`` times
+   cheaper.
+
+A structured JSON report (per-app diff classification, reuse stats and
+speedups) is written to ``--report`` for CI artifact upload.  Exit 0
+only when every app passes both gates.
+
+Usage::
+
+    python tools/incremental_smoke.py --apps 12 --scale 0.25 \\
+        --report incremental-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apk.diff import diff_apps  # noqa: E402
+from repro.apk.generator import GeneratorProfile, generate_app, mutate_app  # noqa: E402
+from repro.dataflow.incremental import (  # noqa: E402
+    MethodSummaryStore,
+    analyze_app_incremental,
+)
+from repro.dataflow.worklist import analyze_app_reference  # noqa: E402
+from repro.vetting.report import vet_app, vet_workload  # noqa: E402
+
+
+class _Workload:
+    __slots__ = ("analyzed_app", "idfg")
+
+    def __init__(self, analyzed_app, idfg):
+        self.analyzed_app = analyzed_app
+        self.idfg = idfg
+
+
+def smoke_one(index, scale, store):
+    """Bump one app; return (ok, per-app report dict)."""
+    seed = 100 + index
+    old = generate_app(seed, GeneratorProfile(scale=scale))
+    new, touched = mutate_app(old, seed=seed, count=1)
+    diff = diff_apps(old, new)
+
+    analyze_app_incremental(old, store)
+    result = analyze_app_incremental(new, store)
+    stats = result.stats
+
+    reference_idfg = analyze_app_reference(new)
+    identical = result.idfg.equivalent_to(reference_idfg)
+    incremental_report = vet_workload(
+        new, _Workload(result.analyzed_app, result.idfg)
+    )
+    cold_report = vet_app(new)
+    flows_equal = (
+        incremental_report.flows == cold_report.flows
+        and incremental_report.icc_flows == cold_report.icc_flows
+        and incremental_report.linked_flows == cold_report.linked_flows
+        and incremental_report.risk_score == cold_report.risk_score
+    )
+    entry = {
+        "package": new.package,
+        "seed": seed,
+        "touched": list(touched),
+        "diff": diff.to_json(),
+        "methods_total": stats.methods_total,
+        "methods_reused": stats.methods_reused,
+        "methods_recomputed": stats.methods_recomputed,
+        "visits_cold": stats.visits_cold,
+        "visits_incremental": stats.visits_incremental,
+        "modeled_speedup": round(stats.modeled_speedup, 2),
+        "bit_identical_facts": identical,
+        "bit_identical_flows": flows_equal,
+        "risk_score": cold_report.risk_score,
+    }
+    return identical and flows_equal, entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", type=int, default=12)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the structured JSON diff report here",
+    )
+    args = parser.parse_args(argv)
+
+    entries = []
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="incr-smoke-") as tmp:
+        store = MethodSummaryStore(root=Path(tmp) / "summaries")
+        for index in range(args.apps):
+            exact, entry = smoke_one(index, args.scale, store)
+            entries.append(entry)
+            if not exact:
+                failures.append(
+                    f"{entry['package']}: incremental result diverged "
+                    f"(facts identical: {entry['bit_identical_facts']}, "
+                    f"flows identical: {entry['bit_identical_flows']})"
+                )
+            if entry["modeled_speedup"] < args.min_speedup:
+                failures.append(
+                    f"{entry['package']}: bump only "
+                    f"{entry['modeled_speedup']:.1f}x cheaper "
+                    f"(gate: >= {args.min_speedup}x)"
+                )
+            print(
+                f"[{index + 1:2d}/{args.apps}] {entry['package']:24s} "
+                f"{entry['methods_reused']:3d}/{entry['methods_total']:3d} "
+                f"reused, {entry['modeled_speedup']:7.1f}x, "
+                f"exact={'yes' if exact else 'NO'}"
+            )
+        store_stats = {
+            "hits": store.hits,
+            "misses": store.misses,
+            "stores": store.stores,
+        }
+
+    speedups = [entry["modeled_speedup"] for entry in entries]
+    report = {
+        "apps": args.apps,
+        "scale": args.scale,
+        "min_speedup_gate": args.min_speedup,
+        "min_speedup_seen": min(speedups) if speedups else None,
+        "all_bit_identical": not any(
+            not (e["bit_identical_facts"] and e["bit_identical_flows"])
+            for e in entries
+        ),
+        "store": store_stats,
+        "failures": failures,
+        "entries": entries,
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.report}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"incremental smoke: {args.apps} apps bit-identical, "
+        f"min speedup {min(speedups):.1f}x (gate {args.min_speedup}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
